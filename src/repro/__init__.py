@@ -1,0 +1,65 @@
+"""BVF reproduction: finding correctness bugs in an eBPF verifier.
+
+A from-scratch Python reproduction of *"Finding Correctness Bugs in
+eBPF Verifier with Structured and Sanitized Program"* (Sun et al.,
+EuroSys 2024), including every substrate the paper's system needs:
+
+- :mod:`repro.ebpf` — the eBPF instruction set, programs, maps,
+  helpers, kfuncs, and BTF;
+- :mod:`repro.kernel` — a simulated kernel with KASAN-style shadow
+  memory, lockdep, tracepoints, and per-version bug profiles;
+- :mod:`repro.verifier` — a faithful re-implementation of the eBPF
+  verifier (the system under test), with the paper's Table-2 bugs
+  injectable;
+- :mod:`repro.sanitizer` — BVF's instruction-level memory-access
+  sanitation (indicator #1's capture mechanism);
+- :mod:`repro.runtime` — the interpreter and execution driver (the JIT
+  stand-in);
+- :mod:`repro.fuzz` — the BVF fuzzer: structured generation, the
+  two-indicator oracle, coverage feedback, and the Syzkaller/Buzzer
+  baselines;
+- :mod:`repro.testsuite` — the self-test program corpus;
+- :mod:`repro.analysis` — bug tables and evaluation statistics.
+
+The five-line tour::
+
+    from repro import Kernel, PROFILES, Campaign, CampaignConfig
+
+    kernel = Kernel(PROFILES["bpf-next"]())       # a flawed kernel
+    result = Campaign(CampaignConfig(tool="bvf", budget=2500)).run()
+    print(sorted(result.findings))                 # Table 2, rediscovered
+"""
+
+from repro.errors import (
+    BpfError,
+    KernelReport,
+    SanitizerReport,
+    VerifierReject,
+)
+from repro.kernel.config import PROFILES, Flaw, KernelConfig
+from repro.kernel.syscall import Kernel
+from repro.ebpf.program import BpfProgram, ProgType, VerifiedProgram
+from repro.runtime.executor import Executor, RunResult
+from repro.fuzz.campaign import Campaign, CampaignConfig, CampaignResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BpfError",
+    "KernelReport",
+    "SanitizerReport",
+    "VerifierReject",
+    "PROFILES",
+    "Flaw",
+    "KernelConfig",
+    "Kernel",
+    "BpfProgram",
+    "ProgType",
+    "VerifiedProgram",
+    "Executor",
+    "RunResult",
+    "Campaign",
+    "CampaignConfig",
+    "CampaignResult",
+    "__version__",
+]

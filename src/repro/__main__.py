@@ -1,0 +1,164 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+- ``fuzz``      — run a fuzzing campaign and print a Table-2-style
+  bug table (optionally with triage reports);
+- ``selftest``  — run the verifier self-test corpus against a kernel
+  profile and report verdict mismatches;
+- ``bench``     — quick acceptance/coverage comparison of the three
+  generators;
+- ``profiles``  — list the kernel profiles and their injected flaws.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.reports import render_bug_table
+from repro.analysis.triage import triage_finding
+from repro.errors import BpfError, VerifierReject
+from repro.fuzz.campaign import Campaign, CampaignConfig
+from repro.kernel.config import PROFILES
+from repro.kernel.syscall import Kernel
+from repro.testsuite import all_selftests_extended as all_selftests
+
+__all__ = ["main"]
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    config = CampaignConfig(
+        tool=args.tool,
+        kernel_version=args.kernel,
+        budget=args.budget,
+        seed=args.seed,
+        sanitize=not args.no_sanitize,
+    )
+    print(
+        f"fuzzing {args.kernel} with {args.tool}: {args.budget} programs, "
+        f"seed {args.seed}"
+    )
+    result = Campaign(config).run()
+    print(
+        f"\naccepted {result.accepted}/{result.generated} "
+        f"({result.acceptance_rate:.1%}); verifier coverage "
+        f"{result.final_coverage} edges; corpus {result.corpus_size}"
+    )
+    print("\n" + render_bug_table(result.findings))
+    if args.triage and result.findings:
+        kernel_config = PROFILES[args.kernel]()
+        for finding in result.findings.values():
+            print()
+            print(triage_finding(finding, kernel_config).render())
+    return 0
+
+
+def _cmd_selftest(args: argparse.Namespace) -> int:
+    mismatches = 0
+    total = 0
+    for selftest in all_selftests():
+        kernel = Kernel(PROFILES[args.kernel]())
+        total += 1
+        try:
+            prog = selftest.build(kernel)
+            kernel.prog_load(prog, sanitize=args.sanitize)
+            verdict = "accept"
+        except (VerifierReject, BpfError) as exc:
+            verdict = "reject"
+            reason = getattr(exc, "message", str(exc))
+        if verdict != selftest.expect and args.kernel == "patched":
+            mismatches += 1
+            detail = f" ({reason})" if verdict == "reject" else ""
+            print(f"MISMATCH {selftest.name}: expected {selftest.expect}, "
+                  f"got {verdict}{detail}")
+        elif args.verbose:
+            print(f"{verdict:>7}  {selftest.name}")
+    print(f"\n{total} self-tests, {mismatches} verdict mismatches "
+          f"on {args.kernel}")
+    return 1 if mismatches else 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    print(f"{'tool':>12} {'accepted':>9} {'coverage':>9}")
+    for tool in ("bvf", "syzkaller", "buzzer"):
+        result = Campaign(
+            CampaignConfig(
+                tool=tool,
+                kernel_version=args.kernel,
+                budget=args.budget,
+                seed=args.seed,
+                sanitize=tool == "bvf",
+            )
+        ).run()
+        print(
+            f"{tool:>12} {result.acceptance_rate:>8.1%} "
+            f"{result.final_coverage:>9}"
+        )
+    return 0
+
+
+def _cmd_profiles(args: argparse.Namespace) -> int:
+    for name, factory in PROFILES.items():
+        config = factory()
+        print(f"{name}:")
+        print(f"  kfuncs={config.has_kfuncs} "
+              f"nullness_propagation={config.has_nullness_propagation} "
+              f"btf={config.has_btf_access}")
+        if config.flaws:
+            for flaw in sorted(config.flaws, key=lambda f: f.value):
+                print(f"  - {flaw.value}")
+        else:
+            print("  (no injected bugs)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BVF reproduction: fuzz a simulated eBPF verifier",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fuzz = sub.add_parser("fuzz", help="run a fuzzing campaign")
+    fuzz.add_argument("--tool", default="bvf",
+                      choices=["bvf", "bvf-nostructure", "syzkaller", "buzzer"])
+    fuzz.add_argument("--kernel", default="bpf-next", choices=list(PROFILES))
+    fuzz.add_argument("--budget", type=int, default=1000,
+                      help="programs to generate")
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--no-sanitize", action="store_true",
+                      help="disable BVF's memory-access sanitation")
+    fuzz.add_argument("--triage", action="store_true",
+                      help="print a triage report per finding")
+    fuzz.set_defaults(func=_cmd_fuzz)
+
+    selftest = sub.add_parser("selftest", help="run the self-test corpus")
+    selftest.add_argument("--kernel", default="patched",
+                          choices=list(PROFILES))
+    selftest.add_argument("--sanitize", action="store_true")
+    selftest.add_argument("--verbose", "-v", action="store_true")
+    selftest.set_defaults(func=_cmd_selftest)
+
+    bench = sub.add_parser("bench", help="compare the generators")
+    bench.add_argument("--kernel", default="bpf-next", choices=list(PROFILES))
+    bench.add_argument("--budget", type=int, default=300)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.set_defaults(func=_cmd_bench)
+
+    profiles = sub.add_parser("profiles", help="list kernel profiles")
+    profiles.set_defaults(func=_cmd_profiles)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. `python -m repro profiles | head`
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

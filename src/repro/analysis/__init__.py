@@ -1,0 +1,26 @@
+"""Reporting and statistics for the evaluation harness.
+
+- :mod:`repro.analysis.reports` — Table-2-style bug tables and triage
+  records,
+- :mod:`repro.analysis.stats` — coverage-curve handling, acceptance
+  aggregation, and the sanitation-overhead calculations of RQ3.
+"""
+
+from repro.analysis.reports import BugRow, render_bug_table
+from repro.analysis.stats import (
+    OverheadStats,
+    acceptance_summary,
+    average_curves,
+    coverage_improvement,
+    measure_overhead,
+)
+
+__all__ = [
+    "BugRow",
+    "render_bug_table",
+    "OverheadStats",
+    "acceptance_summary",
+    "average_curves",
+    "coverage_improvement",
+    "measure_overhead",
+]

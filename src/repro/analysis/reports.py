@@ -1,0 +1,89 @@
+"""Bug-table rendering (the reproduction of Table 2).
+
+Maps discovered :class:`~repro.fuzz.oracle.BugFinding` records onto the
+paper's Table-2 rows so the benchmark output can be compared line by
+line with the published table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.config import Flaw
+from repro.fuzz.oracle import BugFinding
+
+__all__ = ["BugRow", "TABLE2_ROWS", "render_bug_table"]
+
+
+@dataclass(frozen=True)
+class BugRow:
+    """One row of the paper's Table 2."""
+
+    number: int
+    flaw: Flaw
+    component: str
+    description: str
+    status: str
+
+
+TABLE2_ROWS = (
+    BugRow(1, Flaw.NULLNESS_PROPAGATION, "Verifier",
+           "Incorrect nullness propagation of pointer comparisons causes "
+           "invalid memory access", "Fixed"),
+    BugRow(2, Flaw.TASK_STRUCT_OOB, "Verifier",
+           "Incorrect task struct access validation leads to out-of-bound "
+           "access", "Confirmed"),
+    BugRow(3, Flaw.KFUNC_BACKTRACK, "Verifier",
+           "Incorrect check on kfunc call operations causes verifier "
+           "backtracking bug", "Fixed"),
+    BugRow(4, Flaw.TRACE_PRINTK_DEADLOCK, "Verifier",
+           "Missing check on programs attached to bpf_trace_printk causes "
+           "deadlock", "Fixed"),
+    BugRow(5, Flaw.CONTENTION_BEGIN_LOCK, "Verifier",
+           "Missing validation on contention_begin causes inconsistent "
+           "lock state error", "Fixed"),
+    BugRow(6, Flaw.SIGNAL_PANIC, "Verifier",
+           "Missing strict checking on signal sending of programs causes "
+           "kernel panic", "Fixed"),
+    BugRow(7, Flaw.DISPATCHER_RACE, "Dispatcher",
+           "Missing sync between dispatcher update and execution leads to "
+           "null-ptr-deref", "Fixed"),
+    BugRow(8, Flaw.KMEMDUP_LIMIT, "Syscall",
+           "Incorrect using of kmemdup() leads to failure in duplicating "
+           "xlated insts", "Fixed"),
+    BugRow(9, Flaw.MAP_BUCKET_ITER, "Map",
+           "Incorrect bucket iterating in the failure case of lock "
+           "acquiring causes oob access", "Fixed"),
+    BugRow(10, Flaw.IRQ_WORK_LOCK, "Helper",
+           "Incorrect using of irq_work_queue in a helper function leads "
+           "to lock bug", "Fixed"),
+    BugRow(11, Flaw.XDP_DEV_HOST, "XDP",
+           "Incorrect execution env, attempt to run device eBPF program "
+           "on the host", "Confirmed"),
+)
+
+#: Table-2 numbering for the motivating CVE (not part of the 11).
+CVE_ROW = BugRow(0, Flaw.CVE_2022_23222, "Verifier",
+                 "CVE-2022-23222: ALU on nullable pointers causes "
+                 "out-of-bounds access", "Fixed (upstream)")
+
+
+def render_bug_table(findings: dict[str, BugFinding]) -> str:
+    """Render found/missed status against the paper's Table 2."""
+    lines = [
+        f"{'#':>2}  {'Component':<10} {'Found':<6} Description",
+        "-" * 78,
+    ]
+    for row in TABLE2_ROWS:
+        found = "yes" if row.flaw.value in findings else "no"
+        lines.append(
+            f"{row.number:>2}  {row.component:<10} {found:<6} {row.description}"
+        )
+    extras = [
+        bug_id
+        for bug_id in findings
+        if bug_id not in {row.flaw.value for row in TABLE2_ROWS}
+    ]
+    for bug_id in sorted(extras):
+        lines.append(f" +  {'(other)':<10} {'yes':<6} {bug_id}")
+    return "\n".join(lines)

@@ -1,0 +1,157 @@
+"""Statistics helpers for the evaluation benchmarks.
+
+Covers the three quantitative artefacts of the paper's evaluation:
+coverage curves/totals (Figure 6, Table 3), acceptance-rate summaries
+(Section 6.3), and the sanitation-overhead measurements (Section 6.4,
+RQ3: ~90% execution slowdown, ~3.0x instruction footprint).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.ebpf.program import BpfProgram
+from repro.fuzz.campaign import CampaignResult
+from repro.runtime.executor import Executor
+
+__all__ = [
+    "average_curves",
+    "coverage_improvement",
+    "acceptance_summary",
+    "OverheadStats",
+    "measure_overhead",
+]
+
+
+def average_curves(
+    curves: list[list[tuple[int, int]]]
+) -> list[tuple[int, float]]:
+    """Average several (x, coverage) curves point-wise.
+
+    Repeated campaigns with the same budget produce aligned x values;
+    shorter curves are truncated to the common prefix.
+    """
+    if not curves:
+        return []
+    n = min(len(c) for c in curves)
+    result = []
+    for i in range(n):
+        x = curves[0][i][0]
+        y = sum(c[i][1] for c in curves) / len(curves)
+        result.append((x, y))
+    return result
+
+
+def coverage_improvement(ours: float, theirs: float) -> float:
+    """Relative improvement "+X%" as the paper reports it."""
+    if theirs == 0:
+        return float("inf")
+    return (ours - theirs) / theirs * 100.0
+
+
+def acceptance_summary(results: list[CampaignResult]) -> dict:
+    """Aggregate acceptance statistics across repeated campaigns."""
+    generated = sum(r.generated for r in results)
+    accepted = sum(r.accepted for r in results)
+    errnos: Counter = Counter()
+    for r in results:
+        errnos.update(r.reject_errnos)
+    return {
+        "generated": generated,
+        "accepted": accepted,
+        "acceptance_rate": accepted / generated if generated else 0.0,
+        "reject_errnos": errnos,
+    }
+
+
+@dataclass
+class OverheadStats:
+    """Sanitation overhead over a program corpus (RQ3)."""
+
+    programs: int = 0
+    #: total xlated instruction counts
+    raw_insns: int = 0
+    sanitized_insns: int = 0
+    #: total executed-instruction counts
+    raw_executed: int = 0
+    sanitized_executed: int = 0
+    #: total wall-clock execution time
+    raw_seconds: float = 0.0
+    sanitized_seconds: float = 0.0
+
+    @property
+    def footprint_ratio(self) -> float:
+        """Static instruction increase (the paper reports ~3.0x)."""
+        return self.sanitized_insns / self.raw_insns if self.raw_insns else 0.0
+
+    @property
+    def executed_ratio(self) -> float:
+        return (
+            self.sanitized_executed / self.raw_executed
+            if self.raw_executed
+            else 0.0
+        )
+
+    @property
+    def slowdown_percent(self) -> float:
+        """Execution-time slowdown (the paper reports ~90%)."""
+        if not self.raw_seconds:
+            return 0.0
+        return (self.sanitized_seconds / self.raw_seconds - 1.0) * 100.0
+
+
+def measure_overhead(
+    kernel_factory,
+    programs: list[BpfProgram],
+    repeats: int = 3,
+    runs_per_program: int = 3,
+) -> OverheadStats:
+    """Measure raw-vs-sanitized cost over a corpus (Section 6.4).
+
+    Each program is loaded twice — without and with sanitation — into
+    fresh kernels and executed; programs without any load/store are
+    expected to be filtered by the caller (they cannot trigger the
+    instrumentation), mirroring the paper's dataset construction.
+    """
+    stats = OverheadStats()
+    for prog in programs:
+        measurements = []
+        for sanitize in (False, True):
+            kernel = kernel_factory()
+            for bpf_map in getattr(prog, "required_maps", ()):  # pragma: no cover
+                kernel.map_create(*bpf_map)
+            try:
+                verified = kernel.prog_load(
+                    BpfProgram(
+                        insns=list(prog.insns),
+                        prog_type=prog.prog_type,
+                        name=prog.name,
+                    ),
+                    sanitize=sanitize,
+                )
+            except Exception:
+                measurements = []
+                break
+            executor = Executor(kernel)
+            executed = 0
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                for _ in range(runs_per_program):
+                    result = executor.run(verified)
+                    executed = result.stats.insns_executed
+                best = min(best, time.perf_counter() - start)
+            measurements.append((len(verified.xlated), executed, best))
+        if len(measurements) != 2:
+            continue
+        (raw_len, raw_exec, raw_t), (san_len, san_exec, san_t) = measurements
+        stats.programs += 1
+        stats.raw_insns += raw_len
+        stats.sanitized_insns += san_len
+        stats.raw_executed += raw_exec
+        stats.sanitized_executed += san_exec
+        stats.raw_seconds += raw_t
+        stats.sanitized_seconds += san_t
+    return stats

@@ -1,0 +1,46 @@
+"""eBPF substrate: instruction set, programs, maps, helpers, and BTF.
+
+This subpackage is a from-scratch model of the parts of the Linux eBPF
+subsystem that the paper's fuzzer interacts with: the RISC-like
+instruction set with its on-the-wire encoding, the program object and
+its types, the map data structures, the helper-function registry with
+typed prototypes, and a minimal BTF model for kernel objects and
+kfuncs.
+"""
+
+from repro.ebpf.insn import Insn, encode_program, decode_program
+from repro.ebpf.opcodes import (
+    InsnClass,
+    AluOp,
+    JmpOp,
+    Size,
+    Mode,
+    Src,
+    Reg,
+)
+from repro.ebpf.program import BpfProgram, ProgType, AttachType
+from repro.ebpf.maps import BpfMap, MapType, create_map
+from repro.ebpf.helpers import HelperRegistry, HelperProto, ArgType, RetType
+
+__all__ = [
+    "Insn",
+    "encode_program",
+    "decode_program",
+    "InsnClass",
+    "AluOp",
+    "JmpOp",
+    "Size",
+    "Mode",
+    "Src",
+    "Reg",
+    "BpfProgram",
+    "ProgType",
+    "AttachType",
+    "BpfMap",
+    "MapType",
+    "create_map",
+    "HelperRegistry",
+    "HelperProto",
+    "ArgType",
+    "RetType",
+]

@@ -1,0 +1,245 @@
+"""Assembler-style constructors for eBPF instructions.
+
+These helpers mirror the ``BPF_*`` macros the kernel's self-tests are
+written with (``BPF_MOV64_IMM``, ``BPF_LDX_MEM``, ...), so programs in
+our tests and examples read like the listings in the paper.  All
+constructors return slot-form instructions; the 64-bit immediate loads
+return *two* slots and are therefore spliced into programs with ``*``::
+
+    prog = [
+        *ld_map_fd(Reg.R1, map_fd),
+        mov64_reg(Reg.R2, Reg.R10),
+        alu64_imm(AluOp.ADD, Reg.R2, -8),
+        st_mem(Size.DW, Reg.R2, 0, 0),
+        call_helper(HelperId.MAP_LOOKUP_ELEM),
+        exit_insn(),
+    ]
+"""
+
+from __future__ import annotations
+
+from repro.ebpf.insn import Insn, ld_imm64_pair
+from repro.ebpf.opcodes import (
+    AluOp,
+    AtomicOp,
+    InsnClass,
+    JmpOp,
+    Mode,
+    PseudoCall,
+    PseudoSrc,
+    Size,
+    Src,
+)
+
+__all__ = [
+    "alu64_imm",
+    "alu64_reg",
+    "alu32_imm",
+    "alu32_reg",
+    "mov64_imm",
+    "mov64_reg",
+    "mov32_imm",
+    "mov32_reg",
+    "neg64",
+    "endian",
+    "ldx_mem",
+    "ldx_memsx",
+    "st_mem",
+    "stx_mem",
+    "atomic_op",
+    "ld_imm64",
+    "ld_map_fd",
+    "ld_map_value",
+    "ld_btf_id",
+    "ld_func",
+    "jmp_imm",
+    "jmp_reg",
+    "jmp32_imm",
+    "jmp32_reg",
+    "ja",
+    "call_helper",
+    "call_kfunc",
+    "call_subprog",
+    "exit_insn",
+]
+
+
+# --- ALU -------------------------------------------------------------------
+
+
+def alu64_imm(op: AluOp, dst: int, imm: int) -> Insn:
+    """64-bit ALU with immediate operand: ``dst = dst <op> imm``."""
+    return Insn(opcode=InsnClass.ALU64 | op | Src.K, dst=dst, imm=imm)
+
+
+def alu64_reg(op: AluOp, dst: int, src: int) -> Insn:
+    """64-bit ALU with register operand: ``dst = dst <op> src``."""
+    return Insn(opcode=InsnClass.ALU64 | op | Src.X, dst=dst, src=src)
+
+
+def alu32_imm(op: AluOp, dst: int, imm: int) -> Insn:
+    """32-bit ALU with immediate operand (upper half is zeroed)."""
+    return Insn(opcode=InsnClass.ALU | op | Src.K, dst=dst, imm=imm)
+
+
+def alu32_reg(op: AluOp, dst: int, src: int) -> Insn:
+    """32-bit ALU with register operand (upper half is zeroed)."""
+    return Insn(opcode=InsnClass.ALU | op | Src.X, dst=dst, src=src)
+
+
+def mov64_imm(dst: int, imm: int) -> Insn:
+    """``dst = imm`` (sign-extended to 64 bits)."""
+    return alu64_imm(AluOp.MOV, dst, imm)
+
+
+def mov64_reg(dst: int, src: int) -> Insn:
+    """``dst = src`` (full 64-bit move, propagates pointer types)."""
+    return alu64_reg(AluOp.MOV, dst, src)
+
+
+def mov32_imm(dst: int, imm: int) -> Insn:
+    """``dst = (u32)imm`` (upper half zeroed)."""
+    return alu32_imm(AluOp.MOV, dst, imm)
+
+
+def mov32_reg(dst: int, src: int) -> Insn:
+    """``dst = (u32)src`` (upper half zeroed)."""
+    return alu32_reg(AluOp.MOV, dst, src)
+
+
+def neg64(dst: int) -> Insn:
+    """``dst = -dst``."""
+    return Insn(opcode=InsnClass.ALU64 | AluOp.NEG, dst=dst)
+
+
+def endian(dst: int, bits: int, to_big: bool = True) -> Insn:
+    """Byte-swap conversion (``BPF_END``); ``bits`` is 16, 32, or 64."""
+    src = Src.X if to_big else Src.K
+    return Insn(opcode=InsnClass.ALU | AluOp.END | src, dst=dst, imm=bits)
+
+
+# --- memory ------------------------------------------------------------------
+
+
+def ldx_mem(size: Size, dst: int, src: int, off: int) -> Insn:
+    """``dst = *(size *)(src + off)``."""
+    return Insn(opcode=InsnClass.LDX | size | Mode.MEM, dst=dst, src=src, off=off)
+
+
+def ldx_memsx(size: Size, dst: int, src: int, off: int) -> Insn:
+    """Sign-extending load: ``dst = *(s<size> *)(src + off)``."""
+    return Insn(opcode=InsnClass.LDX | size | Mode.MEMSX, dst=dst, src=src, off=off)
+
+
+def st_mem(size: Size, dst: int, off: int, imm: int) -> Insn:
+    """``*(size *)(dst + off) = imm``."""
+    return Insn(opcode=InsnClass.ST | size | Mode.MEM, dst=dst, off=off, imm=imm)
+
+
+def stx_mem(size: Size, dst: int, src: int, off: int) -> Insn:
+    """``*(size *)(dst + off) = src``."""
+    return Insn(opcode=InsnClass.STX | size | Mode.MEM, dst=dst, src=src, off=off)
+
+
+def atomic_op(size: Size, op: AtomicOp, dst: int, src: int, off: int) -> Insn:
+    """Atomic read-modify-write on ``*(size *)(dst + off)``."""
+    return Insn(
+        opcode=InsnClass.STX | size | Mode.ATOMIC, dst=dst, src=src, off=off, imm=op
+    )
+
+
+# --- 64-bit immediate loads ---------------------------------------------------
+
+
+def ld_imm64(dst: int, value: int) -> tuple[Insn, Insn]:
+    """``dst = value`` where value is a full 64-bit constant (two slots)."""
+    head = Insn(
+        opcode=InsnClass.LD | Size.DW | Mode.IMM, dst=dst, src=PseudoSrc.RAW
+    )
+    return ld_imm64_pair(head, value)
+
+
+def ld_map_fd(dst: int, map_fd: int) -> tuple[Insn, Insn]:
+    """Load a map address by file descriptor (``BPF_PSEUDO_MAP_FD``)."""
+    head = Insn(
+        opcode=InsnClass.LD | Size.DW | Mode.IMM, dst=dst, src=PseudoSrc.MAP_FD
+    )
+    return ld_imm64_pair(head, map_fd)
+
+
+def ld_map_value(dst: int, map_fd: int, off: int) -> tuple[Insn, Insn]:
+    """Load a direct pointer into a map value (``BPF_PSEUDO_MAP_VALUE``).
+
+    The low half of the immediate selects the map fd and the high half
+    the byte offset into the value, matching the kernel encoding.
+    """
+    head = Insn(
+        opcode=InsnClass.LD | Size.DW | Mode.IMM, dst=dst, src=PseudoSrc.MAP_VALUE
+    )
+    return ld_imm64_pair(head, (map_fd & 0xFFFFFFFF) | (off << 32))
+
+
+def ld_btf_id(dst: int, btf_id: int) -> tuple[Insn, Insn]:
+    """Load the address of a kernel object by BTF id (``BPF_PSEUDO_BTF_ID``)."""
+    head = Insn(
+        opcode=InsnClass.LD | Size.DW | Mode.IMM, dst=dst, src=PseudoSrc.BTF_ID
+    )
+    return ld_imm64_pair(head, btf_id)
+
+
+def ld_func(dst: int, subprog: int) -> tuple[Insn, Insn]:
+    """Load the address of a bpf subprogram (``BPF_PSEUDO_FUNC``)."""
+    head = Insn(
+        opcode=InsnClass.LD | Size.DW | Mode.IMM, dst=dst, src=PseudoSrc.FUNC
+    )
+    return ld_imm64_pair(head, subprog)
+
+
+# --- jumps ---------------------------------------------------------------------
+
+
+def jmp_imm(op: JmpOp, dst: int, imm: int, off: int) -> Insn:
+    """64-bit conditional jump against an immediate."""
+    return Insn(opcode=InsnClass.JMP | op | Src.K, dst=dst, imm=imm, off=off)
+
+
+def jmp_reg(op: JmpOp, dst: int, src: int, off: int) -> Insn:
+    """64-bit conditional jump against a register."""
+    return Insn(opcode=InsnClass.JMP | op | Src.X, dst=dst, src=src, off=off)
+
+
+def jmp32_imm(op: JmpOp, dst: int, imm: int, off: int) -> Insn:
+    """32-bit conditional jump against an immediate."""
+    return Insn(opcode=InsnClass.JMP32 | op | Src.K, dst=dst, imm=imm, off=off)
+
+
+def jmp32_reg(op: JmpOp, dst: int, src: int, off: int) -> Insn:
+    """32-bit conditional jump against a register."""
+    return Insn(opcode=InsnClass.JMP32 | op | Src.X, dst=dst, src=src, off=off)
+
+
+def ja(off: int) -> Insn:
+    """Unconditional jump by ``off`` slots."""
+    return Insn(opcode=InsnClass.JMP | JmpOp.JA, off=off)
+
+
+def call_helper(helper_id: int) -> Insn:
+    """Call an eBPF helper function by id."""
+    return Insn(
+        opcode=InsnClass.JMP | JmpOp.CALL, src=PseudoCall.HELPER, imm=helper_id
+    )
+
+
+def call_kfunc(btf_id: int) -> Insn:
+    """Call a kernel function by BTF id (``BPF_PSEUDO_KFUNC_CALL``)."""
+    return Insn(opcode=InsnClass.JMP | JmpOp.CALL, src=PseudoCall.KFUNC, imm=btf_id)
+
+
+def call_subprog(off: int) -> Insn:
+    """bpf-to-bpf call; ``off`` is relative to the next instruction."""
+    return Insn(opcode=InsnClass.JMP | JmpOp.CALL, src=PseudoCall.CALL, imm=off)
+
+
+def exit_insn() -> Insn:
+    """Program (or subprogram) exit; returns R0."""
+    return Insn(opcode=InsnClass.JMP | JmpOp.EXIT)

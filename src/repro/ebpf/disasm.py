@@ -1,0 +1,203 @@
+"""eBPF disassembler / pretty printer.
+
+Formats instructions in the C-like syntax used by ``bpftool`` and the
+verifier log (``r0 = *(u64 *)(r10 -8)``), which is also the syntax the
+paper's listings use.  The output is consumed by the verifier log, bug
+reports, and the triage tooling, so keeping it close to the kernel's
+format makes reproduced reports directly comparable with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ebpf.insn import Insn
+from repro.ebpf.opcodes import (
+    AluOp,
+    AtomicOp,
+    InsnClass,
+    JmpOp,
+    Mode,
+    PseudoCall,
+    PseudoSrc,
+    Size,
+    Src,
+    SIZE_BYTES,
+)
+
+__all__ = ["format_insn", "format_program", "size_cast"]
+
+_ALU_SYMBOL = {
+    AluOp.ADD: "+=",
+    AluOp.SUB: "-=",
+    AluOp.MUL: "*=",
+    AluOp.DIV: "/=",
+    AluOp.OR: "|=",
+    AluOp.AND: "&=",
+    AluOp.LSH: "<<=",
+    AluOp.RSH: ">>=",
+    AluOp.MOD: "%=",
+    AluOp.XOR: "^=",
+    AluOp.MOV: "=",
+    AluOp.ARSH: "s>>=",
+}
+
+_JMP_SYMBOL = {
+    JmpOp.JEQ: "==",
+    JmpOp.JGT: ">",
+    JmpOp.JGE: ">=",
+    JmpOp.JSET: "&",
+    JmpOp.JNE: "!=",
+    JmpOp.JSGT: "s>",
+    JmpOp.JSGE: "s>=",
+    JmpOp.JLT: "<",
+    JmpOp.JLE: "<=",
+    JmpOp.JSLT: "s<",
+    JmpOp.JSLE: "s<=",
+}
+
+_SIZE_NAME = {Size.B: "u8", Size.H: "u16", Size.W: "u32", Size.DW: "u64"}
+_SIZE_NAME_SX = {Size.B: "s8", Size.H: "s16", Size.W: "s32"}
+
+_ATOMIC_NAME = {
+    AtomicOp.ADD: "add",
+    AtomicOp.OR: "or",
+    AtomicOp.AND: "and",
+    AtomicOp.XOR: "xor",
+    AtomicOp.ADD | AtomicOp.FETCH: "fetch_add",
+    AtomicOp.OR | AtomicOp.FETCH: "fetch_or",
+    AtomicOp.AND | AtomicOp.FETCH: "fetch_and",
+    AtomicOp.XOR | AtomicOp.FETCH: "fetch_xor",
+    AtomicOp.XCHG: "xchg",
+    AtomicOp.CMPXCHG: "cmpxchg",
+}
+
+_PSEUDO_LD = {
+    PseudoSrc.RAW: "0x{value:x}",
+    PseudoSrc.MAP_FD: "map_fd[{value}]",
+    PseudoSrc.MAP_VALUE: "map_value[{fd}]+{off}",
+    PseudoSrc.BTF_ID: "btf_id[{value}]",
+    PseudoSrc.FUNC: "subprog[{value}]",
+    PseudoSrc.MAP_IDX: "map_idx[{value}]",
+    PseudoSrc.MAP_IDX_VALUE: "map_idx_value[{value}]",
+}
+
+
+def size_cast(insn: Insn) -> str:
+    """The C cast string for a memory access, e.g. ``u64`` or ``s16``."""
+    if insn.mode == Mode.MEMSX:
+        return _SIZE_NAME_SX.get(insn.size, "s?")
+    return _SIZE_NAME[insn.size]
+
+
+def _reg(index: int) -> str:
+    return "ax" if index == 11 else f"r{index}"
+
+
+def _off_str(off: int) -> str:
+    return f"{off:+d}" if off else "+0"
+
+
+def _format_alu(insn: Insn) -> str:
+    wide = insn.insn_class == InsnClass.ALU64
+    dst = _reg(insn.dst) if wide else f"w{insn.dst}"
+    if insn.alu_op == AluOp.NEG:
+        return f"{dst} = -{dst}"
+    if insn.alu_op == AluOp.END:
+        direction = "be" if insn.src_bit == Src.X else "le"
+        return f"{dst} = {direction}{insn.imm} {dst}"
+    sym = _ALU_SYMBOL[insn.alu_op]
+    if insn.src_bit == Src.X:
+        src = _reg(insn.src) if wide else f"w{insn.src}"
+        return f"{dst} {sym} {src}"
+    return f"{dst} {sym} {insn.imm}"
+
+
+def _format_jmp(insn: Insn) -> str:
+    if insn.jmp_op == JmpOp.JA:
+        return f"goto {_off_str(insn.off)}"
+    if insn.jmp_op == JmpOp.EXIT:
+        return "exit"
+    if insn.jmp_op == JmpOp.CALL:
+        kind = PseudoCall(insn.src)
+        if kind == PseudoCall.HELPER:
+            return f"call helper#{insn.imm}"
+        if kind == PseudoCall.KFUNC:
+            return f"call kfunc#{insn.imm}"
+        return f"call pc{insn.imm:+d}"
+    wide = insn.insn_class == InsnClass.JMP
+    dst = _reg(insn.dst) if wide else f"w{insn.dst}"
+    sym = _JMP_SYMBOL[insn.jmp_op]
+    if insn.src_bit == Src.X:
+        rhs = _reg(insn.src) if wide else f"w{insn.src}"
+    else:
+        rhs = str(insn.imm)
+    return f"if {dst} {sym} {rhs} goto {_off_str(insn.off)}"
+
+
+def _format_mem(insn: Insn) -> str:
+    cast = size_cast(insn)
+    if insn.insn_class == InsnClass.LDX:
+        return (
+            f"{_reg(insn.dst)} = *({cast} *)({_reg(insn.src)} "
+            f"{_off_str(insn.off)})"
+        )
+    if insn.insn_class == InsnClass.ST:
+        return f"*({cast} *)({_reg(insn.dst)} {_off_str(insn.off)}) = {insn.imm}"
+    if insn.mode == Mode.ATOMIC:
+        name = _ATOMIC_NAME.get(insn.imm, f"atomic#{insn.imm:#x}")
+        return (
+            f"lock {name} *({cast} *)({_reg(insn.dst)} "
+            f"{_off_str(insn.off)}), {_reg(insn.src)}"
+        )
+    return (
+        f"*({cast} *)({_reg(insn.dst)} {_off_str(insn.off)}) = "
+        f"{_reg(insn.src)}"
+    )
+
+
+def _format_ld(insn: Insn) -> str:
+    if insn.is_ld_imm64():
+        kind = insn.pseudo_src()
+        template = _PSEUDO_LD.get(kind, "0x{value:x}")
+        text = template.format(
+            value=insn.imm64,
+            fd=insn.imm64 & 0xFFFFFFFF,
+            off=insn.imm64 >> 32,
+        )
+        return f"{_reg(insn.dst)} = {text} ll"
+    # Legacy packet access (ABS/IND); kept for completeness.
+    cast = _SIZE_NAME[insn.size]
+    if insn.mode == Mode.ABS:
+        return f"r0 = *({cast} *)skb[{insn.imm}]"
+    if insn.mode == Mode.IND:
+        return f"r0 = *({cast} *)skb[{_reg(insn.src)} + {insn.imm}]"
+    return f"ld?{insn.opcode:#04x}"
+
+
+def format_insn(insn: Insn) -> str:
+    """Disassemble one slot-form instruction into kernel-log syntax."""
+    if insn.is_filler():
+        return f"(ld_imm64 high half: {insn.imm:#x})"
+    cls = insn.insn_class
+    if cls in (InsnClass.ALU, InsnClass.ALU64):
+        return _format_alu(insn)
+    if cls in (InsnClass.JMP, InsnClass.JMP32):
+        return _format_jmp(insn)
+    if cls == InsnClass.LD:
+        return _format_ld(insn)
+    return _format_mem(insn)
+
+
+def format_program(insns: Sequence[Insn]) -> str:
+    """Disassemble a whole program, one numbered line per slot."""
+    lines = []
+    skip = False
+    for idx, insn in enumerate(insns):
+        if skip:
+            skip = False
+            continue
+        lines.append(f"{idx:4d}: {format_insn(insn)}")
+        if insn.is_ld_imm64():
+            skip = True
+    return "\n".join(lines)

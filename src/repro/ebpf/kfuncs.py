@@ -1,0 +1,69 @@
+"""kfuncs — kernel functions exported to eBPF via BTF ids.
+
+kfuncs are the newer, BTF-typed cousins of helpers; the verifier
+resolves the call by BTF id and checks arguments against the kernel
+function's BTF prototype.  Bug #3 (incorrect check on kfunc call
+operations) lives in the *verifier's* handling of these calls, not in
+the kfuncs themselves: the flawed verifier fails to invalidate stale
+scalar knowledge of R0 across the call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.ebpf.helpers import ArgType, HelperContext
+
+__all__ = ["KfuncProto", "KFUNCS", "KFUNC_RAND", "KFUNC_TASK_PID", "KFUNC_GET_TASK"]
+
+KFUNC_RAND = 9001
+KFUNC_TASK_PID = 9002
+KFUNC_GET_TASK = 9003
+
+
+@dataclass(frozen=True)
+class KfuncProto:
+    """A kfunc's BTF-derived prototype and its implementation."""
+
+    btf_id: int
+    name: str
+    args: tuple[ArgType, ...]
+    #: 'scalar' or 'btf:<type>' for typed pointer returns
+    ret: str
+    impl: Callable[..., int]
+
+
+def _impl_rand(ctx: HelperContext) -> int:
+    ctx.kernel.prandom_state = (
+        ctx.kernel.prandom_state * 2862933555777941757 + 3037000493
+    ) & ((1 << 64) - 1)
+    return ctx.kernel.prandom_state
+
+
+def _impl_task_pid(ctx: HelperContext, task_ptr: int) -> int:
+    if task_ptr == 0:
+        return -1
+    return ctx.mem.checked_read(task_ptr + 32, 4, who="kfunc_task_pid")
+
+
+def _impl_get_task(ctx: HelperContext) -> int:
+    task = ctx.kernel.btf.object(ctx.kernel.btf.current_task_id)
+    return task.address
+
+
+KFUNCS: dict[int, KfuncProto] = {
+    KFUNC_RAND: KfuncProto(
+        KFUNC_RAND, "bpf_repro_rand", (), "scalar", _impl_rand
+    ),
+    KFUNC_TASK_PID: KfuncProto(
+        KFUNC_TASK_PID,
+        "bpf_repro_task_pid",
+        (ArgType.PTR_TO_BTF_ID,),
+        "scalar",
+        _impl_task_pid,
+    ),
+    KFUNC_GET_TASK: KfuncProto(
+        KFUNC_GET_TASK, "bpf_repro_get_task", (), "btf:task_struct", _impl_get_task
+    ),
+}

@@ -1,0 +1,246 @@
+"""eBPF opcode encoding tables.
+
+The eBPF instruction set encodes each instruction's operation in a
+single opcode byte whose low three bits select the *instruction class*.
+For ALU/ALU64/JMP/JMP32 classes the remaining bits hold a 4-bit
+operation code and a 1-bit source selector (register vs. immediate).
+For LD/LDX/ST/STX classes they hold a 2-bit access size and a 3-bit
+addressing mode.  This module mirrors the layout used by the Linux
+kernel (``include/uapi/linux/bpf.h``) so that encoded programs are
+byte-compatible with real eBPF bytecode.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "InsnClass",
+    "AluOp",
+    "JmpOp",
+    "Size",
+    "Mode",
+    "Src",
+    "Reg",
+    "AtomicOp",
+    "PseudoSrc",
+    "PseudoCall",
+    "SIZE_BYTES",
+    "BYTES_TO_SIZE",
+    "opcode",
+    "insn_class",
+    "is_alu_class",
+    "is_jmp_class",
+    "is_ldst_class",
+    "MAX_INSNS",
+    "STACK_SIZE",
+]
+
+#: Maximum number of instructions in one (privileged) eBPF program.
+MAX_INSNS = 1_000_000
+
+#: Size of the per-program stack in bytes (fixed by the kernel ABI).
+STACK_SIZE = 512
+
+
+class InsnClass(enum.IntEnum):
+    """Low three bits of the opcode: the instruction class."""
+
+    LD = 0x00  # non-standard loads (64-bit immediate, legacy packet)
+    LDX = 0x01  # load from memory into register
+    ST = 0x02  # store immediate to memory
+    STX = 0x03  # store register to memory
+    ALU = 0x04  # 32-bit arithmetic
+    JMP = 0x05  # 64-bit compare-and-jump, call, exit
+    JMP32 = 0x06  # 32-bit compare-and-jump
+    ALU64 = 0x07  # 64-bit arithmetic
+
+
+class AluOp(enum.IntEnum):
+    """High four bits of the opcode for ALU/ALU64 classes."""
+
+    ADD = 0x00
+    SUB = 0x10
+    MUL = 0x20
+    DIV = 0x30
+    OR = 0x40
+    AND = 0x50
+    LSH = 0x60
+    RSH = 0x70
+    NEG = 0x80
+    MOD = 0x90
+    XOR = 0xA0
+    MOV = 0xB0
+    ARSH = 0xC0
+    END = 0xD0  # byte-swap (endianness conversion)
+    UNDEF_E0 = 0xE0  # reserved encoding (rejected by the verifier)
+    UNDEF_F0 = 0xF0  # reserved encoding (rejected by the verifier)
+
+
+class JmpOp(enum.IntEnum):
+    """High four bits of the opcode for JMP/JMP32 classes."""
+
+    JA = 0x00  # unconditional jump (JMP class only)
+    JEQ = 0x10
+    JGT = 0x20  # unsigned >
+    JGE = 0x30  # unsigned >=
+    JSET = 0x40  # bitwise and-test
+    JNE = 0x50
+    JSGT = 0x60  # signed >
+    JSGE = 0x70  # signed >=
+    CALL = 0x80  # helper / kfunc / bpf-to-bpf call (JMP class only)
+    EXIT = 0x90  # program exit (JMP class only)
+    JLT = 0xA0  # unsigned <
+    JLE = 0xB0  # unsigned <=
+    JSLT = 0xC0  # signed <
+    JSLE = 0xD0  # signed <=
+    UNDEF_E0 = 0xE0  # reserved encoding (rejected by the verifier)
+    UNDEF_F0 = 0xF0  # reserved encoding (rejected by the verifier)
+
+
+#: Conditional jump operations (operate on a register pair or reg/imm).
+CONDITIONAL_JMP_OPS = (
+    JmpOp.JEQ,
+    JmpOp.JGT,
+    JmpOp.JGE,
+    JmpOp.JSET,
+    JmpOp.JNE,
+    JmpOp.JSGT,
+    JmpOp.JSGE,
+    JmpOp.JLT,
+    JmpOp.JLE,
+    JmpOp.JSLT,
+    JmpOp.JSLE,
+)
+
+
+class Size(enum.IntEnum):
+    """Bits 3-4 of the opcode for load/store classes: access size."""
+
+    W = 0x00  # 4 bytes
+    H = 0x08  # 2 bytes
+    B = 0x10  # 1 byte
+    DW = 0x18  # 8 bytes
+
+
+#: Access size in bytes for each :class:`Size` value.
+SIZE_BYTES = {Size.B: 1, Size.H: 2, Size.W: 4, Size.DW: 8}
+
+#: Inverse of :data:`SIZE_BYTES`.
+BYTES_TO_SIZE = {1: Size.B, 2: Size.H, 4: Size.W, 8: Size.DW}
+
+
+class Mode(enum.IntEnum):
+    """Bits 5-7 of the opcode for load/store classes: addressing mode."""
+
+    IMM = 0x00  # used by LD_IMM64 (16-byte wide instruction)
+    ABS = 0x20  # legacy packet access, absolute
+    IND = 0x40  # legacy packet access, indirect
+    MEM = 0x60  # regular memory access via register + offset
+    MEMSX = 0x80  # sign-extending memory load
+    UNDEF_A0 = 0xA0  # reserved encoding (rejected by the verifier)
+    ATOMIC = 0xC0  # atomic read-modify-write (STX class)
+    UNDEF_E0 = 0xE0  # reserved encoding (rejected by the verifier)
+
+
+class Src(enum.IntEnum):
+    """Bit 3 of the opcode for ALU/JMP classes: operand source."""
+
+    K = 0x00  # use the 32-bit immediate as the second operand
+    X = 0x08  # use the source register as the second operand
+
+
+class Reg(enum.IntEnum):
+    """eBPF register numbers.
+
+    R0 holds return values, R1-R5 pass arguments (clobbered by calls),
+    R6-R9 are callee-saved, and R10 is the read-only frame pointer.
+    R11 (``AX``) is an auxiliary register used internally by verifier
+    rewrites — it is invalid in user-supplied programs but legal in the
+    instruction stream produced by the fixup phase, which is exactly
+    where BVF's sanitizer inserts its dispatch sequences (Figure 5).
+    """
+
+    R0 = 0
+    R1 = 1
+    R2 = 2
+    R3 = 3
+    R4 = 4
+    R5 = 5
+    R6 = 6
+    R7 = 7
+    R8 = 8
+    R9 = 9
+    R10 = 10  # frame pointer, read-only
+    AX = 11  # internal auxiliary register (invisible to programs)
+
+
+#: Registers a user-supplied program may reference.
+USER_VISIBLE_REGS = tuple(range(11))
+
+#: Registers used for passing helper-call arguments.
+ARG_REGS = (Reg.R1, Reg.R2, Reg.R3, Reg.R4, Reg.R5)
+
+#: Callee-saved registers preserved across calls.
+CALLEE_SAVED_REGS = (Reg.R6, Reg.R7, Reg.R8, Reg.R9)
+
+
+class AtomicOp(enum.IntEnum):
+    """Immediate-field encodings for ``Mode.ATOMIC`` instructions."""
+
+    ADD = 0x00
+    OR = 0x40
+    AND = 0x50
+    XOR = 0xA0
+    FETCH = 0x01  # flag: also load the old value
+    XCHG = 0xE0 | 0x01
+    CMPXCHG = 0xF0 | 0x01
+
+
+class PseudoSrc(enum.IntEnum):
+    """``src_reg`` values of LD_IMM64 selecting what the immediate means."""
+
+    RAW = 0  # plain 64-bit constant
+    MAP_FD = 1  # immediate is a map file descriptor
+    MAP_VALUE = 2  # imm = map fd, next imm = offset into the value
+    BTF_ID = 3  # immediate is a BTF type id (kernel object address)
+    FUNC = 4  # address of a bpf-to-bpf function
+    MAP_IDX = 5  # map by index in the fd array
+    MAP_IDX_VALUE = 6
+
+
+class PseudoCall(enum.IntEnum):
+    """``src_reg`` values of CALL selecting the call kind."""
+
+    HELPER = 0  # imm = helper function id
+    CALL = 1  # bpf-to-bpf call, imm = relative insn offset
+    KFUNC = 2  # imm = BTF id of a kernel function
+
+
+def opcode(cls: int, op_or_size: int = 0, src_or_mode: int = 0) -> int:
+    """Compose an opcode byte from its class and modifier fields.
+
+    For ALU/JMP classes, pass the operation and the :class:`Src` bit;
+    for load/store classes, pass the :class:`Size` and :class:`Mode`.
+    """
+    return (cls & 0x07) | (op_or_size & 0xF8) | (src_or_mode & 0xF8)
+
+
+def insn_class(op: int) -> InsnClass:
+    """Extract the instruction class from an opcode byte."""
+    return InsnClass(op & 0x07)
+
+
+def is_alu_class(cls: int) -> bool:
+    """True for 32- and 64-bit arithmetic classes."""
+    return cls in (InsnClass.ALU, InsnClass.ALU64)
+
+
+def is_jmp_class(cls: int) -> bool:
+    """True for 64- and 32-bit jump classes."""
+    return cls in (InsnClass.JMP, InsnClass.JMP32)
+
+
+def is_ldst_class(cls: int) -> bool:
+    """True for the four memory access classes."""
+    return cls in (InsnClass.LD, InsnClass.LDX, InsnClass.ST, InsnClass.STX)

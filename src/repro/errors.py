@@ -1,0 +1,170 @@
+"""Exception hierarchy shared by every subsystem in the reproduction.
+
+The real eBPF stack signals failures through errno values returned from
+the ``bpf()`` system call and through kernel self-check reports (KASAN,
+lockdep, panics).  We model both: :class:`BpfError` carries an errno so
+the fuzzer can reproduce the paper's errno statistics (Section 6.3), and
+:class:`KernelReport` subclasses model the runtime detectors that back
+indicator #1 and indicator #2.
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+
+__all__ = [
+    "ReproError",
+    "BpfError",
+    "VerifierReject",
+    "EncodingError",
+    "MapError",
+    "HelperError",
+    "KernelReport",
+    "KasanReport",
+    "LockdepReport",
+    "KernelPanic",
+    "RecursionReport",
+    "NullDerefReport",
+    "WarnReport",
+    "SanitizerReport",
+    "AluLimitViolation",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the reproduction library."""
+
+
+class BpfError(ReproError):
+    """An error surfaced through the simulated ``bpf()`` system call.
+
+    Carries an errno value mirroring the kernel's behaviour, which the
+    acceptance-rate experiment inspects (the paper reports EACCES and
+    EINVAL as the dominant rejection reasons for Syzkaller).
+    """
+
+    def __init__(self, errno: int, message: str = "") -> None:
+        super().__init__(message or _errno.errorcode.get(errno, str(errno)))
+        self.errno = errno
+        self.message = message
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = _errno.errorcode.get(self.errno, str(self.errno))
+        return f"BpfError({name}, {self.message!r})"
+
+
+class VerifierReject(BpfError):
+    """The verifier refused to load a program.
+
+    ``log`` carries the verifier log accumulated up to the rejection
+    point, mirroring the kernel's verifier log buffer.
+    """
+
+    def __init__(self, errno: int, message: str, log: str = "") -> None:
+        super().__init__(errno, message)
+        self.log = log
+
+
+class EncodingError(ReproError):
+    """An instruction could not be encoded or decoded."""
+
+
+class MapError(BpfError):
+    """A map operation failed (bad key, bad flags, full map...)."""
+
+
+class HelperError(BpfError):
+    """A helper invocation failed in a way the runtime must surface."""
+
+
+class KernelReport(ReproError):
+    """Base class for simulated kernel self-check reports.
+
+    These are the signals the paper's oracle consumes: a report raised
+    while executing a *verified* program is, by construction, evidence
+    of a verifier correctness bug (indicator #1 or #2) or of a bug in a
+    related eBPF component (Table 2, bugs #7-#11).
+    """
+
+    kind = "kernel-report"
+
+    def __init__(self, message: str, *, context: dict | None = None) -> None:
+        super().__init__(message)
+        self.context = dict(context or {})
+
+
+class KasanReport(KernelReport):
+    """KASAN-style invalid memory access (out-of-bounds / use-after-free)."""
+
+    kind = "kasan"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        address: int = 0,
+        size: int = 0,
+        is_write: bool = False,
+        context: dict | None = None,
+    ) -> None:
+        super().__init__(message, context=context)
+        self.address = address
+        self.size = size
+        self.is_write = is_write
+
+
+class LockdepReport(KernelReport):
+    """Runtime locking correctness validator report (deadlock, bad state)."""
+
+    kind = "lockdep"
+
+
+class KernelPanic(KernelReport):
+    """A direct kernel panic (e.g. Bug #6, signal sending in bad context)."""
+
+    kind = "panic"
+
+
+class RecursionReport(KernelReport):
+    """Unexpected program recursion (tracepoint re-entry, Bug #4/#5)."""
+
+    kind = "recursion"
+
+
+class NullDerefReport(KernelReport):
+    """Null pointer dereference inside a kernel routine (Bug #7)."""
+
+    kind = "null-deref"
+
+
+class WarnReport(KernelReport):
+    """A WARN_ON-style kernel warning (non-fatal but bug-indicating).
+
+    Models cases like Bug #11 where the kernel detects an impossible
+    condition (running a device-offloaded program on the host) and
+    warns rather than oopses.
+    """
+
+    kind = "warn"
+
+
+class SanitizerReport(KasanReport):
+    """Invalid access caught by BVF's dispatched load/store sanitation.
+
+    This is the concrete mechanism behind indicator #1: the load/store
+    was dispatched to a ``bpf_asan_*`` function, which consulted shadow
+    memory and found the access illegal.
+    """
+
+    kind = "bpf-asan"
+
+
+class AluLimitViolation(SanitizerReport):
+    """Runtime ``alu_limit`` assertion failure (Section 4.2).
+
+    Raised when a sanitized pointer/scalar ALU operation observes an
+    offset outside the limit computed by the verifier — the runtime
+    equivalent of ``assert(offset < alu_limit)``.
+    """
+
+    kind = "alu-limit"

@@ -1,0 +1,17 @@
+"""Baseline generators the paper compares against.
+
+- :mod:`repro.fuzz.baselines.syzkaller_gen` — Syzkaller-style
+  generation: structurally valid system-call payloads (well-formed
+  instruction encodings, description-derived templates) but no
+  register-state tracking, so most non-trivial programs are rejected
+  with EACCES/EINVAL (the paper measures 23.5% acceptance).
+- :mod:`repro.fuzz.baselines.buzzer_gen` — Buzzer's two modes: highly
+  random byte-level generation (~1% acceptance) and an ALU/JMP-heavy
+  mode (~97% acceptance, 88%+ ALU/JMP instructions) that rarely
+  reaches the verifier's sophisticated checking logic.
+"""
+
+from repro.fuzz.baselines.buzzer_gen import BuzzerGenerator
+from repro.fuzz.baselines.syzkaller_gen import SyzkallerGenerator
+
+__all__ = ["SyzkallerGenerator", "BuzzerGenerator"]

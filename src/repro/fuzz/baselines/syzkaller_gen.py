@@ -1,0 +1,186 @@
+"""Syzkaller-style program generation.
+
+Syzkaller generates ``bpf()`` calls from its system-call descriptions:
+the *encoding* of each instruction is valid (known opcodes, in-range
+register fields — the descriptions guarantee that much) and its seed
+corpus contains small working patterns, but there is no semantic
+register tracking, so generated programs routinely use uninitialised
+registers, dereference scalars, and miss null checks — which is why
+the paper measures a 23.5% acceptance rate dominated by EACCES/EINVAL
+rejections.
+
+We model that as a mixture: description-derived templates (which
+mostly pass) plus random well-formed instruction sequences (which
+mostly fail), with light mutation in between.
+"""
+
+from __future__ import annotations
+
+from repro.ebpf import asm
+from repro.ebpf.helpers import HelperId
+from repro.ebpf.insn import Insn
+from repro.ebpf.maps import MapType
+from repro.ebpf.opcodes import (
+    AluOp,
+    InsnClass,
+    JmpOp,
+    Mode,
+    Reg,
+    Size,
+    Src,
+)
+from repro.ebpf.program import ProgType
+from repro.fuzz.rng import FuzzRng
+from repro.fuzz.structure import ExecutionPlan, GeneratedProgram
+
+__all__ = ["SyzkallerGenerator"]
+
+_PROG_TYPES = (
+    ProgType.SOCKET_FILTER,
+    ProgType.KPROBE,
+    ProgType.XDP,
+    ProgType.TRACEPOINT,
+    ProgType.SCHED_CLS,
+    ProgType.PERF_EVENT,
+)
+
+_ALU_OPS = (
+    AluOp.ADD, AluOp.SUB, AluOp.MUL, AluOp.DIV, AluOp.OR, AluOp.AND,
+    AluOp.LSH, AluOp.RSH, AluOp.MOD, AluOp.XOR, AluOp.MOV, AluOp.ARSH,
+)
+_JMP_OPS = (
+    JmpOp.JA, JmpOp.JEQ, JmpOp.JGT, JmpOp.JGE, JmpOp.JSET, JmpOp.JNE,
+    JmpOp.JSGT, JmpOp.JSGE, JmpOp.JLT, JmpOp.JLE, JmpOp.JSLT, JmpOp.JSLE,
+)
+_SIZES = (Size.B, Size.H, Size.W, Size.DW)
+
+
+class SyzkallerGenerator:
+    """Typed-but-unstructured generation (the Syzkaller stand-in)."""
+
+    name = "syzkaller"
+
+    def __init__(self, kernel, rng: FuzzRng, config=None) -> None:
+        self.kernel = kernel
+        self.rng = rng
+
+    # --- templates (from the descriptions / seed corpus) ---------------------
+
+    def _template_trivial(self) -> list[Insn]:
+        return [asm.mov64_imm(Reg.R0, self.rng.randint(0, 2)), asm.exit_insn()]
+
+    def _template_map_lookup(self, fd: int) -> list[Insn]:
+        return [
+            *asm.ld_map_fd(Reg.R1, fd),
+            asm.mov64_reg(Reg.R2, Reg.R10),
+            asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+            asm.st_mem(Size.DW, Reg.R2, 0, self.rng.randint(0, 255)),
+            asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+            asm.jmp_imm(JmpOp.JEQ, Reg.R0, 0, 1),
+            asm.ldx_mem(Size.DW, Reg.R0, Reg.R0, 0),
+            asm.mov64_imm(Reg.R0, 0),
+            asm.exit_insn(),
+        ]
+
+    def _template_stack(self) -> list[Insn]:
+        off = -8 * self.rng.randint(1, 8)
+        return [
+            asm.st_mem(Size.DW, Reg.R10, off, self.rng.fuzz_imm32()),
+            asm.ldx_mem(Size.DW, Reg.R0, Reg.R10, off),
+            asm.exit_insn(),
+        ]
+
+    def _template_helper(self) -> list[Insn]:
+        hid = self.rng.pick(
+            (HelperId.KTIME_GET_NS, HelperId.GET_PRANDOM_U32,
+             HelperId.GET_SMP_PROCESSOR_ID, HelperId.GET_CURRENT_PID_TGID)
+        )
+        return [
+            asm.call_helper(hid),
+            asm.exit_insn(),
+        ]
+
+    # --- random well-formed instructions -----------------------------------------
+
+    def _random_insn(self) -> list[Insn]:
+        rng = self.rng
+        kind = rng.pick(("alu", "alu", "mem", "mem", "jmp", "ld64", "call"))
+        dst = rng.randrange(11)
+        src = rng.randrange(11)
+        if kind == "alu":
+            op = rng.pick(_ALU_OPS)
+            cls = rng.pick((InsnClass.ALU, InsnClass.ALU64))
+            if rng.chance(0.5):
+                return [Insn(opcode=cls | op | Src.K, dst=dst, imm=rng.fuzz_imm32())]
+            return [Insn(opcode=cls | op | Src.X, dst=dst, src=src)]
+        if kind == "mem":
+            size = rng.pick(_SIZES)
+            off = rng.pick((-16, -8, -4, 0, 4, 8, 16, rng.randint(-64, 64)))
+            which = rng.pick((InsnClass.LDX, InsnClass.ST, InsnClass.STX))
+            if which == InsnClass.LDX:
+                return [asm.ldx_mem(size, dst % 11, src % 11, off)]
+            if which == InsnClass.ST:
+                return [asm.st_mem(size, dst % 11, off, rng.fuzz_imm32())]
+            return [asm.stx_mem(size, dst % 11, src % 11, off)]
+        if kind == "jmp":
+            op = rng.pick(_JMP_OPS)
+            off = rng.randint(0, 4)
+            if op == JmpOp.JA:
+                return [asm.ja(off)]
+            if rng.chance(0.5):
+                return [asm.jmp_imm(op, dst % 11, rng.fuzz_imm32(), off)]
+            return [asm.jmp_reg(op, dst % 11, src % 11, off)]
+        if kind == "ld64":
+            if rng.chance(0.5) and self.kernel.map_by_fd(3) is not None:
+                return list(asm.ld_map_fd(dst % 11, 3))
+            return list(asm.ld_imm64(dst % 11, rng.fuzz_u64()))
+        helper = rng.pick(self.kernel.helpers.ids() + [rng.randint(0, 200)])
+        return [asm.call_helper(helper)]
+
+    # ------------------------------------------------------------------- api --
+
+    def generate(self) -> GeneratedProgram:
+        rng = self.rng
+        prog_type = rng.pick(_PROG_TYPES)
+        maps = []
+        try:
+            fd = self.kernel.map_create(
+                MapType.HASH, 8, rng.pick((8, 16, 32)), 16
+            )
+            maps.append(self.kernel.map_by_fd(fd))
+        except Exception:
+            fd = -1
+
+        roll = rng.random()
+        if roll < 0.09:
+            insns = self._template_trivial()
+        elif roll < 0.18 and fd >= 0:
+            insns = self._template_map_lookup(fd)
+        elif roll < 0.25:
+            insns = self._template_stack()
+        elif roll < 0.31:
+            insns = self._template_helper()
+        else:
+            insns = []
+            for _ in range(rng.randint(2, 18)):
+                insns.extend(self._random_insn())
+            if rng.chance(0.85):
+                insns.append(asm.exit_insn())
+
+        # Light mutation of templates (syzkaller mutates its corpus).
+        if roll < 0.31 and rng.chance(0.35):
+            idx = rng.randrange(len(insns))
+            insn = insns[idx]
+            if not insn.is_filler():
+                insns[idx] = insn.with_(imm=rng.fuzz_imm32())
+
+        plan = ExecutionPlan(n_runs=1)
+        if rng.chance(0.3):
+            plan.map_ops = [("update", bytes(8)), ("iterate", b"")]
+        return GeneratedProgram(
+            insns=insns,
+            prog_type=prog_type,
+            maps=maps,
+            plan=plan,
+            origin=self.name,
+        )

@@ -1,0 +1,332 @@
+"""Fuzzing campaign driver.
+
+One campaign models one of the paper's testing deployments: a tool
+(BVF or a baseline), a kernel version, and a budget of generated
+programs (our proxy for wall-clock hours).  Each iteration boots a
+fresh simulated kernel — crash isolation, exactly like the VM-per-crash
+regime kernel fuzzers run under — generates or mutates a program,
+pushes it through the verifier (collecting kcov-style coverage),
+executes the survivors with the full plan (direct runs, tracepoint
+triggers, dispatcher routing, user-space map traffic, info queries),
+and hands every captured report to the oracle.
+
+Campaign results carry everything the evaluation section needs:
+acceptance rates with errno breakdowns (Section 6.3), coverage curves
+(Figure 6) and totals (Table 3), instruction-mix histograms (the
+Buzzer characterisation), and the deduplicated bug table (Table 2).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.errors import BpfError, KernelReport, MapError, VerifierReject
+from repro.ebpf.opcodes import InsnClass
+from repro.ebpf.program import BpfProgram
+from repro.kernel.config import PROFILES, KernelConfig
+from repro.kernel.syscall import Kernel
+from repro.fuzz.baselines.buzzer_gen import BuzzerGenerator
+from repro.fuzz.baselines.syzkaller_gen import SyzkallerGenerator
+from repro.fuzz.corpus import Corpus
+from repro.fuzz.coverage import VerifierCoverage
+from repro.fuzz.generator import GeneratorConfig, StructuredGenerator
+from repro.fuzz.mutator import mutate
+from repro.fuzz.oracle import BugFinding, Oracle
+from repro.fuzz.rng import FuzzRng
+from repro.fuzz.structure import GeneratedProgram
+from repro.runtime.executor import Executor
+
+__all__ = ["CampaignConfig", "CampaignResult", "Campaign", "make_generator"]
+
+
+@dataclass
+class CampaignConfig:
+    """Parameters of one campaign."""
+
+    tool: str = "bvf"  # bvf | syzkaller | buzzer | bvf-nostructure
+    kernel_version: str = "bpf-next"
+    #: number of generated programs (the time-budget proxy)
+    budget: int = 300
+    seed: int = 0
+    #: BVF's sanitation on verified programs (baselines run without)
+    sanitize: bool = True
+    collect_coverage: bool = True
+    #: sample the coverage curve every N programs
+    sample_every: int = 10
+    #: probability of mutating a corpus seed instead of generating
+    mutate_rate: float = 0.3
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign measured."""
+
+    config: CampaignConfig
+    generated: int = 0
+    accepted: int = 0
+    #: errno value -> count, over rejected programs
+    reject_errnos: Counter = field(default_factory=Counter)
+    #: bug id -> first finding
+    findings: dict[str, BugFinding] = field(default_factory=dict)
+    #: (programs generated, cumulative verifier edges)
+    coverage_curve: list[tuple[int, int]] = field(default_factory=list)
+    final_coverage: int = 0
+    #: instruction-class mix over all generated programs
+    insn_classes: Counter = field(default_factory=Counter)
+    corpus_size: int = 0
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.accepted / self.generated if self.generated else 0.0
+
+    @property
+    def verifier_bugs(self) -> list[BugFinding]:
+        return [f for f in self.findings.values() if f.is_verifier_bug]
+
+    @property
+    def component_bugs(self) -> list[BugFinding]:
+        return [f for f in self.findings.values() if f.indicator == "component"]
+
+    def alu_jmp_fraction(self) -> float:
+        """Fraction of generated instructions that are ALU or JMP."""
+        total = sum(self.insn_classes.values())
+        if not total:
+            return 0.0
+        alu_jmp = sum(
+            count
+            for cls, count in self.insn_classes.items()
+            if cls
+            in (InsnClass.ALU, InsnClass.ALU64, InsnClass.JMP, InsnClass.JMP32)
+        )
+        return alu_jmp / total
+
+
+def make_generator(tool: str, kernel: Kernel, rng: FuzzRng):
+    """Instantiate the generator for a tool name."""
+    if tool == "bvf":
+        return StructuredGenerator(kernel, rng)
+    if tool == "bvf-nostructure":
+        return StructuredGenerator(
+            kernel, rng, GeneratorConfig(use_structure=False)
+        )
+    if tool == "syzkaller":
+        return SyzkallerGenerator(kernel, rng)
+    if tool == "buzzer":
+        return BuzzerGenerator(kernel, rng)
+    raise ValueError(f"unknown tool {tool!r}")
+
+
+class Campaign:
+    """Runs one fuzzing campaign to completion."""
+
+    def __init__(self, config: CampaignConfig) -> None:
+        self.config = config
+        self.rng = FuzzRng(config.seed)
+        self.coverage = VerifierCoverage()
+        self.corpus = Corpus()
+        self.kernel_config: KernelConfig = PROFILES[config.kernel_version]()
+        self.oracle = Oracle(self.kernel_config)
+
+    # ------------------------------------------------------------------ run --
+
+    def run(self) -> CampaignResult:
+        result = CampaignResult(config=self.config)
+        for iteration in range(self.config.budget):
+            self._iteration(result, iteration)
+            if (
+                self.config.collect_coverage
+                and iteration % self.config.sample_every == 0
+            ):
+                result.coverage_curve.append(
+                    (result.generated, self.coverage.edge_count)
+                )
+        if self.config.collect_coverage:
+            result.coverage_curve.append(
+                (result.generated, self.coverage.edge_count)
+            )
+        result.final_coverage = self.coverage.edge_count
+        result.corpus_size = len(self.corpus)
+        return result
+
+    def _iteration(self, result: CampaignResult, iteration: int) -> None:
+        kernel = Kernel(self.kernel_config)
+        gp = self._next_program(kernel)
+        result.generated += 1
+        for insn in gp.insns:
+            if not insn.is_filler():
+                result.insn_classes[insn.insn_class] += 1
+
+        prog = BpfProgram(
+            insns=list(gp.insns),
+            prog_type=gp.prog_type,
+            name=f"{gp.origin}_{iteration}",
+            offload_dev=gp.offload_dev,
+        )
+
+        try:
+            verified = self._load(kernel, prog)
+        except VerifierReject as reject:
+            result.reject_errnos[reject.errno] += 1
+            return
+        except BpfError as error:
+            result.reject_errnos[error.errno] += 1
+            return
+
+        result.accepted += 1
+        if self.config.collect_coverage and self.coverage.last_new > 0:
+            self.corpus.add(gp, self.coverage.last_new)
+
+        self._execute_plan(kernel, verified, gp, result, iteration)
+
+    def _load(self, kernel: Kernel, prog: BpfProgram):
+        sanitize = self.config.sanitize and kernel.config.sanitizer_available
+        if self.config.collect_coverage:
+            with self.coverage.collect():
+                return kernel.prog_load(prog, sanitize=sanitize)
+        return kernel.prog_load(prog, sanitize=sanitize)
+
+    # ----------------------------------------------------------- generation --
+
+    def _next_program(self, kernel: Kernel) -> GeneratedProgram:
+        rng = self.rng
+        if (
+            len(self.corpus)
+            and self.config.tool in ("bvf", "bvf-nostructure")
+            and rng.chance(self.config.mutate_rate)
+        ):
+            entry = self.corpus.pick(rng)
+            maps = []
+            for spec in entry.map_specs:
+                try:
+                    fd = kernel.map_create(
+                        spec.map_type,
+                        spec.key_size,
+                        spec.value_size,
+                        spec.max_entries,
+                    )
+                    maps.append(kernel.map_by_fd(fd))
+                except BpfError:
+                    pass
+            insns = mutate(entry.insns, rng, rounds=rng.randint(1, 2))
+            return GeneratedProgram(
+                insns=insns,
+                prog_type=entry.prog_type,
+                maps=maps,
+                plan=entry.plan,
+                origin="bvf-mut",
+            )
+        generator = make_generator(self.config.tool, kernel, rng)
+        return generator.generate()
+
+    # ------------------------------------------------------------- execution --
+
+    def _record(self, result: CampaignResult, finding: BugFinding | None,
+                iteration: int) -> None:
+        if finding is None or finding.bug_id == "indicator1-duplicate":
+            return
+        if finding.bug_id not in result.findings:
+            finding.iteration = iteration
+            result.findings[finding.bug_id] = finding
+
+    def _execute_plan(
+        self,
+        kernel: Kernel,
+        verified,
+        gp: GeneratedProgram,
+        result: CampaignResult,
+        iteration: int,
+    ) -> None:
+        plan = gp.plan
+        executor = Executor(kernel)
+
+        # Attach phase.
+        attached = False
+        if plan.attach_tracepoint is not None:
+            try:
+                kernel.prog_attach_tracepoint(verified, plan.attach_tracepoint)
+                attached = True
+            except BpfError:
+                pass
+        if plan.use_dispatcher:
+            try:
+                kernel.prog_attach_xdp(verified)
+                # A second update models concurrent re-attachment — the
+                # window Bug #7's missing sync leaves open.
+                if self.rng.chance(0.5):
+                    kernel.prog_attach_xdp(verified)
+            except BpfError:
+                pass
+
+        # Direct test runs.
+        for _ in range(plan.n_runs):
+            run = executor.run(verified)
+            if run.report is not None:
+                self._record(
+                    result, self.oracle.classify_report(run.report, gp), iteration
+                )
+            if run.error is not None:
+                self._record(
+                    result,
+                    self.oracle.classify_syscall_error(run.error, gp),
+                    iteration,
+                )
+
+        # Tracepoint trigger (runs everything attached, with re-entry).
+        if attached:
+            run = executor.trigger_tracepoint(plan.attach_tracepoint)
+            if run.report is not None:
+                self._record(
+                    result, self.oracle.classify_report(run.report, gp), iteration
+                )
+
+        # Dispatcher-routed execution.
+        if plan.use_dispatcher:
+            run = executor.run_xdp_via_dispatcher()
+            if run.report is not None:
+                self._record(
+                    result, self.oracle.classify_report(run.report, gp), iteration
+                )
+
+        # User-space map traffic.
+        for op, key in plan.map_ops:
+            for bpf_map in gp.maps:
+                try:
+                    if op == "update" and bpf_map.key_size:
+                        kernel.map_update(
+                            bpf_map.fd,
+                            key[: bpf_map.key_size].ljust(bpf_map.key_size, b"\0"),
+                            bytes(bpf_map.value_size),
+                        )
+                    elif op == "lookup" and bpf_map.key_size:
+                        kernel.map_lookup(
+                            bpf_map.fd,
+                            key[: bpf_map.key_size].ljust(bpf_map.key_size, b"\0"),
+                        )
+                    elif op == "iterate" and bpf_map.key_size:
+                        cursor = None
+                        for _ in range(bpf_map.max_entries + 2):
+                            cursor = kernel.map_get_next_key(bpf_map.fd, cursor)
+                except MapError:
+                    pass
+                except BpfError:
+                    pass
+                except KernelReport as report:
+                    self._record(
+                        result, self.oracle.classify_report(report, gp), iteration
+                    )
+
+        # Info query (Bug #8's kmemdup path).  Large rewritten images
+        # always attract a query — tooling (bpftool, verifier-log
+        # consumers) inspects exactly those.
+        if plan.query_info or len(verified.xlated) > 256:
+            try:
+                kernel.prog_get_info(verified)
+            except BpfError as error:
+                self._record(
+                    result,
+                    self.oracle.classify_syscall_error(error, gp),
+                    iteration,
+                )
+
+        kernel.reset_attachments()

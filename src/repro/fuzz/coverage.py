@@ -1,0 +1,95 @@
+"""kcov-style coverage over the verifier's code.
+
+The paper instruments only the eBPF source with kcov and uses branch
+coverage both as the fuzzer's feedback signal and as the evaluation
+metric (Figure 6 / Table 3).  Our "kernel source" is the Python
+verifier, so we trace *it*: a :func:`sys.settrace` hook, enabled only
+while the verifier runs, records line-to-line edges within the modules
+under ``repro/verifier``.  Unique ``(code object, prev line, line)``
+edges are the branch-coverage analogue.
+
+The tracer is deliberately scoped: helper implementations, maps, and
+the interpreter are not traced, mirroring the paper's setup where only
+the eBPF subsystem is instrumented so all tools compete on the same
+measurement range.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from contextlib import contextmanager
+
+import repro.verifier as _verifier_pkg
+
+__all__ = ["VerifierCoverage"]
+
+_VERIFIER_DIR = os.path.dirname(os.path.abspath(_verifier_pkg.__file__))
+
+
+def _in_scope(filename: str) -> bool:
+    return filename.startswith(_VERIFIER_DIR)
+
+
+class VerifierCoverage:
+    """Accumulates edge coverage of the verifier across many runs."""
+
+    def __init__(self) -> None:
+        #: all unique edges ever observed
+        self.edges: set[int] = set()
+        #: edges observed during the current collection window
+        self._window: set[int] = set()
+        #: edges the most recent window newly contributed
+        self.last_new = 0
+        self._scope_cache: dict[str, bool] = {}
+
+    # --- the trace hooks ---------------------------------------------------
+
+    def _global_trace(self, frame, event, arg):
+        if event != "call":
+            return None
+        filename = frame.f_code.co_filename
+        in_scope = self._scope_cache.get(filename)
+        if in_scope is None:
+            in_scope = _in_scope(filename)
+            self._scope_cache[filename] = in_scope
+        if not in_scope:
+            return None
+        code_hash = hash(frame.f_code)
+        prev = [frame.f_lineno]
+        window = self._window
+
+        def local_trace(frame, event, arg):
+            if event == "line":
+                line = frame.f_lineno
+                window.add(hash((code_hash, prev[0], line)))
+                prev[0] = line
+            return local_trace
+
+        return local_trace
+
+    # --- collection API ----------------------------------------------------------
+
+    @contextmanager
+    def collect(self):
+        """Trace verifier execution inside the ``with`` block.
+
+        Yields the per-window edge set; new edges are merged into the
+        cumulative set on exit.
+        """
+        self._window = set()
+        old = sys.gettrace()
+        sys.settrace(self._global_trace)
+        try:
+            yield self._window
+        finally:
+            sys.settrace(old)
+            self.last_new = len(self._window - self.edges)
+            self.edges |= self._window
+
+    @property
+    def edge_count(self) -> int:
+        return len(self.edges)
+
+    def snapshot(self) -> int:
+        return len(self.edges)

@@ -1,0 +1,111 @@
+"""Mutation operators over generated programs.
+
+The paper leans on the fuzzer's mutation machinery for two things:
+exploring around coverage-contributing seeds, and *simulating unrolled
+loops by duplicating adjacent instructions* (Section 4.1).  All
+operators preserve the slot structure — duplications go through the
+jump-offset-fixing patcher so control flow stays consistent (whether
+the result still verifies is the verifier's problem, by design).
+"""
+
+from __future__ import annotations
+
+from repro.ebpf.insn import Insn
+from repro.ebpf.opcodes import AluOp, InsnClass
+from repro.fuzz.rng import FuzzRng
+from repro.verifier.patch import insert_before
+
+__all__ = ["mutate"]
+
+_FLIPPABLE_ALU = (
+    AluOp.ADD,
+    AluOp.SUB,
+    AluOp.MUL,
+    AluOp.OR,
+    AluOp.AND,
+    AluOp.XOR,
+)
+
+
+def _plain_indices(insns: list[Insn]) -> list[int]:
+    """Indices safe to duplicate/tweak: straight-line, single-slot."""
+    result = []
+    for idx, insn in enumerate(insns):
+        if insn.is_filler() or insn.is_ld_imm64():
+            continue
+        if insn.is_jmp():
+            continue
+        result.append(idx)
+    return result
+
+
+def _dup_adjacent(insns: list[Insn], rng: FuzzRng) -> list[Insn]:
+    """Duplicate one instruction in place (simulated loop unrolling)."""
+    candidates = _plain_indices(insns)
+    if not candidates:
+        return insns
+    idx = rng.pick(candidates)
+    patched, _ = insert_before(insns, {idx: [insns[idx]]})
+    return patched
+
+def _tweak_imm(insns: list[Insn], rng: FuzzRng) -> list[Insn]:
+    candidates = [
+        i
+        for i in _plain_indices(insns)
+        if insns[i].insn_class in (InsnClass.ALU, InsnClass.ALU64, InsnClass.ST)
+    ]
+    if not candidates:
+        return insns
+    idx = rng.pick(candidates)
+    insn = insns[idx]
+    if rng.chance(0.5):
+        new_imm = insn.imm + rng.pick((-8, -4, -1, 1, 4, 8))
+    else:
+        new_imm = rng.fuzz_imm32()
+    result = list(insns)
+    result[idx] = insn.with_(imm=new_imm)
+    return result
+
+
+def _tweak_off(insns: list[Insn], rng: FuzzRng) -> list[Insn]:
+    candidates = [
+        i
+        for i in _plain_indices(insns)
+        if insns[i].is_memory_load() or insns[i].is_memory_store()
+    ]
+    if not candidates:
+        return insns
+    idx = rng.pick(candidates)
+    insn = insns[idx]
+    delta = rng.pick((-16, -8, -4, -1, 1, 4, 8, 16))
+    result = list(insns)
+    result[idx] = insn.with_(off=insn.off + delta)
+    return result
+
+
+def _flip_alu_op(insns: list[Insn], rng: FuzzRng) -> list[Insn]:
+    candidates = [
+        i
+        for i in _plain_indices(insns)
+        if insns[i].insn_class in (InsnClass.ALU, InsnClass.ALU64)
+        and insns[i].alu_op in _FLIPPABLE_ALU
+    ]
+    if not candidates:
+        return insns
+    idx = rng.pick(candidates)
+    insn = insns[idx]
+    new_op = rng.pick([op for op in _FLIPPABLE_ALU if op != insn.alu_op])
+    result = list(insns)
+    result[idx] = insn.with_(opcode=(insn.opcode & 0x0F) | new_op)
+    return result
+
+
+_OPERATORS = (_dup_adjacent, _tweak_imm, _tweak_off, _flip_alu_op)
+
+
+def mutate(insns: list[Insn], rng: FuzzRng, rounds: int = 1) -> list[Insn]:
+    """Apply 1..rounds random mutation operators."""
+    result = list(insns)
+    for _ in range(max(1, rounds)):
+        result = rng.pick(_OPERATORS)(result, rng)
+    return result

@@ -1,0 +1,83 @@
+"""Deterministic randomness utilities for the fuzzer.
+
+A thin wrapper over :class:`random.Random` adding the biased choices
+fuzzers rely on: boundary-loving integers, weighted picks, and
+occasional "interesting" values (powers of two, type boundaries) that
+stress comparison and overflow logic in the verifier.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, TypeVar
+
+__all__ = ["FuzzRng", "INTERESTING_U64"]
+
+T = TypeVar("T")
+
+#: Classic boundary values for 64-bit fuzzing.
+INTERESTING_U64 = (
+    0,
+    1,
+    2,
+    7,
+    8,
+    0x7F,
+    0x80,
+    0xFF,
+    0x100,
+    0x7FFF,
+    0x8000,
+    0xFFFF,
+    0x7FFFFFFF,
+    0x80000000,
+    0xFFFFFFFF,
+    0x100000000,
+    0x7FFFFFFFFFFFFFFF,
+    0x8000000000000000,
+    0xFFFFFFFFFFFFFFFF,
+)
+
+
+class FuzzRng(random.Random):
+    """Seedable RNG with fuzzing-flavoured helpers."""
+
+    def chance(self, probability: float) -> bool:
+        """True with the given probability."""
+        return self.random() < probability
+
+    def pick(self, items: Sequence[T]) -> T:
+        return items[self.randrange(len(items))]
+
+    def pick_weighted(self, items: Sequence[T], weights: Sequence[float]) -> T:
+        return self.choices(items, weights=weights, k=1)[0]
+
+    def interesting_u64(self) -> int:
+        return self.pick(INTERESTING_U64)
+
+    def fuzz_int(self, lo: int, hi: int) -> int:
+        """An integer in [lo, hi], biased toward the boundaries."""
+        roll = self.random()
+        if roll < 0.2:
+            return lo
+        if roll < 0.4:
+            return hi
+        return self.randint(lo, hi)
+
+    def fuzz_imm32(self) -> int:
+        """A signed 32-bit immediate with boundary bias."""
+        roll = self.random()
+        if roll < 0.3:
+            return self.randint(-16, 16)
+        if roll < 0.6:
+            value = self.interesting_u64() & 0xFFFFFFFF
+            return value - (1 << 32) if value >= (1 << 31) else value
+        return self.randint(-(1 << 31), (1 << 31) - 1)
+
+    def fuzz_u64(self) -> int:
+        roll = self.random()
+        if roll < 0.4:
+            return self.interesting_u64()
+        if roll < 0.7:
+            return self.randint(0, 4096)
+        return self.getrandbits(64)

@@ -1,0 +1,49 @@
+"""Simulated kernel substrate.
+
+The paper runs eBPF programs inside the real Linux kernel and relies on
+kernel self-check machinery (KASAN, the runtime locking correctness
+validator, recursion guards) to capture the two correctness-bug
+indicators.  This subpackage provides synthetic equivalents:
+
+- :mod:`repro.kernel.kasan` — a byte-granular shadow-memory allocator
+  with redzones, and the crucial *raw vs. checked* access distinction:
+  JIT-compiled eBPF code is uninstrumented, so small out-of-bounds
+  accesses silently corrupt memory, whereas kernel routines (and BVF's
+  dispatched ``bpf_asan_*`` functions) are KASAN-instrumented and trap.
+- :mod:`repro.kernel.lockdep` — the locking correctness validator.
+- :mod:`repro.kernel.tracepoints` — tracepoint registry with the
+  recursion semantics that bugs #4/#5 exploit.
+- :mod:`repro.kernel.config` — per-"kernel-version" feature/flaw
+  profiles (v5.15, v6.1, bpf-next).
+- :mod:`repro.kernel.syscall` — the ``bpf()`` system call surface.
+"""
+
+from repro.kernel.config import Flaw, KernelConfig
+from repro.kernel.kasan import Allocation, KernelMemory
+from repro.kernel.lockdep import LockClass, Lockdep
+from repro.kernel.tracepoints import Tracepoint, TracepointRegistry
+
+
+def __getattr__(name: str):
+    # Lazy re-export: syscall imports the verifier and the eBPF maps,
+    # both of which import repro.kernel.config — importing it eagerly
+    # here would close an import cycle.
+    if name == "Kernel":
+        from repro.kernel.syscall import Kernel
+
+        return Kernel
+    raise AttributeError(name)
+
+
+__all__ = [
+    "Kernel",
+    "Flaw",
+    "KernelConfig",
+    "Allocation",
+    "KernelMemory",
+    "LockClass",
+    "Lockdep",
+    "Tracepoint",
+    "TracepointRegistry",
+
+]

@@ -1,0 +1,84 @@
+"""Non-verifier eBPF component bugs (Table 2, bugs #7-#11 support).
+
+This module hosts the *dispatcher* (Bug #7) and the xlated-instruction
+duplication path (Bug #8).  Bugs #9-#11 live in the subsystems they
+belong to (hash map iteration, the ringbuf helper, XDP offload
+handling) — see :mod:`repro.ebpf.maps`, :mod:`repro.ebpf.helpers`, and
+:meth:`repro.kernel.syscall.Kernel.prog_test_run`.
+"""
+
+from __future__ import annotations
+
+import errno
+
+from repro.errors import BpfError, NullDerefReport
+from repro.kernel.config import Flaw, KernelConfig
+
+__all__ = ["Dispatcher", "KMEMDUP_XLATED_LIMIT", "dup_xlated_insns"]
+
+#: Scaled-down kmalloc limit for the xlated-instruction duplication
+#: buffer (the real kernel's limit is KMALLOC_MAX_CACHE_SIZE; we scale
+#: it so realistic fuzzer programs can exceed it).
+KMEMDUP_XLATED_LIMIT = 2048  # bytes == 256 instructions
+
+
+class Dispatcher:
+    """The BPF dispatcher: a direct-call trampoline for XDP programs.
+
+    Bug #7: updating the dispatcher while a program may be mid-execution
+    requires an RCU-style synchronisation between publishing the new
+    image and releasing the old one.  The flawed kernel skips the sync,
+    so the execution path can observe a half-updated (NULL) slot.
+
+    We model the race window deterministically: an update performed
+    while a previous program is still installed leaves the dispatcher
+    in a corrupt state when the flaw is present, and the next execution
+    through it dereferences the NULL slot.
+    """
+
+    def __init__(self, config: KernelConfig) -> None:
+        self.config = config
+        self._slot = None
+        self._corrupt = False
+        self.updates = 0
+
+    def update(self, prog) -> None:
+        if self._slot is not None and self.config.has_flaw(Flaw.DISPATCHER_RACE):
+            # Missing synchronize_rcu(): the old image is freed while
+            # the trampoline may still route through it.
+            self._corrupt = True
+        self._slot = prog
+        self.updates += 1
+
+    def remove(self) -> None:
+        self._slot = None
+        self._corrupt = False
+
+    def entry(self):
+        """Resolve the program to execute (the trampoline hot path)."""
+        if self._corrupt:
+            self._corrupt = False  # one oops per race, like a real crash
+            raise NullDerefReport(
+                "bpf dispatcher: null program slot executed "
+                "(update/execute race)",
+                context={"updates": self.updates},
+            )
+        return self._slot
+
+
+def dup_xlated_insns(config: KernelConfig, xlated_len: int) -> bytes | None:
+    """Duplicate the rewritten instructions for user space (Bug #8).
+
+    Models the ``bpf_prog_get_info_by_fd`` path that kmemdup()s the
+    xlated image.  The flawed kernel uses plain ``kmemdup`` and fails
+    for buffers above the kmalloc limit; the fixed kernel uses the
+    ``kvmemdup`` primitive introduced by the paper's patch.
+    """
+    size = xlated_len * 8
+    if size > KMEMDUP_XLATED_LIMIT and config.has_flaw(Flaw.KMEMDUP_LIMIT):
+        raise BpfError(
+            errno.ENOMEM,
+            f"kmemdup of {size} bytes of xlated insns failed "
+            f"(exceeds kmalloc limit)",
+        )
+    return b"\x00" * size

@@ -1,0 +1,183 @@
+"""Runtime locking correctness validator (lockdep stand-in).
+
+The paper captures indicator #2 partly through "the runtime locking
+correctness validator in Linux" — lockdep.  Bugs #4 and #5 manifest as
+*recursive locking* (a tracepoint handler re-acquires the lock whose
+acquisition fired the tracepoint) and *inconsistent lock state*; bug
+#10 manifests as taking a sleeping lock from irq context.
+
+This validator models the relevant subset of lockdep:
+
+- per-context held-lock stacks,
+- self-deadlock detection (re-acquiring a held, non-recursive class),
+- circular dependency detection over the global lock-class graph
+  (``A -> B`` recorded whenever B is acquired while A is held; a cycle
+  is an AB-BA deadlock),
+- usage-state tracking (a class ever taken in irq context must never
+  be taken irq-unsafe while irqs are enabled — simplified to the
+  sleeping-lock-in-irq check bug #10 needs),
+- release-of-unheld detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LockdepReport
+
+__all__ = ["LockClass", "Lockdep", "HeldLock"]
+
+
+@dataclass(frozen=True)
+class LockClass:
+    """A lock *class* in lockdep's sense (all instances share state)."""
+
+    name: str
+    #: recursive (rwlock-read-style) classes may nest within themselves
+    recursive: bool = False
+    #: sleeping locks (mutex/semaphore) may not be taken in irq context
+    sleeping: bool = False
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass
+class HeldLock:
+    """One entry of a context's held-lock stack."""
+
+    lock_class: LockClass
+    in_irq: bool
+
+
+class Lockdep:
+    """The validator.  One instance per simulated kernel.
+
+    ``context`` identifies the task/cpu; the eBPF runtime uses a single
+    context per program trigger, nested triggers share the context —
+    which is precisely how tracepoint-recursion deadlocks become
+    visible as self-deadlocks.
+    """
+
+    def __init__(self) -> None:
+        #: lock-class dependency edges: name -> set of successor names
+        self._edges: dict[str, set[str]] = {}
+        #: held stacks keyed by context id
+        self._held: dict[int, list[HeldLock]] = {}
+        #: classes ever acquired in irq context
+        self._irq_used: set[str] = set()
+        #: accumulated reports (campaigns read and clear these)
+        self.reports: list[LockdepReport] = []
+        #: raise on violation (True) or record-only (False)
+        self.raise_on_report = True
+
+    # --- helpers ---------------------------------------------------------
+
+    def held_stack(self, context: int = 0) -> list[HeldLock]:
+        return self._held.setdefault(context, [])
+
+    def holds(self, lock_class: LockClass, context: int = 0) -> bool:
+        return any(h.lock_class == lock_class for h in self.held_stack(context))
+
+    def _report(self, message: str, **ctx) -> None:
+        report = LockdepReport(message, context=ctx)
+        self.reports.append(report)
+        if self.raise_on_report:
+            raise report
+
+    def _reaches(self, src: str, dst: str) -> bool:
+        """DFS over the dependency graph: can ``src`` reach ``dst``?"""
+        seen = set()
+        stack = [src]
+        while stack:
+            node = stack.pop()
+            if node == dst:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._edges.get(node, ()))
+        return False
+
+    # --- the checks --------------------------------------------------------
+
+    def acquire(
+        self, lock_class: LockClass, context: int = 0, in_irq: bool = False
+    ) -> None:
+        """Validate and record an acquisition."""
+        held = self.held_stack(context)
+
+        if lock_class.sleeping and in_irq:
+            self._report(
+                f"BUG: sleeping lock {lock_class} taken in irq context",
+                lock=lock_class.name,
+                kind="sleep-in-irq",
+            )
+
+        if not lock_class.recursive and self.holds(lock_class, context):
+            self._report(
+                f"possible recursive locking detected: {lock_class} is "
+                f"already held by this context",
+                lock=lock_class.name,
+                kind="recursive",
+            )
+
+        # Record dependency edges and look for a cycle before committing.
+        for h in held:
+            if h.lock_class.name == lock_class.name:
+                continue
+            if self._reaches(lock_class.name, h.lock_class.name):
+                self._report(
+                    f"possible circular locking dependency: "
+                    f"{h.lock_class} -> {lock_class} completes a cycle",
+                    lock=lock_class.name,
+                    kind="circular",
+                )
+            self._edges.setdefault(h.lock_class.name, set()).add(lock_class.name)
+
+        if in_irq:
+            self._irq_used.add(lock_class.name)
+        elif lock_class.name in self._irq_used and not lock_class.recursive:
+            # Simplified HARDIRQ-safe -> HARDIRQ-unsafe state check: a
+            # class used from irq context acquired with irqs enabled is
+            # an inconsistent lock state.
+            self._report(
+                f"inconsistent lock state: {lock_class} used in irq "
+                f"context and acquired with irqs enabled",
+                lock=lock_class.name,
+                kind="inconsistent-state",
+            )
+
+        held.append(HeldLock(lock_class=lock_class, in_irq=in_irq))
+
+    def release(self, lock_class: LockClass, context: int = 0) -> None:
+        """Validate and record a release (any-order, like lockdep)."""
+        held = self.held_stack(context)
+        for i in range(len(held) - 1, -1, -1):
+            if held[i].lock_class == lock_class:
+                del held[i]
+                return
+        self._report(
+            f"releasing lock {lock_class} that is not held",
+            lock=lock_class.name,
+            kind="unheld-release",
+        )
+
+    def assert_clean(self, context: int = 0) -> None:
+        """At context teardown every lock must have been released."""
+        held = self.held_stack(context)
+        if held:
+            names = ", ".join(str(h.lock_class) for h in held)
+            self._report(
+                f"context exited with locks held: {names}",
+                kind="leaked-locks",
+            )
+
+    def reset_context(self, context: int = 0) -> None:
+        """Forget a context's held stack (used between test runs)."""
+        self._held.pop(context, None)
+
+    def drain_reports(self) -> list[LockdepReport]:
+        """Return and clear accumulated reports (record-only mode)."""
+        reports, self.reports = self.reports, []
+        return reports

@@ -1,0 +1,34 @@
+"""Standard lock classes of the simulated kernel.
+
+These are the locks the reproduced Table-2 bugs revolve around:
+
+- ``trace_printk_lock`` — the raw spinlock ``bpf_trace_printk`` takes
+  around its format buffer.  Bug #4 is an attached program re-entering
+  through the tracepoint that fires under this lock.
+- ``contention_lock`` — stands in for whatever contended lock fires the
+  ``contention_begin`` tracepoint.  Bug #5 is a program attached to
+  that tracepoint acquiring a lock and re-firing it (Figure 2).
+- ``ringbuf_lock`` — a *sleeping* lock misused from irq context by the
+  helper in Bug #10.
+- ``htab_bucket_lock`` — per-bucket hash map lock whose trylock failure
+  path contains Bug #9.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.lockdep import LockClass
+
+__all__ = [
+    "TRACE_PRINTK_LOCK",
+    "CONTENTION_LOCK",
+    "RINGBUF_LOCK",
+    "HTAB_BUCKET_LOCK",
+    "DISPATCHER_MUTEX",
+]
+
+TRACE_PRINTK_LOCK = LockClass("trace_printk_lock")
+BPF_SPIN_LOCK = LockClass("bpf_spin_lock")
+CONTENTION_LOCK = LockClass("contention_lock")
+RINGBUF_LOCK = LockClass("ringbuf_waitq_lock", sleeping=True)
+HTAB_BUCKET_LOCK = LockClass("htab_bucket_lock")
+DISPATCHER_MUTEX = LockClass("dispatcher_mutex", sleeping=True)

@@ -1,0 +1,164 @@
+"""Tracepoint registry and firing machinery.
+
+eBPF programs of the tracing flavours (kprobe, tracepoint, perf_event)
+attach to kernel tracepoints and run whenever the tracepoint fires.
+Indicator #2 bugs #4 and #5 live exactly here: a program attached to a
+tracepoint that fires *under a lock the program's helpers re-acquire*
+recurses into itself and deadlocks.
+
+The registry models:
+
+- named tracepoints with their firing context (normal, under-lock,
+  NMI-like),
+- attach-time validation — the checks whose *absence* constitutes
+  bugs #4/#5 (gated on :class:`~repro.kernel.config.Flaw`),
+- recursion accounting during :meth:`TracepointRegistry.fire` with a
+  depth limit that converts runaway re-entry into a
+  :class:`~repro.errors.RecursionReport`.
+"""
+
+from __future__ import annotations
+
+import errno
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import BpfError, RecursionReport
+from repro.kernel.config import Flaw, KernelConfig
+from repro.kernel.lockdep import LockClass
+
+__all__ = ["Tracepoint", "TracepointRegistry", "MAX_TRACE_RECURSION"]
+
+#: Depth at which nested tracepoint re-entry is reported.  The real
+#: kernel's tracing recursion protection is similarly shallow.
+MAX_TRACE_RECURSION = 4
+
+
+@dataclass(frozen=True)
+class Tracepoint:
+    """A kernel tracepoint.
+
+    ``fired_under`` names the lock class held while the tracepoint
+    fires (if any); ``nmi_context`` marks tracepoints whose handlers
+    run in NMI-like context where e.g. signal sending must be refused;
+    ``lock_sensitive`` marks tracepoints for which the *fixed* kernel
+    refuses programs that use lock-acquiring helpers.
+    """
+
+    name: str
+    fired_under: LockClass | None = None
+    nmi_context: bool = False
+    lock_sensitive: bool = False
+
+
+#: Tracepoints the simulated kernel exposes.  The two in the middle are
+#: the stars of bugs #4 and #5.
+DEFAULT_TRACEPOINTS = (
+    Tracepoint("sys_enter"),
+    Tracepoint("sched_switch"),
+    Tracepoint("bpf_trace_printk", lock_sensitive=True),
+    Tracepoint("contention_begin", lock_sensitive=True),
+    Tracepoint("perf_event_overflow", nmi_context=True),
+    Tracepoint("kfree_skb"),
+    Tracepoint("net_dev_xmit"),
+)
+
+
+class TracepointRegistry:
+    """Attach/fire machinery for the simulated kernel's tracepoints."""
+
+    def __init__(self, config: KernelConfig) -> None:
+        self.config = config
+        self._tracepoints = {tp.name: tp for tp in DEFAULT_TRACEPOINTS}
+        #: attached programs per tracepoint name
+        self._attached: dict[str, list[object]] = {}
+        #: programs currently executing (recursion accounting)
+        self._firing_depth: dict[str, int] = {}
+        #: the executor installs this to run a program against a context
+        self.runner: Callable[[object, str], object] | None = None
+
+    # --- registry ---------------------------------------------------------
+
+    def get(self, name: str) -> Tracepoint:
+        try:
+            return self._tracepoints[name]
+        except KeyError:
+            raise BpfError(errno.ENOENT, f"no such tracepoint: {name}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._tracepoints)
+
+    def register(self, tracepoint: Tracepoint) -> None:
+        """Add a tracepoint (tests use this to model new kernel code)."""
+        self._tracepoints[tracepoint.name] = tracepoint
+
+    def attached(self, name: str) -> list[object]:
+        return list(self._attached.get(name, ()))
+
+    # --- attach-time validation --------------------------------------------
+
+    def attach(self, prog, name: str) -> None:
+        """Attach a verified program to a tracepoint.
+
+        The *fixed* kernel refuses programs using lock-acquiring
+        helpers on lock-sensitive tracepoints; bugs #4/#5 are exactly
+        the absence of these checks.
+        """
+        tracepoint = self.get(name)
+
+        uses_locks = bool(getattr(prog, "uses_lock_helpers", False))
+        if tracepoint.lock_sensitive and uses_locks:
+            flaw = (
+                Flaw.TRACE_PRINTK_DEADLOCK
+                if tracepoint.name == "bpf_trace_printk"
+                else Flaw.CONTENTION_BEGIN_LOCK
+            )
+            if not self.config.has_flaw(flaw):
+                raise BpfError(
+                    errno.EINVAL,
+                    f"program using lock-acquiring helpers cannot attach "
+                    f"to {name}",
+                )
+
+        self._attached.setdefault(name, []).append(prog)
+
+    def detach(self, prog, name: str) -> None:
+        progs = self._attached.get(name, [])
+        if prog in progs:
+            progs.remove(prog)
+
+    def detach_all(self) -> None:
+        self._attached.clear()
+        self._firing_depth.clear()
+
+    # --- firing ---------------------------------------------------------------
+
+    def fire(self, name: str) -> None:
+        """Fire a tracepoint, running every attached program.
+
+        Re-entrant firing (a program's helper re-triggers the same
+        tracepoint) is permitted up to :data:`MAX_TRACE_RECURSION`;
+        beyond that a :class:`RecursionReport` is raised, modelling the
+        kernel's "recursion detected" error the paper's Figure 2
+        describes.
+        """
+        self.get(name)  # validate the name even when nothing is attached
+        progs = self._attached.get(name)
+        if not progs:
+            return
+        if self.runner is None:
+            raise RuntimeError("TracepointRegistry.fire without a runner")
+
+        depth = self._firing_depth.get(name, 0)
+        if depth >= MAX_TRACE_RECURSION:
+            raise RecursionReport(
+                f"bpf: recursion detected on tracepoint {name} "
+                f"(depth {depth})",
+                context={"tracepoint": name, "depth": depth},
+            )
+        self._firing_depth[name] = depth + 1
+        try:
+            for prog in list(progs):
+                self.runner(prog, name)
+        finally:
+            self._firing_depth[name] = depth

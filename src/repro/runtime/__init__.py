@@ -1,0 +1,21 @@
+"""Execution environment — the JIT stand-in.
+
+The kernel JIT-compiles verified programs to native code; we execute
+the xlated instruction stream with a faithful interpreter instead.
+The distinction that matters to the paper is preserved exactly:
+
+- program instructions access memory through the **raw** (unchecked)
+  path, like uninstrumented native code — small out-of-bounds accesses
+  silently corrupt the arena;
+- sanitizer dispatch calls and helper/kfunc implementations go through
+  the **checked** (KASAN) path and trap.
+
+:class:`~repro.runtime.executor.Executor` drives whole test runs:
+context construction, attachment triggers, tracepoint re-entry, and
+crash-report capture for the oracle.
+"""
+
+from repro.runtime.executor import Executor, RunResult
+from repro.runtime.interpreter import Interpreter
+
+__all__ = ["Executor", "RunResult", "Interpreter"]

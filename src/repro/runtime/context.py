@@ -1,0 +1,113 @@
+"""Runtime contexts for each program type.
+
+On entry R1 points at the program-type context.  For packet programs
+(socket filter / tc / XDP) the context's ``data``/``data_end`` fields
+are not plain memory: the kernel rewrites those loads to fetch the real
+packet pointers.  We model that with a *special field table*: exact
+4-byte loads at those context offsets yield full 64-bit packet
+addresses, mirroring the ctx-rewrite the verifier performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ebpf.program import CONTEXTS, ProgType, VerifiedProgram
+from repro.kernel.kasan import Allocation, KernelMemory
+
+__all__ = ["RuntimeContext", "build_context", "DEFAULT_PKT_SIZE"]
+
+DEFAULT_PKT_SIZE = 128
+
+
+@dataclass
+class RuntimeContext:
+    """Everything the interpreter needs about one trigger's context."""
+
+    prog_type: ProgType
+    ctx_alloc: Allocation
+    stack_alloc: Allocation
+    #: absolute address -> pointer value for rewritten ctx fields
+    special_fields: dict[int, int] = field(default_factory=dict)
+    pkt_alloc: Allocation | None = None
+    in_irq: bool = False
+    in_nmi: bool = False
+
+    @property
+    def ctx_addr(self) -> int:
+        return self.ctx_alloc.start
+
+    @property
+    def fp(self) -> int:
+        """Initial frame pointer (top of the 512-byte stack)."""
+        return self.stack_alloc.start + self.stack_alloc.size
+
+
+#: Program types running in (soft)irq-ish context at their attach
+#: points; perf_event handlers run in NMI context (Bug #6's trigger).
+_IRQ_TYPES = {ProgType.XDP, ProgType.SCHED_CLS, ProgType.KPROBE}
+_NMI_TYPES = {ProgType.PERF_EVENT}
+
+
+def build_context(
+    mem: KernelMemory,
+    verified: VerifiedProgram,
+    pkt_size: int = DEFAULT_PKT_SIZE,
+) -> RuntimeContext:
+    """Allocate and populate a fresh runtime context for one trigger."""
+    prog_type = verified.prog_type
+    descriptor = CONTEXTS[prog_type]
+    ctx_alloc = mem.kzalloc(descriptor.size, tag=f"bpf_ctx:{descriptor.name}")
+    stack_alloc = mem.kzalloc(512, tag="bpf_stack")
+
+    rt = RuntimeContext(
+        prog_type=prog_type,
+        ctx_alloc=ctx_alloc,
+        stack_alloc=stack_alloc,
+        in_irq=prog_type in _IRQ_TYPES,
+        in_nmi=prog_type in _NMI_TYPES,
+    )
+
+    if prog_type in (ProgType.SOCKET_FILTER, ProgType.SCHED_CLS, ProgType.XDP):
+        pkt = mem.kzalloc(pkt_size, tag="bpf_pkt")
+        # A vaguely Ethernet/IPv4-shaped packet so header parsing in
+        # examples sees plausible bytes.
+        header = bytes.fromhex(
+            "ffffffffffff" + "3cfdfe000001" + "0800"  # eth
+            "4500004c000040004006" + "0000" + "c0a80001" + "c0a80002"  # ip
+        )
+        mem.checked_write_bytes(pkt.start, header[:pkt_size], who="ctx-init")
+        rt.pkt_alloc = pkt
+        for f in descriptor.fields:
+            if f.special == "pkt_data":
+                rt.special_fields[ctx_alloc.start + f.offset] = pkt.start
+            elif f.special == "pkt_end":
+                rt.special_fields[ctx_alloc.start + f.offset] = pkt.start + pkt_size
+            elif f.special == "pkt_meta":
+                rt.special_fields[ctx_alloc.start + f.offset] = pkt.start
+        # Scalar fields programs commonly read.
+        for name, value in (("len", pkt_size), ("protocol", 0x0008)):
+            for f in descriptor.fields:
+                if f.name == name:
+                    mem.checked_write(
+                        ctx_alloc.start + f.offset, f.size, value, who="ctx-init"
+                    )
+    elif prog_type == ProgType.KPROBE:
+        # pt_regs: plausible register values.
+        for i in range(descriptor.size // 8):
+            mem.checked_write(
+                ctx_alloc.start + i * 8, 8, 0x1000 + i * 0x10, who="ctx-init"
+            )
+    elif prog_type == ProgType.PERF_EVENT:
+        mem.checked_write(ctx_alloc.start, 8, 10_000, who="ctx-init")
+        mem.checked_write(ctx_alloc.start + 8, 8, 0xFFFF_8880_0000_1000, who="ctx-init")
+
+    return rt
+
+
+def release_context(mem: KernelMemory, rt: RuntimeContext) -> None:
+    """Free a runtime context's allocations (quarantined, not reused)."""
+    mem.kfree(rt.ctx_alloc)
+    mem.kfree(rt.stack_alloc)
+    if rt.pkt_alloc is not None:
+        mem.kfree(rt.pkt_alloc)

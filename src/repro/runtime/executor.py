@@ -1,0 +1,149 @@
+"""Test-run driver: attach, trigger, execute, capture reports.
+
+The executor is the glue between the fuzzer and the simulated kernel.
+It loads nothing itself — programs arrive already verified — but it
+owns everything that happens when a program *runs*:
+
+- building a fresh runtime context (ctx, stack, packet) per trigger,
+- installing itself as the tracepoint runner so helper-induced
+  tracepoint firings re-enter attached programs (the recursion of
+  bugs #4/#5),
+- routing XDP executions through the dispatcher (Bug #7),
+- refusing (or, flawed, allowing) offloaded programs per Bug #11,
+- converting every kernel self-check report into a structured
+  :class:`RunResult` the oracle consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BpfError, KernelReport
+from repro.ebpf.helpers import HelperContext
+from repro.ebpf.program import VerifiedProgram
+from repro.runtime.context import build_context, release_context
+from repro.runtime.interpreter import ExecStats, Interpreter
+
+__all__ = ["Executor", "RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one program trigger."""
+
+    r0: int = 0
+    #: the kernel self-check report, if the run crashed
+    report: KernelReport | None = None
+    #: a bpf() surface error raised mid-run (component bugs)
+    error: BpfError | None = None
+    stats: ExecStats = field(default_factory=ExecStats)
+
+    @property
+    def crashed(self) -> bool:
+        return self.report is not None
+
+
+class Executor:
+    """Runs verified programs inside one simulated kernel."""
+
+    def __init__(self, kernel) -> None:
+        self.kernel = kernel
+        kernel.tracepoints.runner = self._tracepoint_runner
+        self._context_id = 0
+        self._depth = 0
+        #: lockdep context of the innermost active execution
+        self._trigger_ctx: int | None = None
+
+    # --- public API -------------------------------------------------------
+
+    def run(self, verified: VerifiedProgram, context_id: int | None = None) -> RunResult:
+        """``BPF_PROG_TEST_RUN``: one trigger of the program.
+
+        Captures kernel reports rather than propagating them, so a
+        fuzzing campaign survives its own crashes (each campaign run
+        models a fresh VM boot; see the campaign driver).
+        """
+        result = RunResult()
+        if context_id is None:
+            self._context_id += 1
+            context_id = self._context_id
+        try:
+            self.kernel.check_offload_run(verified)
+            result.r0, result.stats = self._execute(verified, context_id)
+            self.kernel.lockdep.assert_clean(context_id)
+        except KernelReport as report:
+            result.report = report
+        except BpfError as error:
+            result.error = error
+        finally:
+            self.kernel.lockdep.reset_context(context_id)
+        return result
+
+    def trigger_tracepoint(self, name: str) -> RunResult:
+        """Fire a tracepoint, running everything attached to it."""
+        result = RunResult()
+        self._context_id += 1
+        context_id = self._context_id
+        # _execute installs the context; nothing to pre-set here.
+        try:
+            self.kernel.tracepoints.fire(name)
+        except KernelReport as report:
+            result.report = report
+        except BpfError as error:
+            result.error = error
+        finally:
+            self.kernel.lockdep.reset_context(context_id)
+        return result
+
+    def run_xdp_via_dispatcher(self) -> RunResult:
+        """Execute whatever the dispatcher currently routes to (Bug #7)."""
+        result = RunResult()
+        try:
+            prog = self.kernel.dispatcher.entry()
+        except KernelReport as report:
+            result.report = report
+            return result
+        if prog is None:
+            return result
+        return self.run(prog)
+
+    # --- internals -----------------------------------------------------------
+
+    def _execute(self, verified: VerifiedProgram, context_id: int) -> tuple[int, ExecStats]:
+        rt = build_context(self.kernel.mem, verified)
+        helper_ctx = HelperContext(
+            kernel=self.kernel,
+            prog=verified,
+            context_id=context_id,
+            in_irq=rt.in_irq,
+            in_nmi=rt.in_nmi,
+            depth=self._depth,
+        )
+        interp = Interpreter(self.kernel, verified, rt, helper_ctx)
+        self._depth += 1
+        # Tracepoints fired by this execution (helpers taking contended
+        # locks, trace_printk...) must run attached programs in the
+        # *same* lockdep context, or re-entrant acquisition would go
+        # undetected.
+        prev_ctx = self._trigger_ctx
+        self._trigger_ctx = context_id
+        try:
+            r0 = interp.run()
+        finally:
+            self._depth -= 1
+            self._trigger_ctx = prev_ctx
+            release_context(self.kernel.mem, rt)
+        return r0, interp.stats
+
+    def _tracepoint_runner(self, prog: VerifiedProgram, tracepoint: str) -> None:
+        """Run an attached program when its tracepoint fires.
+
+        Nested triggers share the outer context id so lockdep sees the
+        whole acquisition chain — this is how the Figure-2 deadlock
+        becomes a recursive-locking report.
+        """
+        context_id = (
+            self._trigger_ctx if self._trigger_ctx is not None
+            else self._context_id
+        )
+        self._execute(prog, context_id)

@@ -1,0 +1,467 @@
+"""The eBPF interpreter — our stand-in for the kernel JIT.
+
+Executes the verifier's xlated instruction stream with precise eBPF
+semantics (64-bit wrapping arithmetic, zero-extending 32-bit ops,
+division-by-zero conventions, atomic read-modify-writes).
+
+Memory model (the crux of the paper's oracle):
+
+- ordinary program loads/stores use the **raw** path —
+  uninstrumented, like JIT'd native code; only wild addresses fault;
+- loads the verifier rewrote to **PROBE_MEM** are fault-handled and
+  yield zero on bad addresses, like BTF-object loads in the kernel;
+- ``bpf_asan_*`` calls inserted by the sanitizer consult shadow memory
+  *before* the access and raise :class:`SanitizerReport` — that is
+  indicator #1 being captured;
+- helper and kfunc implementations run as KASAN-instrumented kernel
+  code (checked path), backing indicator #2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import KernelPanic
+from repro.ebpf.helpers import HelperContext
+from repro.ebpf.insn import Insn
+from repro.ebpf.kfuncs import KFUNCS
+from repro.ebpf.opcodes import (
+    AluOp,
+    AtomicOp,
+    InsnClass,
+    JmpOp,
+    Mode,
+    Reg,
+    Size,
+    Src,
+    SIZE_BYTES,
+)
+from repro.ebpf.program import VerifiedProgram
+from repro.runtime.context import RuntimeContext
+from repro.sanitizer.alu_limit import check_alu_limit
+from repro.sanitizer.asan_funcs import (
+    ASAN_ALU_LIMIT,
+    asan_call_size,
+    asan_check,
+    is_asan_call,
+)
+
+__all__ = ["Interpreter", "ExecStats"]
+
+_U64 = (1 << 64) - 1
+_U32 = (1 << 32) - 1
+
+#: Hard per-run instruction budget; verified programs terminate (any
+#: executed path is bounded by the verifier's processing budget), but a
+#: verifier bug could admit a runaway loop — the watchdog converts that
+#: into a (reportable) soft lockup.
+MAX_RUNTIME_INSNS = 262_144
+
+#: Value written into caller-saved registers after helper calls, so
+#: programs that (incorrectly) consume clobbered registers misbehave
+#: detectably rather than silently.
+_CLOBBER = 0xDEAD_BEEF_0000_0000
+
+
+def _s64(value: int) -> int:
+    value &= _U64
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+def _s32(value: int) -> int:
+    value &= _U32
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+def _bswap(value: int, bits: int) -> int:
+    nbytes = bits // 8
+    return int.from_bytes(
+        (value & ((1 << bits) - 1)).to_bytes(nbytes, "little"), "big"
+    )
+
+
+@dataclass
+class ExecStats:
+    """Counters for the overhead experiment (Section 6.4)."""
+
+    insns_executed: int = 0
+    loads: int = 0
+    stores: int = 0
+    helper_calls: int = 0
+    sanitizer_checks: int = 0
+
+
+@dataclass
+class _Frame:
+    return_idx: int
+    saved_regs: list[int]
+    saved_fp: int
+    stack_alloc: object
+
+
+class Interpreter:
+    """Executes one verified program against a runtime context."""
+
+    def __init__(
+        self,
+        kernel,
+        verified: VerifiedProgram,
+        rt: RuntimeContext,
+        helper_ctx: HelperContext,
+    ) -> None:
+        self.kernel = kernel
+        self.mem = kernel.mem
+        self.verified = verified
+        self.insns = verified.xlated
+        self.rt = rt
+        self.helper_ctx = helper_ctx
+        self.stats = ExecStats()
+        self._tail_calls = 0
+        self._swapped = False
+
+    # --- entry point ---------------------------------------------------------
+
+    def run(self) -> int:
+        """Execute to completion; returns R0."""
+        regs = [0] * 12
+        regs[Reg.R1] = self.rt.ctx_addr
+        regs[Reg.R10] = self.rt.fp
+        frames: list[_Frame] = []
+        idx = 0
+        insns = self.insns
+        stats = self.stats
+
+        while True:
+            stats.insns_executed += 1
+            if stats.insns_executed > MAX_RUNTIME_INSNS:
+                raise KernelPanic(
+                    "watchdog: BPF soft lockup - program exceeded runtime "
+                    "instruction budget",
+                    context={"prog": self.verified.name},
+                )
+            insn = insns[idx]
+            cls = insn.insn_class
+
+            if cls == InsnClass.ALU64 or cls == InsnClass.ALU:
+                self._alu(regs, insn, cls == InsnClass.ALU64)
+                idx += 1
+            elif cls == InsnClass.LDX:
+                self._load(regs, insn, idx)
+                idx += 1
+            elif cls == InsnClass.ST or cls == InsnClass.STX:
+                if insn.mode == Mode.ATOMIC:
+                    self._atomic(regs, insn)
+                else:
+                    self._store(regs, insn)
+                idx += 1
+            elif cls == InsnClass.LD:
+                if insn.is_filler():
+                    idx += 1
+                    continue
+                regs[insn.dst] = insn.imm64 & _U64
+                idx += 2
+            else:  # JMP / JMP32
+                op = insn.jmp_op
+                if op == JmpOp.JA:
+                    idx += insn.off + 1
+                elif op == JmpOp.EXIT:
+                    if frames:
+                        frame = frames.pop()
+                        for i, regno in enumerate((Reg.R6, Reg.R7, Reg.R8, Reg.R9)):
+                            regs[regno] = frame.saved_regs[i]
+                        regs[Reg.R10] = frame.saved_fp
+                        self.mem.kfree(frame.stack_alloc)
+                        idx = frame.return_idx
+                    else:
+                        return regs[Reg.R0]
+                elif op == JmpOp.CALL:
+                    if insn.is_pseudo_call():
+                        stack = self.mem.kzalloc(512, tag="bpf_stack")
+                        frames.append(
+                            _Frame(
+                                return_idx=idx + 1,
+                                saved_regs=[
+                                    regs[Reg.R6],
+                                    regs[Reg.R7],
+                                    regs[Reg.R8],
+                                    regs[Reg.R9],
+                                ],
+                                saved_fp=regs[Reg.R10],
+                                stack_alloc=stack,
+                            )
+                        )
+                        regs[Reg.R10] = stack.start + 512
+                        idx = idx + insn.imm + 1
+                    else:
+                        self._call(regs, insn, idx)
+                        if self._swapped:
+                            # Successful bpf_tail_call: restart in the
+                            # target program with the same ctx/stack.
+                            self._swapped = False
+                            insns = self.insns
+                            idx = 0
+                        else:
+                            idx += 1
+                else:
+                    idx += self._cond_jmp(regs, insn)
+
+    # --- ALU -------------------------------------------------------------------
+
+    def _alu(self, regs: list[int], insn: Insn, is64: bool) -> None:
+        op = insn.alu_op
+        dst = regs[insn.dst]
+        if op == AluOp.NEG:
+            result = -dst
+        elif op == AluOp.END:
+            if insn.src_bit == Src.X:  # to big-endian: byteswap
+                result = _bswap(dst, insn.imm)
+            else:  # to little-endian on an LE host: truncate
+                result = dst & ((1 << insn.imm) - 1)
+            regs[insn.dst] = result & _U64
+            return
+        else:
+            if insn.src_bit == Src.X:
+                src = regs[insn.src]
+            else:
+                src = insn.imm & _U64 if is64 else insn.imm & _U32
+            if not is64:
+                dst &= _U32
+                src &= _U32
+            if op == AluOp.ADD:
+                result = dst + src
+            elif op == AluOp.SUB:
+                result = dst - src
+            elif op == AluOp.MUL:
+                result = dst * src
+            elif op == AluOp.DIV:
+                result = dst // src if src else 0
+            elif op == AluOp.MOD:
+                result = dst % src if src else dst
+            elif op == AluOp.OR:
+                result = dst | src
+            elif op == AluOp.AND:
+                result = dst & src
+            elif op == AluOp.XOR:
+                result = dst ^ src
+            elif op == AluOp.LSH:
+                result = dst << (src & (63 if is64 else 31))
+            elif op == AluOp.RSH:
+                result = dst >> (src & (63 if is64 else 31))
+            elif op == AluOp.ARSH:
+                shift = src & (63 if is64 else 31)
+                signed = _s64(dst) if is64 else _s32(dst)
+                result = signed >> shift
+            elif op == AluOp.MOV:
+                result = src
+            else:
+                raise KernelPanic(f"interpreter: bad ALU op {op}")
+        regs[insn.dst] = result & (_U64 if is64 else _U32)
+
+    # --- memory -------------------------------------------------------------------
+
+    def _load(self, regs: list[int], insn: Insn, idx: int) -> None:
+        self.stats.loads += 1
+        addr = (regs[insn.src] + insn.off) & _U64
+        size = SIZE_BYTES[insn.size]
+
+        # Rewritten ctx fields (packet pointers).
+        special = self.rt.special_fields.get(addr)
+        if special is not None and size == 4:
+            regs[insn.dst] = special
+            return
+
+        if idx in self.verified.probe_mem:
+            # Fault-handled PROBE_MEM: bad addresses read as zero.
+            if addr < 4096 or not self.mem.in_arena(addr, size):
+                regs[insn.dst] = 0
+                return
+            value = self.mem.raw_read(addr, size)
+        else:
+            value = self.mem.raw_read(addr, size)
+
+        if insn.mode == Mode.MEMSX:
+            bits = size * 8
+            if value >= 1 << (bits - 1):
+                value -= 1 << bits
+        regs[insn.dst] = value & _U64
+
+    def _store(self, regs: list[int], insn: Insn) -> None:
+        self.stats.stores += 1
+        addr = (regs[insn.dst] + insn.off) & _U64
+        size = SIZE_BYTES[insn.size]
+        if insn.insn_class == InsnClass.ST:
+            value = insn.imm & _U64
+        else:
+            value = regs[insn.src]
+        self.mem.raw_write(addr, size, value)
+
+    def _atomic(self, regs: list[int], insn: Insn) -> None:
+        self.stats.loads += 1
+        self.stats.stores += 1
+        addr = (regs[insn.dst] + insn.off) & _U64
+        size = SIZE_BYTES[insn.size]
+        mask = (1 << (size * 8)) - 1
+        old = self.mem.raw_read(addr, size)
+        operand = regs[insn.src] & mask
+        op = insn.imm
+
+        if op == int(AtomicOp.CMPXCHG):
+            if old == (regs[Reg.R0] & mask):
+                self.mem.raw_write(addr, size, operand)
+            regs[Reg.R0] = old
+            return
+        if op == int(AtomicOp.XCHG):
+            self.mem.raw_write(addr, size, operand)
+            regs[insn.src] = old
+            return
+
+        base_op = op & ~int(AtomicOp.FETCH)
+        if base_op == int(AtomicOp.ADD):
+            new = (old + operand) & mask
+        elif base_op == int(AtomicOp.OR):
+            new = old | operand
+        elif base_op == int(AtomicOp.AND):
+            new = old & operand
+        elif base_op == int(AtomicOp.XOR):
+            new = old ^ operand
+        else:
+            raise KernelPanic(f"interpreter: bad atomic op {op:#x}")
+        self.mem.raw_write(addr, size, new)
+        if op & int(AtomicOp.FETCH):
+            regs[insn.src] = old
+
+    # --- calls ----------------------------------------------------------------------
+
+    #: bpf_tail_call nesting limit (kernel: MAX_TAIL_CALL_CNT).
+    MAX_TAIL_CALLS = 33
+
+    def _call(self, regs: list[int], insn: Insn, idx: int) -> None:
+        func_id = insn.imm & _U64
+
+        if is_asan_call(func_id):
+            self._asan_call(regs, insn, idx, func_id)
+            return
+
+        from repro.ebpf.helpers import HelperId
+
+        if insn.is_helper_call() and func_id == HelperId.TAIL_CALL:
+            if self._tail_call(regs):
+                self._swapped = True
+                return
+            # Failed tail call: falls through like a normal call.
+            regs[Reg.R0] = (-2) & _U64  # -ENOENT
+            for i, regno in enumerate((Reg.R1, Reg.R2, Reg.R3, Reg.R4, Reg.R5)):
+                regs[regno] = (_CLOBBER + i) & _U64
+            return
+
+        if insn.is_kfunc_call():
+            proto = KFUNCS.get(insn.imm)
+            if proto is None:
+                raise KernelPanic(f"interpreter: unknown kfunc {insn.imm}")
+            args = [regs[r] for r in (Reg.R1, Reg.R2, Reg.R3, Reg.R4, Reg.R5)]
+            args = args[: len(proto.args)]
+            result = proto.impl(self.helper_ctx, *args)
+        else:
+            proto = self.kernel.helpers.get(insn.imm)
+            if proto is None:
+                raise KernelPanic(f"interpreter: unknown helper {insn.imm}")
+            self.stats.helper_calls += 1
+            args = [regs[r] for r in (Reg.R1, Reg.R2, Reg.R3, Reg.R4, Reg.R5)]
+            args = args[: len(proto.args)]
+            result = proto.impl(self.helper_ctx, *args)
+
+        regs[Reg.R0] = (result if result is not None else 0) & _U64
+        for i, regno in enumerate((Reg.R1, Reg.R2, Reg.R3, Reg.R4, Reg.R5)):
+            regs[regno] = (_CLOBBER + i) & _U64
+
+    def _tail_call(self, regs: list[int]) -> bool:
+        """Resolve and perform a ``bpf_tail_call``; False on failure.
+
+        The kernel semantics: look up the program at R3's index in R2's
+        prog array; on success, jump into it reusing the current stack
+        frame and context, counting against MAX_TAIL_CALL_CNT.
+        """
+        if self._tail_calls >= self.MAX_TAIL_CALLS:
+            return False
+        try:
+            bpf_map = self.kernel.map_by_addr(regs[Reg.R2])
+        except Exception:
+            return False
+        index = regs[Reg.R3] & _U32
+        prog_fd = getattr(bpf_map, "prog_fd_at", lambda i: None)(index)
+        if prog_fd is None:
+            return False
+        target = self.kernel.prog_by_fd(prog_fd)
+        if target is None or target.prog_type != self.verified.prog_type:
+            return False
+        self._tail_calls += 1
+        self.verified = target
+        self.insns = target.xlated
+        ctx_addr = self.rt.ctx_addr
+        fp = regs[Reg.R10]
+        for regno in range(12):
+            regs[regno] = 0
+        regs[Reg.R1] = ctx_addr
+        regs[Reg.R10] = fp
+        return True
+
+    def _asan_call(self, regs: list[int], insn: Insn, idx: int, func_id: int) -> None:
+        """Dispatched sanitation: registers are fully preserved."""
+        self.stats.sanitizer_checks += 1
+        if func_id == ASAN_ALU_LIMIT:
+            check_alu_limit(regs[insn.dst], insn.off & 0xFFFF, site=idx)
+            return
+        size, is_write = asan_call_size(func_id)
+        site = self.verified.sanitizer_meta.get(idx)
+        probe = site.probe_mem if site is not None else False
+        asan_check(
+            self.mem,
+            regs[Reg.R1],
+            size,
+            is_write,
+            probe_mem=probe,
+            site=site.orig_idx if site is not None else idx,
+        )
+
+    # --- conditional jumps ------------------------------------------------------------
+
+    def _cond_jmp(self, regs: list[int], insn: Insn) -> int:
+        is64 = insn.insn_class == InsnClass.JMP
+        dst = regs[insn.dst]
+        if insn.src_bit == Src.X:
+            src = regs[insn.src]
+        else:
+            src = insn.imm & _U64 if is64 else insn.imm & _U32
+        if not is64:
+            dst &= _U32
+            src &= _U32
+            sdst, ssrc = _s32(dst), _s32(src)
+        else:
+            sdst, ssrc = _s64(dst), _s64(src)
+
+        op = insn.jmp_op
+        if op == JmpOp.JEQ:
+            taken = dst == src
+        elif op == JmpOp.JNE:
+            taken = dst != src
+        elif op == JmpOp.JGT:
+            taken = dst > src
+        elif op == JmpOp.JGE:
+            taken = dst >= src
+        elif op == JmpOp.JLT:
+            taken = dst < src
+        elif op == JmpOp.JLE:
+            taken = dst <= src
+        elif op == JmpOp.JSGT:
+            taken = sdst > ssrc
+        elif op == JmpOp.JSGE:
+            taken = sdst >= ssrc
+        elif op == JmpOp.JSLT:
+            taken = sdst < ssrc
+        elif op == JmpOp.JSLE:
+            taken = sdst <= ssrc
+        elif op == JmpOp.JSET:
+            taken = bool(dst & src)
+        else:
+            raise KernelPanic(f"interpreter: bad JMP op {op}")
+        return insn.off + 1 if taken else 1

@@ -1,0 +1,37 @@
+"""BVF's memory-access sanitation (Section 4.2 of the paper).
+
+Verified programs are JIT-compiled without instrumentation, so the
+out-of-bounds accesses produced by verifier correctness bugs corrupt
+memory silently.  BVF closes that gap by rewriting verified programs
+*at the eBPF instruction level*: every load/store is preceded by a
+dispatch sequence that hands the target address to a ``bpf_asan_*``
+kernel function, which is KASAN-instrumented and therefore traps on
+the first bad byte.  Pointer/scalar ALU instructions for which the
+verifier computed an ``alu_limit`` additionally get a runtime
+``assert(offset < alu_limit)``.
+
+Modules:
+
+- :mod:`repro.sanitizer.asan_funcs` — the ``bpf_asan_load/store{8..64}``
+  function ids and their checking semantics,
+- :mod:`repro.sanitizer.instrument` — the instrumentation pass that
+  runs inside the verifier's fixup phase,
+- :mod:`repro.sanitizer.alu_limit` — the runtime alu_limit assertion.
+"""
+
+from repro.sanitizer.asan_funcs import (
+    ASAN_ALU_LIMIT,
+    asan_call_size,
+    asan_check,
+    is_asan_call,
+)
+from repro.sanitizer.instrument import build_insertions, SanitizeSite
+
+__all__ = [
+    "ASAN_ALU_LIMIT",
+    "asan_call_size",
+    "asan_check",
+    "is_asan_call",
+    "build_insertions",
+    "SanitizeSite",
+]

@@ -1,0 +1,50 @@
+"""Runtime ``alu_limit`` assertions (the paper's third kernel patch).
+
+For arithmetic between a pointer and a scalar the verifier computes an
+``alu_limit`` — the largest offset that keeps the pointer inside its
+region, given the operation and the operand sign.  The stock kernel
+uses this value for speculative-execution masking; BVF's patch turns it
+into an architectural runtime check: the sanitized program asserts
+``offset < alu_limit`` and reports an access error otherwise.
+
+The emitted instruction is a single call to :data:`ASAN_ALU_LIMIT`
+whose (otherwise unused) ``dst`` field names the scalar operand
+register and whose immediate carries the limit.
+"""
+
+from __future__ import annotations
+
+from repro.ebpf.insn import Insn
+from repro.ebpf.opcodes import InsnClass, JmpOp, PseudoCall
+from repro.errors import AluLimitViolation
+from repro.sanitizer.asan_funcs import ASAN_ALU_LIMIT
+
+__all__ = ["alu_limit_insn", "check_alu_limit"]
+
+
+def alu_limit_insn(operand_reg: int, limit: int) -> Insn:
+    """Build the runtime-check call for one sanitized pointer ALU."""
+    return Insn(
+        opcode=InsnClass.JMP | JmpOp.CALL,
+        dst=operand_reg,
+        src=PseudoCall.HELPER,
+        imm=ASAN_ALU_LIMIT & 0x7FFFFFFF,
+        off=min(limit, 0x7FFF),
+    )
+
+
+def check_alu_limit(value: int, limit: int, site: int = -1) -> None:
+    """The assertion body: ``assert(offset < alu_limit)``.
+
+    ``value`` is the scalar operand observed at runtime (u64).  A value
+    at or beyond the limit means the verifier's reasoning about this
+    pointer adjustment was wrong — indicator #1.
+    """
+    if value >= limit:
+        raise AluLimitViolation(
+            f"bpf_asan: alu_limit violation: offset {value} >= limit {limit}",
+            address=value,
+            size=0,
+            is_write=False,
+            context={"site": site, "limit": limit},
+        )

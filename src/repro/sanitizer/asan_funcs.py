@@ -1,0 +1,93 @@
+"""The ``bpf_asan_*`` sanitizing functions.
+
+These stand in for the kernel functions BVF's first two patches add:
+``bpf_asan_load8/16/32/64()`` and ``bpf_asan_store8/16/32/64()``.  They
+are "compiled with KASAN" — in our model, they consult the simulated
+shadow memory — and are invoked through ordinary eBPF call
+instructions inserted by the instrumentation pass, with the target
+address passed in R1 (Figure 5 of the paper).
+
+The runtime treats these calls specially: they preserve all registers
+(the paper backs caller-saved state into an extended, program-invisible
+stack region) and their only observable effect is to raise a
+:class:`~repro.errors.SanitizerReport` when the access is invalid.
+"""
+
+from __future__ import annotations
+
+from repro.errors import KasanReport, SanitizerReport
+
+__all__ = [
+    "ASAN_LOAD",
+    "ASAN_STORE",
+    "ASAN_ALU_LIMIT",
+    "is_asan_call",
+    "asan_call_size",
+    "asan_check",
+]
+
+#: Function-id block reserved for the sanitizing functions.  The ids
+#: live far above real helper ids, mirroring how the kernel patches
+#: calls to hidden functions that user programs cannot name.
+_ASAN_BASE = 0x7F00_0000
+
+#: access size in bytes -> function id, for loads and stores.
+ASAN_LOAD = {1: _ASAN_BASE + 1, 2: _ASAN_BASE + 2, 4: _ASAN_BASE + 3, 8: _ASAN_BASE + 4}
+ASAN_STORE = {
+    1: _ASAN_BASE + 17,
+    2: _ASAN_BASE + 18,
+    4: _ASAN_BASE + 19,
+    8: _ASAN_BASE + 20,
+}
+
+#: The runtime alu_limit assertion (Section 4.2, third patch).
+ASAN_ALU_LIMIT = _ASAN_BASE + 32
+
+_LOAD_IDS = {v: k for k, v in ASAN_LOAD.items()}
+_STORE_IDS = {v: k for k, v in ASAN_STORE.items()}
+
+
+def is_asan_call(func_id: int) -> bool:
+    """True for any sanitizer function id."""
+    return func_id in _LOAD_IDS or func_id in _STORE_IDS or func_id == ASAN_ALU_LIMIT
+
+
+def asan_call_size(func_id: int) -> tuple[int, bool]:
+    """``(size, is_write)`` for a load/store sanitizer id."""
+    if func_id in _LOAD_IDS:
+        return _LOAD_IDS[func_id], False
+    if func_id in _STORE_IDS:
+        return _STORE_IDS[func_id], True
+    raise KeyError(func_id)
+
+
+def asan_check(
+    mem,
+    addr: int,
+    size: int,
+    is_write: bool,
+    probe_mem: bool = False,
+    site: int = -1,
+) -> bool:
+    """Validate one dispatched access against shadow memory.
+
+    Returns True when the access may proceed.  For PROBE_MEM sites
+    (fault-handled BTF-object loads) a null or unmapped address is
+    *not* a bug — the kernel handles the fault and the load yields
+    zero — so we return False to tell the interpreter to substitute
+    zero, without raising.  Everything else that fails the shadow check
+    raises :class:`SanitizerReport`, which is indicator #1 firing.
+    """
+    if probe_mem and (addr < 4096 or not mem.in_arena(addr, size)):
+        return False
+    try:
+        mem.shadow_check(addr, size, is_write=is_write, who="bpf_asan")
+    except KasanReport as exc:
+        raise SanitizerReport(
+            f"bpf_asan: {exc}",
+            address=addr,
+            size=size,
+            is_write=is_write,
+            context={"site": site, "probe_mem": probe_mem},
+        ) from exc
+    return True

@@ -1,0 +1,27 @@
+"""The eBPF self-test corpus.
+
+The kernel ships a large suite of manually-written verifier test
+programs (``tools/testing/selftests/bpf``); the paper uses 708 of them
+(those containing loads/stores) as the dataset for its sanitation
+overhead measurement, and relies on the suite's breadth as evidence
+the verifier behaves as intended.
+
+:mod:`repro.testsuite.selftests` reproduces that corpus in spirit:
+parameterised families of small hand-written programs, each annotated
+with the verdict the verifier must produce.  They serve three roles:
+
+1. integration tests — the verifier must accept/reject each as
+   annotated;
+2. the RQ3 overhead dataset — accepted programs containing loads or
+   stores, executed raw vs. sanitized;
+3. differential material — accepted programs must run without any
+   kernel report on a pristine kernel (no false positives).
+"""
+
+from repro.testsuite.selftests import (
+    SelfTest,
+    all_selftests,
+    all_selftests_extended,
+)
+
+__all__ = ["SelfTest", "all_selftests", "all_selftests_extended"]

@@ -1,0 +1,241 @@
+"""Matrix self-test families: exhaustive cross products.
+
+- the **helper × program-type matrix**: every helper callable from
+  every program type — accepted exactly when the prototype's
+  ``prog_types`` allows it (the verifier's availability checks);
+- the **helper × map-type matrix**: every map-taking helper against
+  every map type — accepted exactly per
+  ``check_map_func_compatibility``;
+- the **bounds-refinement matrix**: each comparison operator proving
+  (or failing to prove) an index bound for a map-value access.
+"""
+
+from __future__ import annotations
+
+from repro.ebpf import asm
+from repro.ebpf.helpers import ArgType, HelperId
+from repro.ebpf.maps import MapType
+from repro.ebpf.opcodes import AluOp, JmpOp, Reg, Size
+from repro.ebpf.program import BpfProgram, ProgType
+from repro.kernel.config import bpf_next
+from repro.ebpf.helpers import HelperRegistry
+from repro.testsuite.selftests import SelfTest
+
+__all__ = ["matrix_selftests"]
+
+_PROG_TYPES = (
+    ProgType.SOCKET_FILTER,
+    ProgType.KPROBE,
+    ProgType.XDP,
+    ProgType.TRACEPOINT,
+    ProgType.PERF_EVENT,
+)
+
+#: Helpers whose call sites the matrix can synthesise generically.
+_SIMPLE_HELPERS = (
+    HelperId.KTIME_GET_NS,
+    HelperId.GET_PRANDOM_U32,
+    HelperId.GET_SMP_PROCESSOR_ID,
+    HelperId.GET_CURRENT_PID_TGID,
+    HelperId.GET_CURRENT_UID_GID,
+    HelperId.GET_CURRENT_TASK,
+    HelperId.GET_CURRENT_TASK_BTF,
+)
+
+
+def _prog(insns, prog_type):
+    return BpfProgram(insns=list(insns), prog_type=prog_type)
+
+
+def _helper_prog_type_matrix() -> list[SelfTest]:
+    registry = HelperRegistry(bpf_next())
+    tests = []
+    for helper_id in _SIMPLE_HELPERS:
+        proto = registry.get(int(helper_id))
+        for prog_type in _PROG_TYPES:
+            allowed = (
+                proto.prog_types is None
+                or prog_type.value in proto.prog_types
+            )
+            # NMI-unsafe helpers are separately rejected on perf_event
+            # in fixed kernels (Bug #6's check); none here are.
+            def build(kernel, helper_id=helper_id, prog_type=prog_type):
+                body = [asm.call_helper(helper_id)]
+                if registry.get(int(helper_id)).ret.value == "ptr_to_btf_id":
+                    body.append(asm.mov64_imm(Reg.R0, 0))
+                else:
+                    body.append(asm.mov64_imm(Reg.R0, 0))
+                return _prog([*body, asm.exit_insn()], prog_type)
+
+            tests.append(
+                SelfTest(
+                    f"matrix_{proto.name}_{prog_type.value}",
+                    build,
+                    "accept" if allowed else "reject",
+                    has_memory_access=False,
+                )
+            )
+    return tests
+
+
+_LOOKUP_MAPS = (
+    (MapType.HASH, 8, True),
+    (MapType.ARRAY, 4, True),
+    (MapType.LRU_HASH, 8, True),
+    (MapType.QUEUE, 0, False),
+    (MapType.RINGBUF, 0, False),
+    (MapType.PROG_ARRAY, 4, False),
+)
+
+
+def _helper_map_type_matrix() -> list[SelfTest]:
+    tests = []
+    for map_type, key_size, allowed in _LOOKUP_MAPS:
+        def build(kernel, map_type=map_type, key_size=key_size):
+            if map_type == MapType.RINGBUF:
+                fd = kernel.map_create(map_type, 0, 0, 4096)
+            elif map_type == MapType.QUEUE:
+                fd = kernel.map_create(map_type, 0, 8, 4)
+            elif map_type == MapType.PROG_ARRAY:
+                fd = kernel.map_create(map_type, 4, 4, 4)
+            else:
+                fd = kernel.map_create(map_type, key_size, 8, 4)
+            store = (
+                asm.st_mem(Size.W, Reg.R10, -8, 0)
+                if key_size == 4
+                else asm.st_mem(Size.DW, Reg.R10, -8, 0)
+            )
+            return _prog(
+                [
+                    store,
+                    *asm.ld_map_fd(Reg.R1, fd),
+                    asm.mov64_reg(Reg.R2, Reg.R10),
+                    asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                    asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+                    asm.mov64_imm(Reg.R0, 0),
+                    asm.exit_insn(),
+                ],
+                ProgType.SOCKET_FILTER,
+            )
+
+        tests.append(
+            SelfTest(
+                f"matrix_lookup_on_{map_type.name.lower()}",
+                build,
+                "accept" if allowed else "reject",
+            )
+        )
+
+    # push/pop only on queue/stack.
+    for map_type, allowed in (
+        (MapType.QUEUE, True),
+        (MapType.STACK, True),
+        (MapType.HASH, False),
+        (MapType.RINGBUF, False),
+    ):
+        def build(kernel, map_type=map_type):
+            if map_type == MapType.RINGBUF:
+                fd = kernel.map_create(map_type, 0, 0, 4096)
+            elif map_type in (MapType.QUEUE, MapType.STACK):
+                fd = kernel.map_create(map_type, 0, 8, 4)
+            else:
+                fd = kernel.map_create(map_type, 8, 8, 4)
+            return _prog(
+                [
+                    asm.st_mem(Size.DW, Reg.R10, -8, 1),
+                    *asm.ld_map_fd(Reg.R1, fd),
+                    asm.mov64_reg(Reg.R2, Reg.R10),
+                    asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                    asm.mov64_imm(Reg.R3, 0),
+                    asm.call_helper(HelperId.MAP_PUSH_ELEM),
+                    asm.mov64_imm(Reg.R0, 0),
+                    asm.exit_insn(),
+                ],
+                ProgType.SOCKET_FILTER,
+            )
+
+        tests.append(
+            SelfTest(
+                f"matrix_push_on_{map_type.name.lower()}",
+                build,
+                "accept" if allowed else "reject",
+            )
+        )
+    return tests
+
+
+def _bounds_matrix() -> list[SelfTest]:
+    tests = []
+    for op, pivot, extra, ok in (
+        (JmpOp.JGT, 8, 0, True),
+        (JmpOp.JGT, 9, 0, False),
+        (JmpOp.JGE, 9, 0, True),
+        (JmpOp.JLT, 9, 0, None),   # taken-branch variant below
+        (JmpOp.JLE, 8, 0, None),
+    ):
+        if ok is None:
+            continue
+
+        def build(kernel, op=op, pivot=pivot, extra=extra):
+            fd = kernel.map_create(MapType.ARRAY, 4, 16, 1)
+            return _prog(
+                [
+                    *asm.ld_map_value(Reg.R6, fd, 0),
+                    asm.call_helper(HelperId.GET_PRANDOM_U32),
+                    asm.alu64_imm(AluOp.AND, Reg.R0, 15),  # idx in [0,15]
+                    asm.jmp_imm(op, Reg.R0, pivot, 3),
+                    asm.alu64_reg(AluOp.ADD, Reg.R6, Reg.R0),
+                    asm.ldx_mem(Size.DW, Reg.R1, Reg.R6, extra),
+                    asm.mov64_imm(Reg.R0, 0),
+                    asm.mov64_imm(Reg.R0, 0),
+                    asm.exit_insn(),
+                ],
+                ProgType.SOCKET_FILTER,
+            )
+
+        verdict = "accept" if ok else "reject"
+        tests.append(
+            SelfTest(
+                f"bounds_{op.name.lower()}_pivot{pivot}", build, verdict
+            )
+        )
+
+    # Taken-branch refinement: `if idx < pivot goto use`.
+    for op, pivot, ok in (
+        (JmpOp.JLT, 9, True),
+        (JmpOp.JLE, 8, True),
+        (JmpOp.JLE, 9, False),
+    ):
+        def build(kernel, op=op, pivot=pivot):
+            fd = kernel.map_create(MapType.ARRAY, 4, 16, 1)
+            return _prog(
+                [
+                    *asm.ld_map_value(Reg.R6, fd, 0),
+                    asm.call_helper(HelperId.GET_PRANDOM_U32),
+                    asm.alu64_imm(AluOp.AND, Reg.R0, 15),
+                    asm.jmp_imm(op, Reg.R0, pivot, 2),
+                    asm.mov64_imm(Reg.R0, 0),
+                    asm.exit_insn(),
+                    asm.alu64_reg(AluOp.ADD, Reg.R6, Reg.R0),
+                    asm.ldx_mem(Size.DW, Reg.R1, Reg.R6, 0),
+                    asm.mov64_imm(Reg.R0, 0),
+                    asm.exit_insn(),
+                ],
+                ProgType.SOCKET_FILTER,
+            )
+
+        verdict = "accept" if ok else "reject"
+        tests.append(
+            SelfTest(
+                f"bounds_taken_{op.name.lower()}_pivot{pivot}", build, verdict
+            )
+        )
+    return tests
+
+
+def matrix_selftests() -> list[SelfTest]:
+    tests: list[SelfTest] = []
+    tests += _helper_prog_type_matrix()
+    tests += _helper_map_type_matrix()
+    tests += _bounds_matrix()
+    return tests

@@ -1,0 +1,1205 @@
+"""Parameterised self-test program families.
+
+Each :class:`SelfTest` owns a builder that creates its resources (maps)
+in a given kernel and returns the program, plus the expected verifier
+verdict.  Families are expanded over sizes, offsets, operations, and
+program types, yielding several hundred distinct programs — the same
+order of magnitude as the paper's 708-test dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.ebpf import asm
+from repro.ebpf.helpers import HelperId
+from repro.ebpf.insn import Insn
+from repro.ebpf.maps import MapType
+from repro.ebpf.opcodes import (
+    AluOp,
+    AtomicOp,
+    JmpOp,
+    Reg,
+    Size,
+    BYTES_TO_SIZE,
+)
+from repro.ebpf.program import BpfProgram, ProgType
+
+__all__ = ["SelfTest", "all_selftests", "all_selftests_extended"]
+
+
+@dataclass
+class SelfTest:
+    """One self-contained verifier test."""
+
+    name: str
+    build: Callable[[object], BpfProgram]
+    #: 'accept' or 'reject'
+    expect: str
+    #: contains load/store instructions (RQ3 dataset membership)
+    has_memory_access: bool = True
+    #: expected R0 after execution, for semantic self-tests
+    expected_r0: int | None = None
+
+
+def _prog(insns, prog_type=ProgType.SOCKET_FILTER, name="test"):
+    return BpfProgram(insns=list(insns), prog_type=prog_type, name=name)
+
+
+def _exit_zero():
+    return [asm.mov64_imm(Reg.R0, 0), asm.exit_insn()]
+
+
+# ---------------------------------------------------------------------------
+# Families
+# ---------------------------------------------------------------------------
+
+
+def _stack_rw_family() -> list[SelfTest]:
+    tests = []
+    for size in (1, 2, 4, 8):
+        for off in (-8, -16, -64, -256, -512 + 8):
+            def build(kernel, size=size, off=off):
+                return _prog(
+                    [
+                        asm.st_mem(BYTES_TO_SIZE[size], Reg.R10, off, 42),
+                        asm.ldx_mem(BYTES_TO_SIZE[size], Reg.R0, Reg.R10, off),
+                        *(
+                            [asm.mov64_imm(Reg.R0, 0)]
+                            if size != 8
+                            else []
+                        ),
+                        asm.exit_insn(),
+                    ]
+                )
+            tests.append(SelfTest(f"stack_rw_{size}_at_{off}", build, "accept"))
+    for off, size in ((-516, 8), (8, 8), (0, 8), (-520, 8), (-4, 8)):
+        def build(kernel, size=size, off=off):
+            sz = BYTES_TO_SIZE.get(size, Size.DW)
+            return _prog(
+                [asm.st_mem(sz, Reg.R10, off, 1), *_exit_zero()]
+            )
+        tests.append(SelfTest(f"stack_oob_{size}_at_{off}", build, "reject"))
+    # Reading uninitialised stack.
+    for off in (-8, -128):
+        def build(kernel, off=off):
+            return _prog(
+                [asm.ldx_mem(Size.DW, Reg.R0, Reg.R10, off), asm.exit_insn()]
+            )
+        tests.append(SelfTest(f"stack_uninit_read_{off}", build, "reject"))
+    return tests
+
+
+def _spill_fill_family() -> list[SelfTest]:
+    tests = []
+
+    def build_ptr_spill(kernel):
+        fd = kernel.map_create(MapType.HASH, 8, 16, 8)
+        return _prog(
+            [
+                *asm.ld_map_fd(Reg.R1, fd),
+                asm.mov64_reg(Reg.R2, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                asm.st_mem(Size.DW, Reg.R2, 0, 0),
+                asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+                asm.jmp_imm(JmpOp.JNE, Reg.R0, 0, 2),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+                # Spill the map-value pointer and fill it back.
+                asm.stx_mem(Size.DW, Reg.R10, Reg.R0, -16),
+                asm.ldx_mem(Size.DW, Reg.R3, Reg.R10, -16),
+                asm.ldx_mem(Size.DW, Reg.R4, Reg.R3, 0),
+                *_exit_zero(),
+            ]
+        )
+
+    tests.append(SelfTest("spill_fill_map_value_ptr", build_ptr_spill, "accept"))
+
+    def build_partial_overwrite(kernel):
+        fd = kernel.map_create(MapType.HASH, 8, 16, 8)
+        return _prog(
+            [
+                *asm.ld_map_fd(Reg.R1, fd),
+                asm.mov64_reg(Reg.R2, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                asm.st_mem(Size.DW, Reg.R2, 0, 0),
+                asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+                asm.jmp_imm(JmpOp.JNE, Reg.R0, 0, 2),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+                asm.stx_mem(Size.DW, Reg.R10, Reg.R0, -16),
+                asm.st_mem(Size.B, Reg.R10, -12, 7),  # clobber one byte
+                asm.ldx_mem(Size.DW, Reg.R3, Reg.R10, -16),
+                asm.ldx_mem(Size.DW, Reg.R4, Reg.R3, 0),  # no longer a ptr
+                *_exit_zero(),
+            ]
+        )
+
+    tests.append(
+        SelfTest("spill_partial_overwrite_kills_ptr", build_partial_overwrite,
+                 "reject")
+    )
+
+    def build_scalar_spill(kernel):
+        return _prog(
+            [
+                asm.mov64_imm(Reg.R1, 77),
+                asm.stx_mem(Size.DW, Reg.R10, Reg.R1, -8),
+                asm.ldx_mem(Size.DW, Reg.R0, Reg.R10, -8),
+                asm.exit_insn(),
+            ]
+        )
+
+    tests.append(SelfTest("spill_fill_scalar", build_scalar_spill, "accept"))
+    return tests
+
+
+def _uninit_family() -> list[SelfTest]:
+    tests = []
+    for regno in (0, 2, 5, 9):
+        def build(kernel, regno=regno):
+            return _prog(
+                [
+                    asm.alu64_imm(AluOp.ADD, regno, 1),
+                    *_exit_zero(),
+                ]
+            )
+        tests.append(
+            SelfTest(f"uninit_reg_r{regno}", build, "reject",
+                     has_memory_access=False)
+        )
+
+    def build_uninit_r0_exit(kernel):
+        return _prog([asm.exit_insn()])
+
+    tests.append(
+        SelfTest("uninit_r0_at_exit", build_uninit_r0_exit, "reject",
+                 has_memory_access=False)
+    )
+    return tests
+
+
+def _alu_family() -> list[SelfTest]:
+    tests = []
+    ops = (AluOp.ADD, AluOp.SUB, AluOp.MUL, AluOp.OR, AluOp.AND, AluOp.XOR,
+           AluOp.LSH, AluOp.RSH, AluOp.ARSH, AluOp.DIV, AluOp.MOD)
+    for op in ops:
+        for is64 in (True, False):
+            def build(kernel, op=op, is64=is64):
+                alu = asm.alu64_imm if is64 else asm.alu32_imm
+                imm = 3 if op in (AluOp.LSH, AluOp.RSH, AluOp.ARSH) else 7
+                return _prog(
+                    [
+                        asm.mov64_imm(Reg.R0, 100),
+                        alu(op, Reg.R0, imm),
+                        asm.mov64_imm(Reg.R0, 0),
+                        asm.exit_insn(),
+                    ]
+                )
+            width = 64 if is64 else 32
+            tests.append(
+                SelfTest(f"alu{width}_{op.name.lower()}", build, "accept",
+                         has_memory_access=False)
+            )
+    # Invalid shifts and div-by-zero immediates.
+    for op, imm in ((AluOp.LSH, 64), (AluOp.RSH, 91), (AluOp.DIV, 0),
+                    (AluOp.MOD, 0)):
+        def build(kernel, op=op, imm=imm):
+            return _prog(
+                [
+                    asm.mov64_imm(Reg.R0, 1),
+                    asm.alu64_imm(op, Reg.R0, imm),
+                    asm.exit_insn(),
+                ]
+            )
+        tests.append(
+            SelfTest(f"alu_invalid_{op.name.lower()}_{imm}", build, "reject",
+                     has_memory_access=False)
+        )
+
+    def build_neg(kernel):
+        return _prog(
+            [
+                asm.mov64_imm(Reg.R0, 5),
+                asm.neg64(Reg.R0),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ]
+        )
+
+    tests.append(SelfTest("alu_neg", build_neg, "accept",
+                          has_memory_access=False))
+
+    for bits in (16, 32, 64):
+        def build(kernel, bits=bits):
+            return _prog(
+                [
+                    asm.mov64_imm(Reg.R0, 0x1234),
+                    asm.endian(Reg.R0, bits),
+                    asm.mov64_imm(Reg.R0, 0),
+                    asm.exit_insn(),
+                ]
+            )
+        tests.append(SelfTest(f"alu_bswap{bits}", build, "accept",
+                              has_memory_access=False))
+    return tests
+
+
+def _map_family() -> list[SelfTest]:
+    tests = []
+    for map_type, key_size, value_size in (
+        (MapType.HASH, 8, 8),
+        (MapType.HASH, 8, 16),
+        (MapType.HASH, 8, 64),
+        (MapType.HASH, 16, 32),
+        (MapType.ARRAY, 4, 8),
+        (MapType.ARRAY, 4, 32),
+        (MapType.LRU_HASH, 8, 16),
+    ):
+        def build(kernel, map_type=map_type, key_size=key_size,
+                  value_size=value_size):
+            fd = kernel.map_create(map_type, key_size, value_size, 8)
+            key_slots = -(-key_size // 8)
+            stores = [
+                asm.st_mem(Size.DW, Reg.R10, -8 * (i + 1), i)
+                for i in range(key_slots)
+            ]
+            if key_size == 4:
+                stores = [asm.st_mem(Size.W, Reg.R10, -8, 0)]
+            key_off = -8 * key_slots if key_size != 4 else -8
+            return _prog(
+                [
+                    *stores,
+                    *asm.ld_map_fd(Reg.R1, fd),
+                    asm.mov64_reg(Reg.R2, Reg.R10),
+                    asm.alu64_imm(AluOp.ADD, Reg.R2, key_off),
+                    asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+                    asm.jmp_imm(JmpOp.JNE, Reg.R0, 0, 2),
+                    asm.mov64_imm(Reg.R0, 0),
+                    asm.exit_insn(),
+                    asm.ldx_mem(Size.DW, Reg.R3, Reg.R0, value_size - 8),
+                    asm.st_mem(Size.DW, Reg.R0, 0, 99),
+                    *_exit_zero(),
+                ]
+            )
+        tests.append(
+            SelfTest(
+                f"map_lookup_{map_type.name.lower()}_k{key_size}_v{value_size}",
+                build,
+                "accept",
+            )
+        )
+
+    def build_missing_null_check(kernel):
+        fd = kernel.map_create(MapType.HASH, 8, 16, 8)
+        return _prog(
+            [
+                asm.st_mem(Size.DW, Reg.R10, -8, 0),
+                *asm.ld_map_fd(Reg.R1, fd),
+                asm.mov64_reg(Reg.R2, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+                asm.ldx_mem(Size.DW, Reg.R3, Reg.R0, 0),  # no null check!
+                *_exit_zero(),
+            ]
+        )
+
+    tests.append(
+        SelfTest("map_lookup_missing_null_check", build_missing_null_check,
+                 "reject")
+    )
+
+    for oob_off in (16, 17, 1024):
+        def build(kernel, oob_off=oob_off):
+            fd = kernel.map_create(MapType.HASH, 8, 16, 8)
+            return _prog(
+                [
+                    asm.st_mem(Size.DW, Reg.R10, -8, 0),
+                    *asm.ld_map_fd(Reg.R1, fd),
+                    asm.mov64_reg(Reg.R2, Reg.R10),
+                    asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                    asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+                    asm.jmp_imm(JmpOp.JNE, Reg.R0, 0, 2),
+                    asm.mov64_imm(Reg.R0, 0),
+                    asm.exit_insn(),
+                    asm.ldx_mem(Size.DW, Reg.R3, Reg.R0, oob_off),
+                    *_exit_zero(),
+                ]
+            )
+        tests.append(SelfTest(f"map_value_oob_{oob_off}", build, "reject"))
+
+    def build_update(kernel):
+        fd = kernel.map_create(MapType.HASH, 8, 8, 8)
+        return _prog(
+            [
+                asm.st_mem(Size.DW, Reg.R10, -8, 1),
+                asm.st_mem(Size.DW, Reg.R10, -16, 2),
+                *asm.ld_map_fd(Reg.R1, fd),
+                asm.mov64_reg(Reg.R2, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                asm.mov64_reg(Reg.R3, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R3, -16),
+                asm.mov64_imm(Reg.R4, 0),
+                asm.call_helper(HelperId.MAP_UPDATE_ELEM),
+                *_exit_zero(),
+            ]
+        )
+
+    tests.append(SelfTest("map_update", build_update, "accept"))
+
+    def build_direct_value(kernel):
+        fd = kernel.map_create(MapType.ARRAY, 4, 32, 1)
+        return _prog(
+            [
+                *asm.ld_map_value(Reg.R1, fd, 8),
+                asm.st_mem(Size.DW, Reg.R1, 0, 5),
+                asm.ldx_mem(Size.DW, Reg.R0, Reg.R1, 16),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ]
+        )
+
+    tests.append(SelfTest("map_direct_value", build_direct_value, "accept"))
+
+    def build_queue(kernel):
+        fd = kernel.map_create(MapType.QUEUE, 0, 16, 8)
+        return _prog(
+            [
+                asm.st_mem(Size.DW, Reg.R10, -8, 1),
+                asm.st_mem(Size.DW, Reg.R10, -16, 2),
+                *asm.ld_map_fd(Reg.R1, fd),
+                asm.mov64_reg(Reg.R2, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R2, -16),
+                asm.mov64_imm(Reg.R3, 0),
+                asm.call_helper(HelperId.MAP_PUSH_ELEM),
+                *_exit_zero(),
+            ]
+        )
+
+    tests.append(SelfTest("map_queue_push", build_queue, "accept"))
+    return tests
+
+
+def _bounds_family() -> list[SelfTest]:
+    """Range-tracking behaviours: bounded indices into map values."""
+    tests = []
+    for bound, ok in ((8, True), (24, False)):
+        def build(kernel, bound=bound):
+            fd = kernel.map_create(MapType.HASH, 8, 16, 8)
+            return _prog(
+                [
+                    asm.st_mem(Size.DW, Reg.R10, -8, 0),
+                    *asm.ld_map_fd(Reg.R1, fd),
+                    asm.mov64_reg(Reg.R2, Reg.R10),
+                    asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                    asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+                    asm.jmp_imm(JmpOp.JNE, Reg.R0, 0, 2),
+                    asm.mov64_imm(Reg.R0, 0),
+                    asm.exit_insn(),
+                    # r1 = bounded scalar index via AND masking
+                    asm.call_helper(HelperId.GET_PRANDOM_U32),
+                    asm.alu64_imm(AluOp.AND, Reg.R0, bound - 1),
+                    asm.mov64_reg(Reg.R1, Reg.R0),
+                    # reload the value pointer (r0 was clobbered)
+                    asm.st_mem(Size.DW, Reg.R10, -8, 0),
+                    *asm.ld_map_fd(Reg.R6, fd),
+                    asm.mov64_reg(Reg.R7, Reg.R1),
+                    asm.mov64_reg(Reg.R1, Reg.R6),
+                    asm.mov64_reg(Reg.R2, Reg.R10),
+                    asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                    asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+                    asm.jmp_imm(JmpOp.JNE, Reg.R0, 0, 2),
+                    asm.mov64_imm(Reg.R0, 0),
+                    asm.exit_insn(),
+                    asm.alu64_reg(AluOp.ADD, Reg.R0, Reg.R7),
+                    asm.ldx_mem(Size.B, Reg.R3, Reg.R0, 0),
+                    *_exit_zero(),
+                ]
+            )
+        verdict = "accept" if ok else "reject"
+        tests.append(SelfTest(f"bounded_index_and_{bound}", build, verdict))
+
+    for cmp_bound, ok in ((8, True), (64, False)):
+        def build(kernel, cmp_bound=cmp_bound):
+            fd = kernel.map_create(MapType.HASH, 8, 16, 8)
+            return _prog(
+                [
+                    asm.st_mem(Size.DW, Reg.R10, -8, 0),
+                    *asm.ld_map_fd(Reg.R1, fd),
+                    asm.mov64_reg(Reg.R2, Reg.R10),
+                    asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                    asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+                    asm.jmp_imm(JmpOp.JNE, Reg.R0, 0, 2),
+                    asm.mov64_imm(Reg.R0, 0),
+                    asm.exit_insn(),
+                    asm.mov64_reg(Reg.R6, Reg.R0),
+                    asm.call_helper(HelperId.GET_PRANDOM_U32),
+                    # branch-refined bound: if r0 > N goto exit
+                    asm.jmp_imm(JmpOp.JGT, Reg.R0, cmp_bound - 1, 3),
+                    asm.alu64_reg(AluOp.ADD, Reg.R6, Reg.R0),
+                    asm.ldx_mem(Size.B, Reg.R3, Reg.R6, 0),
+                    asm.mov64_imm(Reg.R0, 0),
+                    *_exit_zero(),
+                ]
+            )
+        verdict = "accept" if ok else "reject"
+        tests.append(SelfTest(f"branch_bounded_index_{cmp_bound}", build, verdict))
+    return tests
+
+
+def _branch_family() -> list[SelfTest]:
+    tests = []
+    for op in (JmpOp.JEQ, JmpOp.JNE, JmpOp.JGT, JmpOp.JGE, JmpOp.JLT,
+               JmpOp.JLE, JmpOp.JSGT, JmpOp.JSGE, JmpOp.JSLT, JmpOp.JSLE,
+               JmpOp.JSET):
+        for is32 in (False, True):
+            def build(kernel, op=op, is32=is32):
+                jmp = asm.jmp32_imm if is32 else asm.jmp_imm
+                return _prog(
+                    [
+                        asm.mov64_imm(Reg.R1, 10),
+                        jmp(op, Reg.R1, 5, 1),
+                        asm.mov64_imm(Reg.R1, 0),
+                        *_exit_zero(),
+                    ]
+                )
+            width = 32 if is32 else 64
+            tests.append(
+                SelfTest(f"branch{width}_{op.name.lower()}", build, "accept",
+                         has_memory_access=False)
+            )
+
+    def build_oob_jump(kernel):
+        return _prog(
+            [asm.mov64_imm(Reg.R0, 0), asm.ja(5), asm.exit_insn()]
+        )
+
+    tests.append(SelfTest("jump_out_of_range", build_oob_jump, "reject",
+                          has_memory_access=False))
+
+    def build_jump_into_ldimm64(kernel):
+        return _prog(
+            [
+                asm.ja(1),  # lands on the LD_IMM64 second slot
+                *asm.ld_imm64(Reg.R1, 0x1234567890),
+                *_exit_zero(),
+            ]
+        )
+
+    tests.append(
+        SelfTest("jump_into_ldimm64", build_jump_into_ldimm64, "reject",
+                 has_memory_access=False)
+    )
+
+    def build_fallthrough(kernel):
+        return _prog([asm.mov64_imm(Reg.R0, 0)])
+
+    tests.append(SelfTest("fall_off_end", build_fallthrough, "reject",
+                          has_memory_access=False))
+    return tests
+
+
+def _loop_family() -> list[SelfTest]:
+    tests = []
+    for n in (1, 4, 16):
+        def build(kernel, n=n):
+            return _prog(
+                [
+                    asm.mov64_imm(Reg.R1, 0),
+                    asm.mov64_imm(Reg.R2, 0),
+                    # loop body
+                    asm.alu64_imm(AluOp.ADD, Reg.R2, 3),
+                    asm.alu64_imm(AluOp.ADD, Reg.R1, 1),
+                    asm.jmp_imm(JmpOp.JLT, Reg.R1, n, -3),
+                    *_exit_zero(),
+                ]
+            )
+        tests.append(SelfTest(f"bounded_loop_{n}", build, "accept",
+                              has_memory_access=False))
+
+    def build_infinite(kernel):
+        return _prog(
+            [
+                asm.mov64_imm(Reg.R1, 0),
+                asm.alu64_imm(AluOp.ADD, Reg.R1, 0),  # no progress
+                asm.jmp_imm(JmpOp.JLT, Reg.R1, 5, -2),
+                *_exit_zero(),
+            ]
+        )
+
+    tests.append(SelfTest("infinite_loop", build_infinite, "reject",
+                          has_memory_access=False))
+
+    def build_ja_self(kernel):
+        return _prog([asm.ja(-1), *_exit_zero()])
+
+    tests.append(SelfTest("ja_self_loop", build_ja_self, "reject",
+                          has_memory_access=False))
+    return tests
+
+
+def _ctx_family() -> list[SelfTest]:
+    tests = []
+    for prog_type, off, size, ok in (
+        (ProgType.SOCKET_FILTER, 0, 4, True),    # len
+        (ProgType.SOCKET_FILTER, 8, 4, True),    # mark
+        (ProgType.SOCKET_FILTER, 24, 4, False),  # hole
+        (ProgType.SOCKET_FILTER, 400, 4, False),  # out of range
+        (ProgType.KPROBE, 0, 8, True),
+        (ProgType.KPROBE, 64, 8, True),
+        (ProgType.TRACEPOINT, 16, 8, True),      # raw readable
+        (ProgType.PERF_EVENT, 0, 8, True),
+        (ProgType.XDP, 12, 4, True),             # ingress_ifindex
+    ):
+        def build(kernel, prog_type=prog_type, off=off, size=size):
+            return _prog(
+                [
+                    asm.ldx_mem(BYTES_TO_SIZE[size], Reg.R0, Reg.R1, off),
+                    *_exit_zero(),
+                ],
+                prog_type=prog_type,
+            )
+        verdict = "accept" if ok else "reject"
+        tests.append(
+            SelfTest(
+                f"ctx_read_{prog_type.value}_{off}_{size}", build, verdict
+            )
+        )
+
+    def build_ctx_write_ok(kernel):
+        return _prog(
+            [
+                asm.st_mem(Size.W, Reg.R1, 8, 1),  # mark is writable
+                *_exit_zero(),
+            ]
+        )
+
+    tests.append(SelfTest("ctx_write_mark", build_ctx_write_ok, "accept"))
+
+    def build_ctx_write_ro(kernel):
+        return _prog(
+            [
+                asm.st_mem(Size.W, Reg.R1, 0, 1),  # len is read-only
+                *_exit_zero(),
+            ]
+        )
+
+    tests.append(SelfTest("ctx_write_readonly", build_ctx_write_ro, "reject"))
+    return tests
+
+
+def _packet_family() -> list[SelfTest]:
+    tests = []
+    for prog_type in (ProgType.SOCKET_FILTER, ProgType.XDP, ProgType.SCHED_CLS):
+        descriptor_offs = {"socket_filter": (76, 80), "sched_cls": (76, 80),
+                           "xdp": (0, 4)}
+        data_off, end_off = descriptor_offs[prog_type.value]
+        for n in (2, 14, 34):
+            def build(kernel, prog_type=prog_type, data_off=data_off,
+                      end_off=end_off, n=n):
+                return _prog(
+                    [
+                        asm.ldx_mem(Size.W, Reg.R2, Reg.R1, data_off),
+                        asm.ldx_mem(Size.W, Reg.R3, Reg.R1, end_off),
+                        asm.mov64_reg(Reg.R4, Reg.R2),
+                        asm.alu64_imm(AluOp.ADD, Reg.R4, n),
+                        asm.jmp_reg(JmpOp.JGT, Reg.R4, Reg.R3, 1),
+                        asm.ldx_mem(Size.B, Reg.R5, Reg.R2, n - 1),
+                        *_exit_zero(),
+                    ],
+                    prog_type=prog_type,
+                )
+            tests.append(
+                SelfTest(f"pkt_bounded_{prog_type.value}_{n}", build, "accept")
+            )
+
+        def build_unchecked(kernel, prog_type=prog_type, data_off=data_off):
+            return _prog(
+                [
+                    asm.ldx_mem(Size.W, Reg.R2, Reg.R1, data_off),
+                    asm.ldx_mem(Size.B, Reg.R0, Reg.R2, 0),  # no check
+                    *_exit_zero(),
+                ],
+                prog_type=prog_type,
+            )
+
+        tests.append(
+            SelfTest(f"pkt_unchecked_{prog_type.value}", build_unchecked,
+                     "reject")
+        )
+
+    def build_pkt_on_kprobe(kernel):
+        # Offset 76 is a narrow read of a pt_regs register on kprobe
+        # contexts — legal, and crucially NOT a packet pointer load.
+        return _prog(
+            [
+                asm.ldx_mem(Size.W, Reg.R2, Reg.R1, 76),
+                *_exit_zero(),
+            ],
+            prog_type=ProgType.KPROBE,
+        )
+
+    tests.append(
+        SelfTest("ctx_narrow_read_kprobe", build_pkt_on_kprobe, "accept")
+    )
+    return tests
+
+
+def _helper_family() -> list[SelfTest]:
+    tests = []
+    simple = (
+        (HelperId.KTIME_GET_NS, None),
+        (HelperId.GET_PRANDOM_U32, None),
+        (HelperId.GET_SMP_PROCESSOR_ID, None),
+        (HelperId.GET_CURRENT_PID_TGID, ProgType.KPROBE),
+        (HelperId.GET_CURRENT_UID_GID, ProgType.KPROBE),
+        (HelperId.GET_CURRENT_TASK, ProgType.KPROBE),
+    )
+    for hid, prog_type in simple:
+        def build(kernel, hid=hid, prog_type=prog_type):
+            return _prog(
+                [asm.call_helper(hid), *_exit_zero()],
+                prog_type=prog_type or ProgType.SOCKET_FILTER,
+            )
+        tests.append(
+            SelfTest(f"helper_{HelperId(hid).name.lower()}", build, "accept",
+                     has_memory_access=False)
+        )
+
+    def build_comm(kernel):
+        return _prog(
+            [
+                asm.mov64_reg(Reg.R1, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R1, -16),
+                asm.mov64_imm(Reg.R2, 16),
+                asm.call_helper(HelperId.GET_CURRENT_COMM),
+                asm.ldx_mem(Size.DW, Reg.R0, Reg.R10, -16),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+            prog_type=ProgType.KPROBE,
+        )
+
+    tests.append(SelfTest("helper_get_current_comm", build_comm, "accept"))
+
+    def build_probe_read(kernel):
+        return _prog(
+            [
+                asm.mov64_reg(Reg.R1, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R1, -8),
+                asm.mov64_imm(Reg.R2, 8),
+                *asm.ld_imm64(Reg.R3, 0xFFFF888000001000),
+                asm.call_helper(HelperId.PROBE_READ_KERNEL),
+                *_exit_zero(),
+            ],
+            prog_type=ProgType.KPROBE,
+        )
+
+    tests.append(SelfTest("helper_probe_read_kernel", build_probe_read,
+                          "accept"))
+
+    def build_wrong_type(kernel):
+        # Tracing-only helper from a socket filter.
+        return _prog(
+            [asm.call_helper(HelperId.GET_CURRENT_PID_TGID), *_exit_zero()],
+            prog_type=ProgType.SOCKET_FILTER,
+        )
+
+    tests.append(
+        SelfTest("helper_wrong_prog_type", build_wrong_type, "reject",
+                 has_memory_access=False)
+    )
+
+    def build_unknown(kernel):
+        return _prog(
+            [asm.call_helper(0x7FFF), *_exit_zero()],
+        )
+
+    tests.append(SelfTest("helper_unknown_id", build_unknown, "reject",
+                          has_memory_access=False))
+
+    def build_bad_arg(kernel):
+        fd = kernel.map_create(MapType.HASH, 8, 8, 8)
+        return _prog(
+            [
+                *asm.ld_map_fd(Reg.R1, fd),
+                asm.mov64_imm(Reg.R2, 12345),  # scalar where ptr expected
+                asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+                *_exit_zero(),
+            ]
+        )
+
+    tests.append(SelfTest("helper_scalar_as_key_ptr", build_bad_arg, "reject",
+                          has_memory_access=False))
+
+    def build_uninit_key(kernel):
+        fd = kernel.map_create(MapType.HASH, 8, 8, 8)
+        return _prog(
+            [
+                *asm.ld_map_fd(Reg.R1, fd),
+                asm.mov64_reg(Reg.R2, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                asm.call_helper(HelperId.MAP_LOOKUP_ELEM),  # key not written
+                *_exit_zero(),
+            ]
+        )
+
+    tests.append(SelfTest("helper_uninit_key", build_uninit_key, "reject",
+                          has_memory_access=False))
+    return tests
+
+
+def _atomic_family() -> list[SelfTest]:
+    tests = []
+    for op in (AtomicOp.ADD, AtomicOp.OR, AtomicOp.AND, AtomicOp.XOR,
+               AtomicOp.ADD | AtomicOp.FETCH, AtomicOp.XCHG,
+               AtomicOp.CMPXCHG):
+        for size in (Size.W, Size.DW):
+            def build(kernel, op=op, size=size):
+                return _prog(
+                    [
+                        asm.st_mem(Size.DW, Reg.R10, -8, 10),
+                        asm.mov64_imm(Reg.R0, 10),
+                        asm.mov64_imm(Reg.R1, 3),
+                        asm.mov64_reg(Reg.R2, Reg.R10),
+                        asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                        asm.atomic_op(size, op, Reg.R2, Reg.R1, 0),
+                        asm.mov64_imm(Reg.R0, 0),
+                        asm.exit_insn(),
+                    ]
+                )
+            name = f"atomic_{int(op):#04x}_{'w' if size == Size.W else 'dw'}"
+            tests.append(SelfTest(name, build, "accept"))
+
+    def build_bad_size(kernel):
+        return _prog(
+            [
+                asm.st_mem(Size.DW, Reg.R10, -8, 0),
+                asm.mov64_imm(Reg.R1, 1),
+                asm.atomic_op(Size.B, AtomicOp.ADD, Reg.R10, Reg.R1, -8),
+                *_exit_zero(),
+            ]
+        )
+
+    tests.append(SelfTest("atomic_bad_size", build_bad_size, "reject",
+                          has_memory_access=False))
+    return tests
+
+
+def _subprog_family() -> list[SelfTest]:
+    tests = []
+
+    def build_call(kernel):
+        return _prog(
+            [
+                asm.mov64_imm(Reg.R1, 21),
+                asm.call_subprog(2),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+                # subprog: r0 = r1 * 2
+                asm.mov64_reg(Reg.R0, Reg.R1),
+                asm.alu64_imm(AluOp.MUL, Reg.R0, 2),
+                asm.exit_insn(),
+            ]
+        )
+
+    tests.append(SelfTest("subprog_simple", build_call, "accept",
+                          has_memory_access=False))
+
+    def build_callee_saved(kernel):
+        return _prog(
+            [
+                asm.mov64_imm(Reg.R6, 7),
+                asm.mov64_imm(Reg.R1, 1),
+                asm.call_subprog(3),
+                asm.alu64_reg(AluOp.ADD, Reg.R0, Reg.R6),  # r6 preserved
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+                asm.mov64_imm(Reg.R0, 5),
+                asm.exit_insn(),
+            ]
+        )
+
+    tests.append(SelfTest("subprog_callee_saved", build_callee_saved,
+                          "accept", has_memory_access=False))
+
+    def build_uninit_arg_use(kernel):
+        return _prog(
+            [
+                asm.call_subprog(2),  # r1..r5 never set
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+                asm.mov64_reg(Reg.R0, Reg.R2),  # reads caller garbage
+                asm.exit_insn(),
+            ]
+        )
+
+    tests.append(SelfTest("subprog_uninit_arg", build_uninit_arg_use,
+                          "reject", has_memory_access=False))
+
+    def build_own_stack(kernel):
+        return _prog(
+            [
+                asm.st_mem(Size.DW, Reg.R10, -8, 11),
+                asm.mov64_imm(Reg.R1, 0),
+                asm.call_subprog(3),
+                asm.ldx_mem(Size.DW, Reg.R0, Reg.R10, -8),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+                # subprog with its own frame
+                asm.st_mem(Size.DW, Reg.R10, -8, 22),
+                asm.ldx_mem(Size.DW, Reg.R0, Reg.R10, -8),
+                asm.exit_insn(),
+            ]
+        )
+
+    tests.append(SelfTest("subprog_own_stack", build_own_stack, "accept"))
+    return tests
+
+
+def _btf_family() -> list[SelfTest]:
+    tests = []
+
+    def build_task_read(kernel):
+        return _prog(
+            [
+                asm.call_helper(HelperId.GET_CURRENT_TASK_BTF),
+                asm.ldx_mem(Size.W, Reg.R1, Reg.R0, 32),  # pid
+                *_exit_zero(),
+            ],
+            prog_type=ProgType.KPROBE,
+        )
+
+    tests.append(SelfTest("btf_task_pid_read", build_task_read, "accept"))
+
+    def build_task_oob(kernel):
+        return _prog(
+            [
+                asm.call_helper(HelperId.GET_CURRENT_TASK_BTF),
+                asm.ldx_mem(Size.DW, Reg.R1, Reg.R0, 128),  # at the end
+                *_exit_zero(),
+            ],
+            prog_type=ProgType.KPROBE,
+        )
+
+    tests.append(SelfTest("btf_task_oob", build_task_oob, "reject"))
+
+    def build_task_write(kernel):
+        return _prog(
+            [
+                asm.call_helper(HelperId.GET_CURRENT_TASK_BTF),
+                asm.st_mem(Size.W, Reg.R0, 32, 0),
+                *_exit_zero(),
+            ],
+            prog_type=ProgType.KPROBE,
+        )
+
+    tests.append(SelfTest("btf_task_write", build_task_write, "reject"))
+
+    def build_ptr_chase(kernel):
+        return _prog(
+            [
+                asm.call_helper(HelperId.GET_CURRENT_TASK_BTF),
+                asm.ldx_mem(Size.DW, Reg.R1, Reg.R0, 40),  # parent
+                asm.ldx_mem(Size.W, Reg.R2, Reg.R1, 32),   # parent->pid
+                *_exit_zero(),
+            ],
+            prog_type=ProgType.KPROBE,
+        )
+
+    tests.append(SelfTest("btf_ptr_chase", build_ptr_chase, "accept"))
+    return tests
+
+
+def _structure_family() -> list[SelfTest]:
+    tests = []
+
+    def build_empty(kernel):
+        return _prog([])
+
+    tests.append(SelfTest("empty_program", build_empty, "reject",
+                          has_memory_access=False))
+
+    def build_bad_opcode(kernel):
+        return _prog([Insn(opcode=0xFF), *_exit_zero()])
+
+    tests.append(SelfTest("unknown_opcode", build_bad_opcode, "reject",
+                          has_memory_access=False))
+
+    def build_bad_reg(kernel):
+        return _prog([asm.mov64_imm(12, 0), *_exit_zero()])
+
+    tests.append(SelfTest("register_out_of_range", build_bad_reg, "reject",
+                          has_memory_access=False))
+
+    def build_write_fp(kernel):
+        return _prog([asm.mov64_imm(Reg.R10, 0), *_exit_zero()])
+
+    tests.append(SelfTest("write_frame_pointer", build_write_fp, "reject",
+                          has_memory_access=False))
+
+    def build_huge(kernel):
+        body = [asm.mov64_imm(Reg.R0, 0)] * 5000
+        return _prog([*body, asm.exit_insn()])
+
+    tests.append(SelfTest("too_many_insns", build_huge, "reject",
+                          has_memory_access=False))
+
+    def build_ret_ptr(kernel):
+        return _prog(
+            [asm.mov64_reg(Reg.R0, Reg.R10), asm.exit_insn()]
+        )
+
+    tests.append(SelfTest("leak_pointer_in_r0", build_ret_ptr, "reject",
+                          has_memory_access=False))
+    return tests
+
+
+def _spin_lock_family() -> list[SelfTest]:
+    """bpf_spin_lock discipline on lock-bearing map values."""
+    tests = []
+
+    def lock_prog(kernel, unlock=True, touch_lock=False, call_inside=False):
+        fd = kernel.map_create(MapType.HASH, 8, 16, 4, has_spin_lock=True)
+        body = [
+            asm.mov64_reg(Reg.R6, Reg.R0),
+            asm.mov64_reg(Reg.R1, Reg.R0),
+            asm.call_helper(HelperId.SPIN_LOCK),
+        ]
+        if call_inside:
+            body.append(asm.call_helper(HelperId.KTIME_GET_NS))
+        body.append(asm.st_mem(Size.DW, Reg.R6, 8, 42))
+        if touch_lock:
+            body.append(asm.st_mem(Size.W, Reg.R6, 0, 1))
+        if unlock:
+            body += [
+                asm.mov64_reg(Reg.R1, Reg.R6),
+                asm.call_helper(HelperId.SPIN_UNLOCK),
+            ]
+        return _prog(
+            [
+                asm.st_mem(Size.DW, Reg.R10, -8, 0),
+                *asm.ld_map_fd(Reg.R1, fd),
+                asm.mov64_reg(Reg.R2, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+                asm.jmp_imm(JmpOp.JNE, Reg.R0, 0, 2),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+                *body,
+                *_exit_zero(),
+            ]
+        )
+
+    tests.append(SelfTest("spin_lock_balanced", lock_prog, "accept"))
+    tests.append(
+        SelfTest(
+            "spin_lock_leaked",
+            lambda k: lock_prog(k, unlock=False),
+            "reject",
+        )
+    )
+    tests.append(
+        SelfTest(
+            "spin_lock_region_untouchable",
+            lambda k: lock_prog(k, touch_lock=True),
+            "reject",
+        )
+    )
+    tests.append(
+        SelfTest(
+            "spin_lock_no_calls_inside",
+            lambda k: lock_prog(k, call_inside=True),
+            "reject",
+        )
+    )
+
+    def unlock_without_lock(kernel):
+        fd = kernel.map_create(MapType.HASH, 8, 16, 4, has_spin_lock=True)
+        return _prog(
+            [
+                asm.st_mem(Size.DW, Reg.R10, -8, 0),
+                *asm.ld_map_fd(Reg.R1, fd),
+                asm.mov64_reg(Reg.R2, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+                asm.jmp_imm(JmpOp.JNE, Reg.R0, 0, 2),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+                asm.mov64_reg(Reg.R1, Reg.R0),
+                asm.call_helper(HelperId.SPIN_UNLOCK),
+                *_exit_zero(),
+            ]
+        )
+
+    tests.append(
+        SelfTest("spin_unlock_without_lock", unlock_without_lock, "reject")
+    )
+
+    def lock_on_plain_map(kernel):
+        fd = kernel.map_create(MapType.HASH, 8, 16, 4)  # no lock
+        return _prog(
+            [
+                asm.st_mem(Size.DW, Reg.R10, -8, 0),
+                *asm.ld_map_fd(Reg.R1, fd),
+                asm.mov64_reg(Reg.R2, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+                asm.jmp_imm(JmpOp.JNE, Reg.R0, 0, 2),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+                asm.mov64_reg(Reg.R1, Reg.R0),
+                asm.call_helper(HelperId.SPIN_LOCK),
+                asm.mov64_reg(Reg.R1, Reg.R0),
+                asm.call_helper(HelperId.SPIN_UNLOCK),
+                *_exit_zero(),
+            ]
+        )
+
+    tests.append(
+        SelfTest("spin_lock_on_lockless_map", lock_on_plain_map, "reject")
+    )
+    return tests
+
+
+def _ringbuf_family() -> list[SelfTest]:
+    """Reference tracking: reserve/submit/discard obligations."""
+    tests = []
+
+    def reserve_prog(kernel, size=16, release=HelperId.RINGBUF_SUBMIT,
+                     leak=False, use_after=False, double=False):
+        fd = kernel.map_create(MapType.RINGBUF, 0, 0, 4096)
+        tail = []
+        if not leak:
+            tail = [
+                asm.mov64_reg(Reg.R1, Reg.R0),
+                asm.mov64_imm(Reg.R2, 0),
+                asm.call_helper(release),
+            ]
+            if double:
+                tail += [
+                    asm.mov64_reg(Reg.R1, Reg.R6),
+                    asm.mov64_imm(Reg.R2, 0),
+                    asm.call_helper(release),
+                ]
+        extra = [asm.ldx_mem(Size.DW, Reg.R3, Reg.R6, 0)] if use_after else []
+        body = [
+            asm.mov64_reg(Reg.R6, Reg.R0),
+            asm.st_mem(Size.DW, Reg.R0, 0, 7),
+            *tail,
+            *extra,
+        ]
+        return _prog(
+            [
+                *asm.ld_map_fd(Reg.R1, fd),
+                asm.mov64_imm(Reg.R2, size),
+                asm.mov64_imm(Reg.R3, 0),
+                asm.call_helper(HelperId.RINGBUF_RESERVE),
+                asm.jmp_imm(JmpOp.JEQ, Reg.R0, 0, len(body)),
+                *body,
+                *_exit_zero(),
+            ]
+        )
+
+    for release in (HelperId.RINGBUF_SUBMIT, HelperId.RINGBUF_DISCARD):
+        name = HelperId(release).name.lower()
+        tests.append(
+            SelfTest(
+                f"ringbuf_reserve_{name}",
+                lambda k, r=release: reserve_prog(k, release=r),
+                "accept",
+            )
+        )
+    tests.append(
+        SelfTest(
+            "ringbuf_reserve_leak",
+            lambda k: reserve_prog(k, leak=True),
+            "reject",
+        )
+    )
+    tests.append(
+        SelfTest(
+            "ringbuf_use_after_release",
+            lambda k: reserve_prog(k, use_after=True),
+            "reject",
+        )
+    )
+    tests.append(
+        SelfTest(
+            "ringbuf_double_release",
+            lambda k: reserve_prog(k, double=True),
+            "reject",
+        )
+    )
+
+    def unchecked_reserve(kernel):
+        fd = kernel.map_create(MapType.RINGBUF, 0, 0, 4096)
+        return _prog(
+            [
+                *asm.ld_map_fd(Reg.R1, fd),
+                asm.mov64_imm(Reg.R2, 16),
+                asm.mov64_imm(Reg.R3, 0),
+                asm.call_helper(HelperId.RINGBUF_RESERVE),
+                asm.st_mem(Size.DW, Reg.R0, 0, 1),  # no null check
+                *_exit_zero(),
+            ]
+        )
+
+    tests.append(
+        SelfTest("ringbuf_reserve_no_null_check", unchecked_reserve, "reject")
+    )
+
+    def record_oob(kernel):
+        fd = kernel.map_create(MapType.RINGBUF, 0, 0, 4096)
+        body = [
+            asm.st_mem(Size.DW, Reg.R0, 16, 1),  # record is 16 bytes
+            asm.mov64_reg(Reg.R1, Reg.R0),
+            asm.mov64_imm(Reg.R2, 0),
+            asm.call_helper(HelperId.RINGBUF_DISCARD),
+        ]
+        return _prog(
+            [
+                *asm.ld_map_fd(Reg.R1, fd),
+                asm.mov64_imm(Reg.R2, 16),
+                asm.mov64_imm(Reg.R3, 0),
+                asm.call_helper(HelperId.RINGBUF_RESERVE),
+                asm.jmp_imm(JmpOp.JEQ, Reg.R0, 0, len(body)),
+                *body,
+                *_exit_zero(),
+            ]
+        )
+
+    tests.append(SelfTest("ringbuf_record_oob", record_oob, "reject"))
+    return tests
+
+
+def all_selftests() -> list[SelfTest]:
+    """The full corpus, every family expanded."""
+    tests: list[SelfTest] = []
+    tests += _stack_rw_family()
+    tests += _spill_fill_family()
+    tests += _uninit_family()
+    tests += _alu_family()
+    tests += _map_family()
+    tests += _bounds_family()
+    tests += _branch_family()
+    tests += _loop_family()
+    tests += _ctx_family()
+    tests += _packet_family()
+    tests += _helper_family()
+    tests += _atomic_family()
+    tests += _subprog_family()
+    tests += _btf_family()
+    tests += _ringbuf_family()
+    tests += _spin_lock_family()
+    tests += _structure_family()
+    return tests
+
+
+def all_selftests_extended() -> list[SelfTest]:
+    """The base corpus plus the semantic and matrix families."""
+    from repro.testsuite.matrix import matrix_selftests
+    from repro.testsuite.semantic import semantic_selftests
+
+    return all_selftests() + semantic_selftests() + matrix_selftests()

@@ -1,0 +1,393 @@
+"""Semantic self-test families: programs with known results.
+
+These mirror the kernel's ``test_verifier``/``test_progs`` style where
+a program is expected not just to load but to compute a specific
+value.  Each test pins an instruction-semantics fact (wrapping, sign
+extension, zero extension, shift masking, division conventions,
+byte-order conversion, spill round-trips, 32-bit jump views...), so a
+regression in either the verifier's rewrites or the interpreter shows
+up as a wrong R0.
+"""
+
+from __future__ import annotations
+
+from repro.ebpf import asm
+from repro.ebpf.helpers import HelperId
+from repro.ebpf.maps import MapType
+from repro.ebpf.opcodes import AluOp, AtomicOp, JmpOp, Reg, Size, BYTES_TO_SIZE
+from repro.ebpf.program import BpfProgram, ProgType
+from repro.testsuite.selftests import SelfTest
+
+__all__ = ["semantic_selftests"]
+
+U64 = (1 << 64) - 1
+U32 = (1 << 32) - 1
+
+
+def _prog(insns, prog_type=ProgType.SOCKET_FILTER):
+    return BpfProgram(insns=list(insns), prog_type=prog_type)
+
+
+def _alu64_cases():
+    """(op, a, b, expected) covering wrapping and edge operands."""
+    cases = []
+    samples = [
+        (AluOp.ADD, U64, 1, 0),
+        (AluOp.ADD, 1 << 63, 1 << 63, 0),
+        (AluOp.ADD, 1234, 4321, 5555),
+        (AluOp.SUB, 0, 1, U64),
+        (AluOp.SUB, 10, 3, 7),
+        (AluOp.MUL, 1 << 32, 1 << 32, 0),
+        (AluOp.MUL, 3, 5, 15),
+        (AluOp.DIV, 100, 7, 14),
+        (AluOp.DIV, 100, 0, 0),          # div-by-zero convention
+        (AluOp.DIV, U64, 2, U64 >> 1),
+        (AluOp.MOD, 100, 7, 2),
+        (AluOp.MOD, 100, 0, 100),        # mod-by-zero convention
+        (AluOp.OR, 0xF0, 0x0F, 0xFF),
+        (AluOp.AND, 0xFF, 0x0F, 0x0F),
+        (AluOp.XOR, 0xFF, 0xF0, 0x0F),
+        (AluOp.XOR, U64, U64, 0),
+        (AluOp.LSH, 1, 63, 1 << 63),
+        (AluOp.LSH, 3, 1, 6),
+        (AluOp.RSH, 1 << 63, 63, 1),
+        (AluOp.RSH, U64, 1, U64 >> 1),
+        (AluOp.ARSH, 1 << 63, 63, U64),  # sign fill
+        (AluOp.ARSH, 8, 2, 2),
+    ]
+    for op, a, b, expected in samples:
+        cases.append((f"alu64_{op.name.lower()}_{a:#x}_{b:#x}", op, a, b,
+                      expected, True))
+    samples32 = [
+        (AluOp.ADD, U32, 1, 0),
+        (AluOp.SUB, 0, 1, U32),
+        (AluOp.MUL, 0x10000, 0x10000, 0),
+        (AluOp.DIV, U64, 2, (U32 >> 1)),  # operates on low half
+        (AluOp.LSH, 1, 31, 1 << 31),
+        (AluOp.RSH, 1 << 31, 31, 1),
+        (AluOp.ARSH, 1 << 31, 31, U32),   # 32-bit sign fill, zext
+        (AluOp.AND, 0xFFFF_FFFF_0000_00FF, 0xFF, 0xFF),
+    ]
+    for op, a, b, expected in samples32:
+        cases.append((f"alu32_{op.name.lower()}_{a:#x}_{b:#x}", op, a, b,
+                      expected, False))
+    return cases
+
+
+def _alu_semantic_family() -> list[SelfTest]:
+    tests = []
+    for name, op, a, b, expected, is64 in _alu64_cases():
+        def build(kernel, op=op, a=a, b=b, is64=is64):
+            alu = asm.alu64_reg if is64 else asm.alu32_reg
+            return _prog(
+                [
+                    *asm.ld_imm64(Reg.R0, a),
+                    *asm.ld_imm64(Reg.R1, b),
+                    alu(op, Reg.R0, Reg.R1),
+                    asm.exit_insn(),
+                ]
+            )
+        tests.append(
+            SelfTest(name, build, "accept", has_memory_access=False,
+                     expected_r0=expected)
+        )
+
+    # Immediate sign-extension behaviour.
+    def build_neg_imm64(kernel):
+        return _prog([asm.mov64_imm(Reg.R0, -1), asm.exit_insn()])
+
+    tests.append(SelfTest("mov64_negative_imm_sign_extends", build_neg_imm64,
+                          "accept", has_memory_access=False, expected_r0=U64))
+
+    def build_neg_imm32(kernel):
+        return _prog([asm.mov32_imm(Reg.R0, -1), asm.exit_insn()])
+
+    tests.append(SelfTest("mov32_negative_imm_zero_extends", build_neg_imm32,
+                          "accept", has_memory_access=False, expected_r0=U32))
+
+    for bits, value, expected_be, expected_le in (
+        (16, 0x1122334455667788, 0x8877, 0x7788),
+        (32, 0x1122334455667788, 0x88776655, 0x55667788),
+        (64, 0x1122334455667788, 0x8877665544332211, 0x1122334455667788),
+    ):
+        def build_be(kernel, bits=bits, value=value):
+            return _prog(
+                [
+                    *asm.ld_imm64(Reg.R0, value),
+                    asm.endian(Reg.R0, bits, to_big=True),
+                    asm.exit_insn(),
+                ]
+            )
+        tests.append(
+            SelfTest(f"bswap_be{bits}", build_be, "accept",
+                     has_memory_access=False, expected_r0=expected_be)
+        )
+
+        def build_le(kernel, bits=bits, value=value):
+            return _prog(
+                [
+                    *asm.ld_imm64(Reg.R0, value),
+                    asm.endian(Reg.R0, bits, to_big=False),
+                    asm.exit_insn(),
+                ]
+            )
+        tests.append(
+            SelfTest(f"bswap_le{bits}", build_le, "accept",
+                     has_memory_access=False, expected_r0=expected_le)
+        )
+    return tests
+
+
+def _memory_semantic_family() -> list[SelfTest]:
+    tests = []
+    value = 0x1122334455667788
+    for size, mask in ((1, 0xFF), (2, 0xFFFF), (4, U32), (8, U64)):
+        def build(kernel, size=size):
+            return _prog(
+                [
+                    *asm.ld_imm64(Reg.R1, value),
+                    asm.stx_mem(BYTES_TO_SIZE[size], Reg.R10, Reg.R1, -8),
+                    asm.ldx_mem(BYTES_TO_SIZE[size], Reg.R0, Reg.R10, -8),
+                    asm.exit_insn(),
+                ]
+            )
+        tests.append(
+            SelfTest(f"store_load_{size}b", build, "accept",
+                     expected_r0=value & mask)
+        )
+
+    # Little-endian byte order of stack stores.
+    def build_byte_order(kernel):
+        return _prog(
+            [
+                *asm.ld_imm64(Reg.R1, 0x0102030405060708),
+                asm.stx_mem(Size.DW, Reg.R10, Reg.R1, -8),
+                asm.ldx_mem(Size.B, Reg.R0, Reg.R10, -8),  # lowest byte
+                asm.exit_insn(),
+            ]
+        )
+
+    tests.append(SelfTest("store_is_little_endian", build_byte_order,
+                          "accept", expected_r0=0x08))
+
+    def build_sx(kernel):
+        return _prog(
+            [
+                asm.st_mem(Size.B, Reg.R10, -1, 0x80),
+                asm.ldx_memsx(Size.B, Reg.R0, Reg.R10, -1),
+                asm.exit_insn(),
+            ]
+        )
+
+    tests.append(SelfTest("memsx_sign_extends_b", build_sx, "accept",
+                          expected_r0=(-(0x80) & U64)))
+
+    for op, start, operand, expected in (
+        (AtomicOp.ADD, 100, 20, 120),
+        (AtomicOp.OR, 0b1000, 0b0011, 0b1011),
+        (AtomicOp.AND, 0b1111, 0b0110, 0b0110),
+        (AtomicOp.XOR, 0b1111, 0b1010, 0b0101),
+    ):
+        def build(kernel, op=op, start=start, operand=operand):
+            return _prog(
+                [
+                    asm.st_mem(Size.DW, Reg.R10, -8, start),
+                    asm.mov64_imm(Reg.R1, operand),
+                    asm.atomic_op(Size.DW, op, Reg.R10, Reg.R1, -8),
+                    asm.ldx_mem(Size.DW, Reg.R0, Reg.R10, -8),
+                    asm.exit_insn(),
+                ]
+            )
+        tests.append(
+            SelfTest(f"atomic_semantic_{op.name.lower()}", build, "accept",
+                     expected_r0=expected)
+        )
+
+    def build_fetch(kernel):
+        return _prog(
+            [
+                asm.st_mem(Size.DW, Reg.R10, -8, 55),
+                asm.mov64_imm(Reg.R1, 11),
+                asm.atomic_op(Size.DW, AtomicOp.ADD | AtomicOp.FETCH,
+                              Reg.R10, Reg.R1, -8),
+                asm.mov64_reg(Reg.R0, Reg.R1),  # fetched old value
+                asm.exit_insn(),
+            ]
+        )
+
+    tests.append(SelfTest("atomic_fetch_returns_old", build_fetch, "accept",
+                          expected_r0=55))
+    return tests
+
+
+def _branch_semantic_family() -> list[SelfTest]:
+    tests = []
+    # (op, a, b, taken) over signed/unsigned boundaries, 64-bit.
+    cases = [
+        (JmpOp.JEQ, 5, 5, True),
+        (JmpOp.JNE, 5, 6, True),
+        (JmpOp.JGT, U64, 0, True),         # unsigned: max > 0
+        (JmpOp.JSGT, U64, 0, False),       # signed: -1 > 0 is false
+        (JmpOp.JGE, 7, 7, True),
+        (JmpOp.JSGE, (-5) & U64, (-5) & U64, True),
+        (JmpOp.JLT, 0, U64, True),
+        (JmpOp.JSLT, U64, 0, True),        # -1 < 0
+        (JmpOp.JLE, 3, 3, True),
+        (JmpOp.JSLE, (-2) & U64, (-1) & U64, True),
+        (JmpOp.JSET, 0b1100, 0b0100, True),
+        (JmpOp.JSET, 0b1100, 0b0011, False),
+    ]
+    for op, a, b, taken in cases:
+        def build(kernel, op=op, a=a, b=b):
+            return _prog(
+                [
+                    *asm.ld_imm64(Reg.R1, a),
+                    *asm.ld_imm64(Reg.R2, b),
+                    asm.jmp_reg(op, Reg.R1, Reg.R2, 2),
+                    asm.mov64_imm(Reg.R0, 0),
+                    asm.exit_insn(),
+                    asm.mov64_imm(Reg.R0, 1),
+                    asm.exit_insn(),
+                ]
+            )
+        tests.append(
+            SelfTest(
+                f"jmp64_{op.name.lower()}_{a:#x}_{b:#x}", build, "accept",
+                has_memory_access=False, expected_r0=1 if taken else 0,
+            )
+        )
+
+    # JMP32 views only the low half.
+    cases32 = [
+        (JmpOp.JEQ, 0xFFFFFFFF_00000007, 7, True),
+        (JmpOp.JGT, 0x1_00000000, 1, False),    # low half is 0
+        (JmpOp.JSLT, 0x00000000_FFFFFFFF, 0, True),  # low half = -1 (s32)
+    ]
+    for op, a, b, taken in cases32:
+        def build(kernel, op=op, a=a, b=b):
+            return _prog(
+                [
+                    *asm.ld_imm64(Reg.R1, a),
+                    asm.jmp32_imm(op, Reg.R1, b, 2),
+                    asm.mov64_imm(Reg.R0, 0),
+                    asm.exit_insn(),
+                    asm.mov64_imm(Reg.R0, 1),
+                    asm.exit_insn(),
+                ]
+            )
+        tests.append(
+            SelfTest(
+                f"jmp32_{op.name.lower()}_{a:#x}_{b}", build, "accept",
+                has_memory_access=False, expected_r0=1 if taken else 0,
+            )
+        )
+
+    # Loop accumulators of several trip counts.
+    for n in (1, 3, 10, 33):
+        def build(kernel, n=n):
+            return _prog(
+                [
+                    asm.mov64_imm(Reg.R0, 0),
+                    asm.mov64_imm(Reg.R1, 0),
+                    asm.alu64_imm(AluOp.ADD, Reg.R0, 5),
+                    asm.alu64_imm(AluOp.ADD, Reg.R1, 1),
+                    asm.jmp_imm(JmpOp.JLT, Reg.R1, n, -3),
+                    asm.exit_insn(),
+                ]
+            )
+        tests.append(
+            SelfTest(f"loop_accumulates_{n}", build, "accept",
+                     has_memory_access=False, expected_r0=5 * n)
+        )
+    return tests
+
+
+def _pipeline_semantic_family() -> list[SelfTest]:
+    """End-to-end flows: maps, helpers, subprograms with known results."""
+    tests = []
+
+    def build_map_counter(kernel):
+        fd = kernel.map_create(MapType.ARRAY, 4, 8, 1)
+        return _prog(
+            [
+                *asm.ld_map_value(Reg.R6, fd, 0),
+                asm.mov64_imm(Reg.R1, 0),
+                asm.alu64_imm(AluOp.ADD, Reg.R1, 1),
+                asm.mov64_imm(Reg.R2, 1),
+                asm.atomic_op(Size.DW, AtomicOp.ADD, Reg.R6, Reg.R2, 0),
+                asm.jmp_imm(JmpOp.JLT, Reg.R1, 7, -4),
+                asm.ldx_mem(Size.DW, Reg.R0, Reg.R6, 0),
+                asm.exit_insn(),
+            ]
+        )
+
+    tests.append(SelfTest("map_value_loop_counter", build_map_counter,
+                          "accept", expected_r0=7))
+
+    def build_subprog_sum(kernel):
+        return _prog(
+            [
+                asm.mov64_imm(Reg.R6, 0),
+                asm.mov64_imm(Reg.R7, 0),
+                # call add5(r7) 3 times via subprog
+                asm.mov64_reg(Reg.R1, Reg.R7),
+                asm.call_subprog(5),
+                asm.mov64_reg(Reg.R7, Reg.R0),
+                asm.alu64_imm(AluOp.ADD, Reg.R6, 1),
+                asm.jmp_imm(JmpOp.JLT, Reg.R6, 3, -5),
+                asm.mov64_reg(Reg.R0, Reg.R7),
+                asm.exit_insn(),
+                # subprog: r0 = r1 + 5
+                asm.mov64_reg(Reg.R0, Reg.R1),
+                asm.alu64_imm(AluOp.ADD, Reg.R0, 5),
+                asm.exit_insn(),
+            ]
+        )
+
+    tests.append(SelfTest("subprog_called_in_loop", build_subprog_sum,
+                          "accept", has_memory_access=False, expected_r0=15))
+
+    def build_queue_roundtrip(kernel):
+        fd = kernel.map_create(MapType.QUEUE, 0, 8, 4)
+        return _prog(
+            [
+                asm.st_mem(Size.DW, Reg.R10, -8, 31),
+                *asm.ld_map_fd(Reg.R1, fd),
+                asm.mov64_reg(Reg.R2, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                asm.mov64_imm(Reg.R3, 0),
+                asm.call_helper(HelperId.MAP_PUSH_ELEM),
+                *asm.ld_map_fd(Reg.R1, fd),
+                asm.mov64_reg(Reg.R2, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R2, -16),
+                asm.call_helper(HelperId.MAP_POP_ELEM),
+                asm.ldx_mem(Size.DW, Reg.R0, Reg.R10, -16),
+                asm.exit_insn(),
+            ]
+        )
+
+    tests.append(SelfTest("queue_push_pop_roundtrip", build_queue_roundtrip,
+                          "accept", expected_r0=31))
+
+    def build_task_pid(kernel):
+        return BpfProgram(
+            insns=[
+                asm.call_helper(HelperId.GET_CURRENT_TASK_BTF),
+                asm.ldx_mem(Size.W, Reg.R0, Reg.R0, 32),
+                asm.exit_insn(),
+            ],
+            prog_type=ProgType.KPROBE,
+        )
+
+    tests.append(SelfTest("btf_task_pid_value", build_task_pid, "accept",
+                          expected_r0=4242))
+    return tests
+
+
+def semantic_selftests() -> list[SelfTest]:
+    tests: list[SelfTest] = []
+    tests += _alu_semantic_family()
+    tests += _memory_semantic_family()
+    tests += _branch_semantic_family()
+    tests += _pipeline_semantic_family()
+    return tests

@@ -1,0 +1,407 @@
+"""Branch reasoning: bounds refinement and pointer-nullness tracking.
+
+On a conditional jump the verifier forks the state and refines each
+side with the branch condition (``reg_set_min_max``), decides branches
+statically where the ranges allow (``is_branch_taken``), learns packet
+ranges from ``data + N <= data_end`` patterns
+(``find_good_pkt_pointers``), resolves maybe-null pointers compared
+against zero (``mark_ptr_or_null``), and — since commit bfeae75856ab —
+propagates nullness across pointer-to-pointer equality comparisons.
+
+**Bug #1 lives in that last pass**: the correct implementation must not
+trust ``PTR_TO_BTF_ID`` operands (they are never marked maybe-null yet
+can be NULL at runtime); the flawed one propagates from them anyway.
+"""
+
+from __future__ import annotations
+
+from repro.ebpf.insn import Insn
+from repro.ebpf.opcodes import InsnClass, JmpOp
+from repro.verifier.state import (
+    NULL_RESOLVES_TO,
+    RegState,
+    RegType,
+    S64_MAX,
+    S64_MIN,
+    U64_MAX,
+    s64,
+)
+from repro.verifier.tnum import Tnum
+
+__all__ = [
+    "is_branch_taken",
+    "refine_branch",
+    "mark_ptr_or_null",
+    "find_good_pkt_pointers",
+    "try_match_pkt_pointers",
+    "propagate_nullness",
+    "propagate_equal_scalars",
+]
+
+
+# ---------------------------------------------------------------------------
+# Static branch decisions
+# ---------------------------------------------------------------------------
+
+
+def _bounds(reg: RegState, is64: bool) -> tuple[int, int, int, int]:
+    """(umin, umax, smin, smax) at the comparison width."""
+    if is64 or reg.fits_u32():
+        return reg.umin, reg.umax, reg.smin, reg.smax
+    sub = reg.var_off.subreg()
+    lo, hi = sub.min_value(), sub.max_value()
+    return lo, hi, S64_MIN, S64_MAX
+
+
+def is_branch_taken(dst: RegState, src: RegState, op: JmpOp, is64: bool) -> int:
+    """1 if always taken, 0 if never, -1 if unknown."""
+    if not (dst.is_scalar() and src.is_scalar()):
+        # Pointer comparisons are only decidable against NULL for
+        # known-non-null pointers.
+        if (
+            src.is_const()
+            and src.const_value() == 0
+            and dst.is_pointer()
+            and not dst.is_maybe_null()
+            and dst.type != RegType.PTR_TO_BTF_ID
+        ):
+            if op == JmpOp.JEQ:
+                return 0
+            if op == JmpOp.JNE:
+                return 1
+        return -1
+
+    dumin, dumax, dsmin, dsmax = _bounds(dst, is64)
+    sumin, sumax, ssmin, ssmax = _bounds(src, is64)
+
+    if op == JmpOp.JEQ:
+        if dumin == dumax == sumin == sumax:
+            return 1
+        if dumin > sumax or dumax < sumin:
+            return 0
+        return -1
+    if op == JmpOp.JNE:
+        inner = is_branch_taken(dst, src, JmpOp.JEQ, is64)
+        return -1 if inner == -1 else 1 - inner
+    if op == JmpOp.JGT:
+        if dumin > sumax:
+            return 1
+        if dumax <= sumin:
+            return 0
+        return -1
+    if op == JmpOp.JGE:
+        if dumin >= sumax:
+            return 1
+        if dumax < sumin:
+            return 0
+        return -1
+    if op == JmpOp.JLT:
+        if dumax < sumin:
+            return 1
+        if dumin >= sumax:
+            return 0
+        return -1
+    if op == JmpOp.JLE:
+        if dumax <= sumin:
+            return 1
+        if dumin > sumax:
+            return 0
+        return -1
+    if op == JmpOp.JSGT:
+        if dsmin > ssmax:
+            return 1
+        if dsmax <= ssmin:
+            return 0
+        return -1
+    if op == JmpOp.JSGE:
+        if dsmin >= ssmax:
+            return 1
+        if dsmax < ssmin:
+            return 0
+        return -1
+    if op == JmpOp.JSLT:
+        if dsmax < ssmin:
+            return 1
+        if dsmin >= ssmax:
+            return 0
+        return -1
+    if op == JmpOp.JSLE:
+        if dsmax <= ssmin:
+            return 1
+        if dsmin > ssmax:
+            return 0
+        return -1
+    if op == JmpOp.JSET:
+        if not src.is_const():
+            return -1
+        mask = src.const_value()
+        if dst.var_off.value & mask:
+            return 1
+        if not ((dst.var_off.value | dst.var_off.mask) & mask):
+            return 0
+        return -1
+    return -1
+
+
+# ---------------------------------------------------------------------------
+# Bounds refinement
+# ---------------------------------------------------------------------------
+
+
+def _refine_scalar_pair(dst: RegState, src: RegState, op: JmpOp) -> None:
+    """Apply ``dst <op> src`` as a fact to both scalar registers."""
+    if op == JmpOp.JEQ:
+        umin = max(dst.umin, src.umin)
+        umax = min(dst.umax, src.umax)
+        smin = max(dst.smin, src.smin)
+        smax = min(dst.smax, src.smax)
+        var = dst.var_off.intersect(src.var_off) if _tnums_compatible(
+            dst.var_off, src.var_off
+        ) else dst.var_off
+        for reg in (dst, src):
+            reg.umin, reg.umax = umin, umax
+            reg.smin, reg.smax = smin, smax
+            reg.var_off = var
+    elif op == JmpOp.JNE:
+        # Only useful when one side is a constant boundary value.
+        for a, b in ((dst, src), (src, dst)):
+            if b.is_const():
+                val = b.const_value()
+                if a.umin == val:
+                    a.umin = min(a.umin + 1, U64_MAX)
+                if a.umax == val:
+                    a.umax = max(a.umax - 1, 0)
+    elif op == JmpOp.JGT:
+        dst.umin = max(dst.umin, min(src.umin + 1, U64_MAX))
+        src.umax = min(src.umax, max(dst.umax - 1, 0))
+    elif op == JmpOp.JGE:
+        dst.umin = max(dst.umin, src.umin)
+        src.umax = min(src.umax, dst.umax)
+    elif op == JmpOp.JLT:
+        dst.umax = min(dst.umax, max(src.umax - 1, 0))
+        src.umin = max(src.umin, min(dst.umin + 1, U64_MAX))
+    elif op == JmpOp.JLE:
+        dst.umax = min(dst.umax, src.umax)
+        src.umin = max(src.umin, dst.umin)
+    elif op == JmpOp.JSGT:
+        dst.smin = max(dst.smin, min(src.smin + 1, S64_MAX))
+        src.smax = min(src.smax, max(dst.smax - 1, S64_MIN))
+    elif op == JmpOp.JSGE:
+        dst.smin = max(dst.smin, src.smin)
+        src.smax = min(src.smax, dst.smax)
+    elif op == JmpOp.JSLT:
+        dst.smax = min(dst.smax, max(src.smax - 1, S64_MIN))
+        src.smin = max(src.smin, min(dst.smin + 1, S64_MAX))
+    elif op == JmpOp.JSLE:
+        dst.smax = min(dst.smax, src.smax)
+        src.smin = max(src.smin, dst.smin)
+    elif op == JmpOp.JSET:
+        # Taken means some bit of the mask is set; nothing simple to
+        # learn beyond non-zero-ness when the mask covers everything.
+        pass
+    dst.sync_bounds()
+    src.sync_bounds()
+
+
+def _tnums_compatible(a: Tnum, b: Tnum) -> bool:
+    """Do the two tnums share at least one concretisation?"""
+    known_both = ~(a.mask | b.mask) & ((1 << 64) - 1)
+    return (a.value & known_both) == (b.value & known_both)
+
+
+_NEGATE = {
+    JmpOp.JEQ: JmpOp.JNE,
+    JmpOp.JNE: JmpOp.JEQ,
+    JmpOp.JGT: JmpOp.JLE,
+    JmpOp.JGE: JmpOp.JLT,
+    JmpOp.JLT: JmpOp.JGE,
+    JmpOp.JLE: JmpOp.JGT,
+    JmpOp.JSGT: JmpOp.JSLE,
+    JmpOp.JSGE: JmpOp.JSLT,
+    JmpOp.JSLT: JmpOp.JSGE,
+    JmpOp.JSLE: JmpOp.JSGT,
+}
+
+
+def _refine_jset_false(dst: RegState, src: RegState) -> None:
+    """False branch of JSET: all bits of a constant mask are zero."""
+    if src.is_const():
+        mask = src.const_value()
+        dst.var_off = Tnum(
+            dst.var_off.value & ~mask & U64_MAX, dst.var_off.mask & ~mask & U64_MAX
+        )
+        dst.sync_bounds()
+
+
+def refine_branch(
+    dst: RegState, src: RegState, op: JmpOp, taken: bool, is64: bool
+) -> None:
+    """Refine both registers with the branch outcome.
+
+    32-bit comparisons only refine when both values provably fit in 32
+    bits (a sound approximation of the kernel's separate 32-bit
+    bounds).
+    """
+    if not (dst.is_scalar() and src.is_scalar()):
+        return
+    if not is64 and not (dst.fits_u32() and src.fits_u32()):
+        return
+    if taken:
+        if op == JmpOp.JSET:
+            return
+        _refine_scalar_pair(dst, src, op)
+    else:
+        if op == JmpOp.JSET:
+            _refine_jset_false(dst, src)
+            return
+        negated = _NEGATE.get(op)
+        if negated is not None:
+            _refine_scalar_pair(dst, src, negated)
+
+
+# ---------------------------------------------------------------------------
+# Pointer nullness
+# ---------------------------------------------------------------------------
+
+
+def _for_all_regs(state, fn) -> None:
+    """Apply ``fn`` to every register and spilled register in a state."""
+    for frame in state.frames:
+        for reg in frame.regs:
+            fn(reg)
+        for _, slot in frame.stack.iter_slots():
+            if slot.spilled is not None:
+                fn(slot.spilled)
+
+
+def mark_ptr_or_null(state, target_id: int, is_null: bool) -> None:
+    """Resolve every copy of a maybe-null pointer with the given id.
+
+    Acquired objects resolved to NULL carry no release obligation (a
+    failed ``bpf_ringbuf_reserve`` returned nothing to release), so the
+    corresponding reference is dropped from the state.
+    """
+    dropped_refs: set[int] = set()
+
+    def resolve(reg: RegState) -> None:
+        if reg.id != target_id or not reg.is_maybe_null():
+            return
+        if is_null:
+            if reg.ref_obj_id:
+                dropped_refs.add(reg.ref_obj_id)
+            reg.mark_known(0)
+        else:
+            reg.type = NULL_RESOLVES_TO[reg.type]
+            reg.id = 0
+
+    _for_all_regs(state, resolve)
+    for ref_id in dropped_refs:
+        state.refs.pop(ref_id, None)
+
+
+def propagate_nullness(
+    state, a: RegState, b: RegState, config, flaw_active: bool
+) -> None:
+    """Nullness propagation across ``ptr == ptr`` (commit bfeae75856ab).
+
+    In the *equal* branch, if one side is maybe-null and the other is a
+    pointer the verifier believes non-null, the maybe-null side is
+    marked non-null.  The **correct** filter skips the propagation when
+    either operand is ``PTR_TO_BTF_ID`` (such pointers are never marked
+    maybe-null but may be NULL at runtime); the **flawed** kernel
+    (Bug #1) omits the filter.
+    """
+    if not config.has_nullness_propagation:
+        return
+    for nullable, other in ((a, b), (b, a)):
+        if not nullable.is_maybe_null():
+            continue
+        if not other.is_pointer() or other.is_maybe_null():
+            continue
+        if not flaw_active and (
+            other.type == RegType.PTR_TO_BTF_ID
+            or nullable.type == RegType.PTR_TO_BTF_ID
+        ):
+            continue  # the fix from Listing 3
+        mark_ptr_or_null(state, nullable.id, is_null=False)
+
+
+# ---------------------------------------------------------------------------
+# Packet ranges
+# ---------------------------------------------------------------------------
+
+
+def find_good_pkt_pointers(state, pkt_reg: RegState, range_val: int) -> None:
+    """Record a verified readable packet range on all aliases."""
+    if range_val <= 0:
+        return
+
+    def update(reg: RegState) -> None:
+        if reg.is_pkt_pointer() and reg.id == pkt_reg.id:
+            reg.pkt_range = max(reg.pkt_range, range_val)
+
+    _for_all_regs(state, update)
+
+
+def try_match_pkt_pointers(
+    insn: Insn, dst: RegState, src: RegState, taken_state, false_state,
+    taken_dst: RegState, taken_src: RegState, false_dst: RegState,
+    false_src: RegState,
+) -> None:
+    """Learn packet ranges from pkt-vs-pkt_end comparisons.
+
+    Handles the four comparison operators in both operand orders; the
+    learned range is the compared pointer's fixed offset (its variable
+    part must be zero to learn anything, which matches the kernel).
+    """
+    if insn.insn_class != InsnClass.JMP:
+        return
+
+    def pkt_end_pair(a: RegState, b: RegState) -> bool:
+        return a.is_pkt_pointer() and b.type == RegType.PTR_TO_PACKET_END
+
+    op = insn.jmp_op
+    if pkt_end_pair(dst, src):
+        rng = dst.off if dst.var_off.is_const() and dst.var_off.value == 0 else 0
+        if op == JmpOp.JLE:  # taken: pkt <= end
+            find_good_pkt_pointers(taken_state, taken_dst, rng)
+        elif op == JmpOp.JLT:  # taken: pkt < end
+            find_good_pkt_pointers(taken_state, taken_dst, rng)
+        elif op == JmpOp.JGT:  # false: pkt <= end
+            find_good_pkt_pointers(false_state, false_dst, rng)
+        elif op == JmpOp.JGE:  # false: pkt < end
+            find_good_pkt_pointers(false_state, false_dst, rng)
+    elif pkt_end_pair(src, dst):
+        rng = src.off if src.var_off.is_const() and src.var_off.value == 0 else 0
+        if op == JmpOp.JGE:  # taken: end >= pkt
+            find_good_pkt_pointers(taken_state, taken_src, rng)
+        elif op == JmpOp.JGT:  # taken: end > pkt
+            find_good_pkt_pointers(taken_state, taken_src, rng)
+        elif op == JmpOp.JLT:  # false: end >= pkt
+            find_good_pkt_pointers(false_state, false_src, rng)
+        elif op == JmpOp.JLE:  # false: end > pkt
+            find_good_pkt_pointers(false_state, false_src, rng)
+
+
+# ---------------------------------------------------------------------------
+# Scalar id propagation
+# ---------------------------------------------------------------------------
+
+
+def propagate_equal_scalars(state, refined: RegState) -> None:
+    """Copy refined bounds to every scalar sharing the register's id.
+
+    Mirrors ``find_equal_scalars``: a 64-bit register-to-register move
+    gives both registers one id; refining one refines all.
+    """
+    if refined.id == 0 or not refined.is_scalar():
+        return
+
+    def update(reg: RegState) -> None:
+        if reg is refined or reg.id != refined.id or not reg.is_scalar():
+            return
+        reg.var_off = refined.var_off
+        reg.umin, reg.umax = refined.umin, refined.umax
+        reg.smin, reg.smax = refined.smin, refined.smax
+
+    _for_all_regs(state, update)

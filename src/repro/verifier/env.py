@@ -1,0 +1,243 @@
+"""Verifier environment: call frames, whole-program states, exploration.
+
+The verifier explores program paths depth-first.  Each pending path is
+a :class:`VerifierState` (a stack of call frames plus the instruction
+index to resume at); branches push one side onto the exploration stack
+and continue down the other, exactly like the kernel's
+``push_stack``/``pop_stack``.
+
+Pruning: at every jump target the environment keeps the list of states
+previously verified there; a new state that is *subsumed* by one of
+them (every register/stack slot at least as constrained) is not
+explored again (``is_state_visited``/``states_equal``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ebpf.opcodes import Reg
+from repro.verifier.log import VerifierLog
+from repro.verifier.stack import SlotType, StackState
+from repro.verifier.state import (
+    MAYBE_NULL_TYPES,
+    RegState,
+    RegType,
+    regs_equal_scalar_range,
+)
+
+__all__ = ["FuncFrame", "VerifierState", "VerifierEnv", "MAX_CALL_DEPTH"]
+
+#: Maximum bpf-to-bpf call nesting (kernel: 8).
+MAX_CALL_DEPTH = 8
+
+_N_REGS = 12  # R0-R10 plus the internal AX
+
+
+@dataclass
+class FuncFrame:
+    """One call frame: registers plus stack."""
+
+    regs: list[RegState]
+    stack: StackState
+    frameno: int = 0
+    #: instruction to return to (index after the call insn)
+    callsite: int = -1
+
+    @classmethod
+    def entry(cls, ctx_reg: RegState, frameno: int = 0, callsite: int = -1) -> "FuncFrame":
+        regs = [RegState.not_init() for _ in range(_N_REGS)]
+        regs[Reg.R1] = ctx_reg
+        regs[Reg.R10] = RegState.pointer(RegType.PTR_TO_STACK)
+        return cls(regs=regs, stack=StackState(), frameno=frameno, callsite=callsite)
+
+    def clone(self) -> "FuncFrame":
+        return FuncFrame(
+            regs=[r.clone() for r in self.regs],
+            stack=self.stack.clone(),
+            frameno=self.frameno,
+            callsite=self.callsite,
+        )
+
+
+@dataclass
+class VerifierState:
+    """A full program state: the frame stack plus resume point."""
+
+    frames: list[FuncFrame]
+    insn_idx: int = 0
+    #: index of the branch instruction that created this state
+    parent_idx: int = -1
+    #: outstanding acquired references: ref_obj_id -> acquiring insn idx
+    refs: dict[int, int] = field(default_factory=dict)
+    #: held bpf_spin_lock: (map identity, value-pointer id), or None
+    active_lock: tuple[int, int] | None = None
+
+    @property
+    def cur(self) -> FuncFrame:
+        return self.frames[-1]
+
+    @property
+    def regs(self) -> list[RegState]:
+        return self.cur.regs
+
+    @property
+    def stack(self) -> StackState:
+        return self.cur.stack
+
+    @property
+    def call_depth(self) -> int:
+        return len(self.frames)
+
+    def clone(self) -> "VerifierState":
+        return VerifierState(
+            frames=[f.clone() for f in self.frames],
+            insn_idx=self.insn_idx,
+            parent_idx=self.parent_idx,
+            refs=dict(self.refs),
+            active_lock=self.active_lock,
+        )
+
+    def reg(self, index: int) -> RegState:
+        return self.cur.regs[index]
+
+
+def _reg_subsumed(old: RegState, new: RegState) -> bool:
+    """``regsafe``: is exploring ``new`` redundant given ``old`` passed?"""
+    if old.type == RegType.NOT_INIT:
+        # The old path never relied on this register.
+        return True
+    if old.is_scalar():
+        if not new.is_scalar():
+            # Conservatively re-verify when a scalar became a pointer.
+            return False
+        return regs_equal_scalar_range(old, new)
+    if old.type != new.type:
+        return False
+    if old.off != new.off:
+        return False
+    if old.map is not new.map or old.btf is not new.btf:
+        return False
+    if old.mem_size != new.mem_size:
+        return False
+    if old.is_pkt_pointer() or old.type == RegType.PTR_TO_PACKET_END:
+        # The new pointer must have at least as much verified range.
+        if new.pkt_range < old.pkt_range:
+            return False
+    # Variable offset parts must also be subsumed.
+    return regs_equal_scalar_range(
+        RegState(
+            type=RegType.SCALAR,
+            var_off=old.var_off,
+            smin=old.smin,
+            smax=old.smax,
+            umin=old.umin,
+            umax=old.umax,
+        ),
+        RegState(
+            type=RegType.SCALAR,
+            var_off=new.var_off,
+            smin=new.smin,
+            smax=new.smax,
+            umin=new.umin,
+            umax=new.umax,
+        ),
+    )
+
+
+def _stack_subsumed(old: StackState, new: StackState) -> bool:
+    """``stacksafe``: every constraint the old state had must hold."""
+    for slot_idx, old_slot in old.iter_slots():
+        new_slot = new.get_slot(slot_idx)
+        for byte_idx, old_type in enumerate(old_slot.bytes):
+            if old_type == SlotType.INVALID:
+                continue
+            new_type = (
+                new_slot.bytes[byte_idx] if new_slot is not None else SlotType.INVALID
+            )
+            if new_type == SlotType.INVALID:
+                return False
+            if old_type == SlotType.MISC:
+                continue  # anything initialised satisfies MISC
+            if old_type == SlotType.ZERO and new_type != SlotType.ZERO:
+                # A spilled constant zero also satisfies ZERO.
+                if not (
+                    new_slot.spilled is not None
+                    and new_slot.spilled.is_const()
+                    and new_slot.spilled.const_value() == 0
+                ):
+                    return False
+            if old_type == SlotType.SPILL:
+                if old_slot.spilled is None:
+                    return False
+                if new_slot is None or new_slot.spilled is None:
+                    return False
+                if not _reg_subsumed(old_slot.spilled, new_slot.spilled):
+                    return False
+    return True
+
+
+def states_equal(old: VerifierState, new: VerifierState) -> bool:
+    """Is ``new`` subsumed by the previously-verified ``old``?"""
+    if len(old.frames) != len(new.frames):
+        return False
+    # Reference obligations must match (``refsafe``): pruning a state
+    # with different outstanding acquisitions could hide a leak.
+    if len(old.refs) != len(new.refs):
+        return False
+    # Likewise the spin-lock discipline: held vs. not-held must agree.
+    if (old.active_lock is None) != (new.active_lock is None):
+        return False
+    for old_frame, new_frame in zip(old.frames, new.frames):
+        if old_frame.callsite != new_frame.callsite:
+            return False
+        for old_reg, new_reg in zip(old_frame.regs, new_frame.regs):
+            if not _reg_subsumed(old_reg, new_reg):
+                return False
+        if not _stack_subsumed(old_frame.stack, new_frame.stack):
+            return False
+    return True
+
+
+class VerifierEnv:
+    """Mutable bookkeeping for one verification run."""
+
+    def __init__(self, log: VerifierLog, complexity_limit: int) -> None:
+        self.log = log
+        self.complexity_limit = complexity_limit
+        #: pending branch states (DFS)
+        self.stack: list[VerifierState] = []
+        #: verified states per instruction index (pruning candidates)
+        self.explored: dict[int, list[VerifierState]] = {}
+        #: id allocator for pointer identity / null resolution
+        self._next_id = 1
+        #: statistics exported into VerifiedProgram.stats
+        self.insns_processed = 0
+        self.states_pushed = 0
+        self.states_pruned = 0
+        self.peak_stack = 0
+
+    def new_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def push_state(self, state: VerifierState) -> None:
+        self.stack.append(state)
+        self.states_pushed += 1
+        self.peak_stack = max(self.peak_stack, len(self.stack))
+
+    def pop_state(self) -> VerifierState | None:
+        return self.stack.pop() if self.stack else None
+
+    def is_visited(self, state: VerifierState) -> bool:
+        """Prune if subsumed; otherwise remember this state."""
+        seen = self.explored.setdefault(state.insn_idx, [])
+        for old in seen:
+            if states_equal(old, state):
+                self.states_pruned += 1
+                return True
+        # Bound the per-index list so pathological programs cannot make
+        # pruning quadratic (kernel uses a similar heuristic).
+        if len(seen) < 16:
+            seen.append(state.clone())
+        return False

@@ -1,0 +1,229 @@
+"""Tristate numbers — the verifier's bit-level abstract domain.
+
+A tnum tracks, for each bit of a 64-bit value, whether it is known-0,
+known-1, or unknown.  It is represented as ``(value, mask)`` where mask
+bits are the unknown positions and ``value`` holds the known bits
+(``value & mask == 0`` is the representation invariant).
+
+This is a direct port of the kernel's ``kernel/bpf/tnum.c``; the
+property-based tests assert the defining soundness condition for every
+operation: if concrete ``x`` is in ``a`` and concrete ``y`` is in
+``b``, then ``x <op> y`` is in ``tnum_<op>(a, b)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Tnum", "TNUM_UNKNOWN", "TNUM_ZERO", "tnum_const", "tnum_range"]
+
+_U64 = (1 << 64) - 1
+_U32 = (1 << 32) - 1
+
+
+@dataclass(frozen=True)
+class Tnum:
+    """A tristate number over 64 bits."""
+
+    value: int
+    mask: int
+
+    def __post_init__(self) -> None:
+        if self.value & self.mask:
+            raise ValueError(
+                f"broken tnum invariant: value={self.value:#x} mask={self.mask:#x}"
+            )
+        if not (0 <= self.value <= _U64 and 0 <= self.mask <= _U64):
+            raise ValueError("tnum fields out of u64 range")
+
+    # --- predicates --------------------------------------------------------
+
+    def is_const(self) -> bool:
+        """All 64 bits known."""
+        return self.mask == 0
+
+    def is_unknown(self) -> bool:
+        """No bits known."""
+        return self.mask == _U64
+
+    def contains(self, value: int) -> bool:
+        """Concrete ``value`` is a possible concretisation of this tnum."""
+        value &= _U64
+        return (value & ~self.mask) == self.value
+
+    def is_aligned(self, size: int) -> bool:
+        """The low ``log2(size)`` bits are known zero."""
+        if size <= 1:
+            return True
+        return not ((self.value | self.mask) & (size - 1))
+
+    # --- derived constants ----------------------------------------------------
+
+    def min_value(self) -> int:
+        """Smallest unsigned concretisation (unknown bits = 0)."""
+        return self.value
+
+    def max_value(self) -> int:
+        """Largest unsigned concretisation (unknown bits = 1)."""
+        return self.value | self.mask
+
+    # --- arithmetic -------------------------------------------------------------
+
+    def add(self, other: "Tnum") -> "Tnum":
+        sm = (self.mask + other.mask) & _U64
+        sv = (self.value + other.value) & _U64
+        sigma = (sm + sv) & _U64
+        chi = sigma ^ sv
+        mu = chi | self.mask | other.mask
+        return Tnum(sv & ~mu & _U64, mu & _U64)
+
+    def sub(self, other: "Tnum") -> "Tnum":
+        dv = (self.value - other.value) & _U64
+        alpha = (dv + self.mask) & _U64
+        beta = (dv - other.mask) & _U64
+        chi = alpha ^ beta
+        mu = chi | self.mask | other.mask
+        return Tnum(dv & ~mu & _U64, mu & _U64)
+
+    def neg(self) -> "Tnum":
+        return TNUM_ZERO.sub(self)
+
+    def and_(self, other: "Tnum") -> "Tnum":
+        alpha = self.value | self.mask
+        beta = other.value | other.mask
+        v = self.value & other.value
+        return Tnum(v, (alpha & beta & ~v) & _U64)
+
+    def or_(self, other: "Tnum") -> "Tnum":
+        v = self.value | other.value
+        mu = self.mask | other.mask
+        return Tnum(v, (mu & ~v) & _U64)
+
+    def xor(self, other: "Tnum") -> "Tnum":
+        v = self.value ^ other.value
+        mu = self.mask | other.mask
+        return Tnum((v & ~mu) & _U64, mu & _U64)
+
+    def mul(self, other: "Tnum") -> "Tnum":
+        """Kernel-style long multiplication over tnum halves.
+
+        Sound but deliberately imprecise for large masks, like the
+        kernel's ``tnum_mul``.
+        """
+        a, b = self, other
+        acc_v = (a.value * b.value) & _U64
+        acc_m = TNUM_ZERO
+        while a.value or a.mask:
+            if a.value & 1:
+                acc_m = acc_m.add(Tnum(0, b.mask))
+            elif a.mask & 1:
+                acc_m = acc_m.add(Tnum(0, (b.value | b.mask) & _U64))
+            a = a.rshift(1)
+            b = b.lshift(1)
+        return tnum_const(acc_v).add(acc_m)
+
+    def lshift(self, shift: int) -> "Tnum":
+        shift &= 63
+        return Tnum((self.value << shift) & _U64, (self.mask << shift) & _U64)
+
+    def rshift(self, shift: int) -> "Tnum":
+        shift &= 63
+        return Tnum(self.value >> shift, self.mask >> shift)
+
+    def arshift(self, shift: int, insn_bitness: int = 64) -> "Tnum":
+        """Arithmetic right shift at the given bitness."""
+        shift &= insn_bitness - 1
+        if insn_bitness == 32:
+            value = _sext32(self.value & _U32) >> shift
+            mask = _sext32(self.mask & _U32) >> shift
+            return Tnum((value & _U32) & ~(mask & _U32), mask & _U32)
+        value = _sext64(self.value) >> shift
+        mask = _sext64(self.mask) >> shift
+        return Tnum((value & _U64) & ~(mask & _U64), mask & _U64)
+
+    # --- set operations -----------------------------------------------------------
+
+    def intersect(self, other: "Tnum") -> "Tnum":
+        """Bits known in either (caller must know the sets overlap)."""
+        v = self.value | other.value
+        mu = self.mask & other.mask
+        return Tnum((v & ~mu) & _U64, mu & _U64)
+
+    def union(self, other: "Tnum") -> "Tnum":
+        """Smallest tnum containing both operands' concretisations."""
+        chi = (self.value ^ other.value) | self.mask | other.mask
+        # Any differing or unknown bit becomes unknown.
+        return Tnum((self.value & ~chi) & _U64, chi & _U64)
+
+    # --- width handling --------------------------------------------------------------
+
+    def cast(self, size: int) -> "Tnum":
+        """Truncate to ``size`` bytes (zero-extending semantics)."""
+        bits = size * 8
+        if bits >= 64:
+            return self
+        keep = (1 << bits) - 1
+        return Tnum(self.value & keep, self.mask & keep)
+
+    def subreg(self) -> "Tnum":
+        """The low 32 bits as a tnum."""
+        return self.cast(4)
+
+    def clear_subreg(self) -> "Tnum":
+        """Zero out the low 32 bits."""
+        return self.rshift(32).lshift(32)
+
+    def with_subreg(self, subreg: "Tnum") -> "Tnum":
+        """Replace the low 32 bits with ``subreg``."""
+        return self.clear_subreg().or_(subreg.cast(4))
+
+    def const_subreg_val(self) -> int:
+        """Value of the low 32 bits (requires them to be known)."""
+        return self.value & _U32
+
+    def subreg_is_const(self) -> bool:
+        return (self.mask & _U32) == 0
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_const():
+            return f"{self.value:#x}"
+        if self.is_unknown():
+            return "?"
+        return f"(v={self.value:#x} m={self.mask:#x})"
+
+
+def _sext64(value: int) -> int:
+    value &= _U64
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+def _sext32(value: int) -> int:
+    value &= _U32
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+TNUM_UNKNOWN = Tnum(0, _U64)
+TNUM_ZERO = Tnum(0, 0)
+
+
+def tnum_const(value: int) -> Tnum:
+    """The tnum representing exactly ``value``."""
+    return Tnum(value & _U64, 0)
+
+
+def tnum_range(lo: int, hi: int) -> Tnum:
+    """Smallest tnum containing the unsigned range ``[lo, hi]``.
+
+    Port of the kernel's ``tnum_range``: all bits above the highest
+    differing bit are known, the rest unknown.
+    """
+    lo &= _U64
+    hi &= _U64
+    if lo > hi:
+        return TNUM_UNKNOWN
+    chi = lo ^ hi
+    bits = chi.bit_length()
+    if bits > 63:
+        return TNUM_UNKNOWN
+    delta = (1 << bits) - 1
+    return Tnum(lo & ~delta, delta)

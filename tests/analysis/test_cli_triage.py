@@ -1,0 +1,81 @@
+"""CLI and triage-report tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.analysis.triage import triage_finding
+from repro.kernel.config import PROFILES, Flaw
+from repro.fuzz.campaign import Campaign, CampaignConfig
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["fuzz", "--budget", "5", "--seed", "3"])
+        assert args.command == "fuzz"
+        assert args.budget == 5
+
+    def test_profiles_command(self, capsys):
+        assert main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        assert "bpf-next" in out
+        assert "bug1-nullness-propagation" in out
+        assert "(no injected bugs)" in out
+
+    def test_fuzz_command_small(self, capsys):
+        assert main(["fuzz", "--budget", "30", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "accepted" in out
+        assert "Component" in out  # the bug table header
+
+    def test_bench_command_small(self, capsys):
+        assert main(["bench", "--budget", "20", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        for tool in ("bvf", "syzkaller", "buzzer"):
+            assert tool in out
+
+    def test_selftest_command_clean_on_patched(self, capsys):
+        assert main(["selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "0 verdict mismatches" in out
+
+
+class TestTriage:
+    @pytest.fixture(scope="class")
+    def finding(self):
+        result = Campaign(
+            CampaignConfig(tool="bvf", kernel_version="bpf-next",
+                           budget=600, seed=19)
+        ).run()
+        indicator1 = [
+            f for f in result.findings.values() if f.indicator == "indicator1"
+        ]
+        assert indicator1, "campaign found no indicator-1 bug to triage"
+        return indicator1[0]
+
+    def test_report_renders(self, finding):
+        report = triage_finding(finding, PROFILES["bpf-next"]())
+        text = report.render()
+        assert finding.bug_id in text
+        assert "program (guilty instruction marked):" in text
+        assert "verifier log" in text
+
+    def test_guilty_instruction_located(self, finding):
+        report = triage_finding(finding, PROFILES["bpf-next"]())
+        if report.guilty_insn >= 0:
+            assert ">>>" in report.listing
+            marked = [l for l in report.listing.splitlines()
+                      if l.startswith(">>>")]
+            assert len(marked) == 1
+
+    def test_triage_without_program(self):
+        from repro.fuzz.oracle import BugFinding
+
+        finding = BugFinding(
+            bug_id="x", indicator="indicator2", report_kind="lockdep",
+            message="m",
+        )
+        report = triage_finding(finding, PROFILES["patched"]())
+        assert "(program unavailable)" in report.render()

@@ -1,0 +1,42 @@
+"""API test for the public overhead-measurement helper."""
+
+from __future__ import annotations
+
+from repro.analysis.stats import measure_overhead
+from repro.kernel.config import PROFILES
+from repro.kernel.syscall import Kernel
+from repro.ebpf import asm
+from repro.ebpf.opcodes import AluOp, Reg, Size
+from repro.ebpf.program import BpfProgram
+
+
+def _programs():
+    # A program whose accesses go through a copied frame pointer, so
+    # the sanitizer instruments them (R10-based would be skipped).
+    return [
+        BpfProgram(
+            insns=[
+                asm.mov64_reg(Reg.R1, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R1, -8),
+                asm.st_mem(Size.DW, Reg.R1, 0, 7),
+                asm.ldx_mem(Size.DW, Reg.R0, Reg.R1, 0),
+                asm.exit_insn(),
+            ],
+            name=f"overhead_{i}",
+        )
+        for i in range(4)
+    ]
+
+
+def test_measure_overhead_end_to_end():
+    stats = measure_overhead(
+        lambda: Kernel(PROFILES["patched"]()),
+        _programs(),
+        repeats=2,
+        runs_per_program=2,
+    )
+    assert stats.programs == 4
+    assert stats.sanitized_insns > stats.raw_insns
+    assert stats.footprint_ratio > 1.5
+    assert stats.executed_ratio > 1.0
+    assert stats.raw_seconds > 0 and stats.sanitized_seconds > 0

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.config import PROFILES
+from repro.kernel.syscall import Kernel
+from repro.fuzz.rng import FuzzRng
+
+
+@pytest.fixture
+def patched_kernel() -> Kernel:
+    """A kernel with every feature enabled and every bug fixed."""
+    return Kernel(PROFILES["patched"]())
+
+
+@pytest.fixture
+def bpf_next_kernel() -> Kernel:
+    """The bpf-next profile: every feature, every injected bug."""
+    return Kernel(PROFILES["bpf-next"]())
+
+
+@pytest.fixture
+def v5_15_kernel() -> Kernel:
+    return Kernel(PROFILES["v5.15"]())
+
+
+@pytest.fixture
+def v6_1_kernel() -> Kernel:
+    return Kernel(PROFILES["v6.1"]())
+
+
+@pytest.fixture
+def rng() -> FuzzRng:
+    return FuzzRng(1234)

@@ -1,0 +1,104 @@
+"""Assembler-builder field-encoding tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ebpf import asm
+from repro.ebpf.opcodes import (
+    AluOp,
+    AtomicOp,
+    InsnClass,
+    JmpOp,
+    Mode,
+    PseudoCall,
+    PseudoSrc,
+    Reg,
+    Size,
+    Src,
+)
+
+
+class TestAluBuilders:
+    @pytest.mark.parametrize("op", list(AluOp)[:14])
+    def test_alu64_imm_fields(self, op):
+        if op.name.startswith("UNDEF"):
+            return
+        insn = asm.alu64_imm(op, Reg.R3, 9)
+        assert insn.insn_class == InsnClass.ALU64
+        assert insn.alu_op == op
+        assert insn.src_bit == Src.K
+        assert insn.dst == Reg.R3
+        assert insn.imm == 9
+
+    def test_mov_aliases(self):
+        assert asm.mov64_imm(Reg.R1, 5) == asm.alu64_imm(AluOp.MOV, Reg.R1, 5)
+        assert asm.mov32_reg(Reg.R1, Reg.R2) == asm.alu32_reg(
+            AluOp.MOV, Reg.R1, Reg.R2
+        )
+
+    def test_endian_variants(self):
+        be = asm.endian(Reg.R1, 32, to_big=True)
+        le = asm.endian(Reg.R1, 32, to_big=False)
+        assert be.src_bit == Src.X
+        assert le.src_bit == Src.K
+        assert be.imm == le.imm == 32
+
+
+class TestMemoryBuilders:
+    def test_ldx_fields(self):
+        insn = asm.ldx_mem(Size.H, Reg.R2, Reg.R3, -6)
+        assert insn.insn_class == InsnClass.LDX
+        assert insn.size == Size.H
+        assert insn.mode == Mode.MEM
+        assert (insn.dst, insn.src, insn.off) == (Reg.R2, Reg.R3, -6)
+
+    def test_ldx_memsx(self):
+        insn = asm.ldx_memsx(Size.B, Reg.R1, Reg.R2, 0)
+        assert insn.mode == Mode.MEMSX
+
+    def test_st_vs_stx(self):
+        st = asm.st_mem(Size.W, Reg.R1, 4, 77)
+        stx = asm.stx_mem(Size.W, Reg.R1, Reg.R2, 4)
+        assert st.insn_class == InsnClass.ST and st.imm == 77
+        assert stx.insn_class == InsnClass.STX and stx.src == Reg.R2
+
+    def test_atomic_builder(self):
+        insn = asm.atomic_op(Size.DW, AtomicOp.CMPXCHG, Reg.R1, Reg.R2, -8)
+        assert insn.is_atomic()
+        assert insn.imm == int(AtomicOp.CMPXCHG)
+
+
+class TestPseudoLoads:
+    def test_ld_map_fd_marks_pseudo(self):
+        first, second = asm.ld_map_fd(Reg.R1, 42)
+        assert first.pseudo_src() == PseudoSrc.MAP_FD
+        assert first.imm64 == 42
+        assert second.is_filler()
+
+    def test_ld_map_value_packs_offset(self):
+        first, _ = asm.ld_map_value(Reg.R1, 5, 24)
+        assert first.pseudo_src() == PseudoSrc.MAP_VALUE
+        assert first.imm64 & 0xFFFFFFFF == 5
+        assert first.imm64 >> 32 == 24
+
+    def test_ld_btf_id(self):
+        first, _ = asm.ld_btf_id(Reg.R2, 3)
+        assert first.pseudo_src() == PseudoSrc.BTF_ID
+        assert first.imm64 == 3
+
+
+class TestJumpBuilders:
+    def test_jmp32(self):
+        insn = asm.jmp32_imm(JmpOp.JLT, Reg.R1, 10, 2)
+        assert insn.insn_class == InsnClass.JMP32
+        assert insn.is_cond_jmp()
+
+    def test_call_kinds(self):
+        helper = asm.call_helper(1)
+        kfunc = asm.call_kfunc(9001)
+        sub = asm.call_subprog(5)
+        assert helper.src == PseudoCall.HELPER
+        assert kfunc.src == PseudoCall.KFUNC
+        assert sub.src == PseudoCall.CALL
+        assert sub.imm == 5

@@ -1,0 +1,63 @@
+"""BTF model tests."""
+
+from __future__ import annotations
+
+from repro.kernel.kasan import KernelMemory
+from repro.ebpf.btf import BtfRegistry, TASK_STRUCT
+
+
+class TestTypes:
+    def test_task_struct_shape(self):
+        assert TASK_STRUCT.size == 128
+        pid = TASK_STRUCT.field_at(32)
+        assert pid is not None and pid.name == "pid"
+
+    def test_field_at_boundaries(self):
+        assert TASK_STRUCT.field_at(127) is not None
+        assert TASK_STRUCT.field_at(128) is None
+        assert TASK_STRUCT.field_at(-1) is None
+
+    def test_pointer_fields(self):
+        parent = TASK_STRUCT.field_at(40)
+        assert parent.points_to == "task_struct"
+
+
+class TestRegistry:
+    def test_bootstrap_objects(self):
+        reg = BtfRegistry(KernelMemory())
+        task = reg.object(reg.current_task_id)
+        assert task is not None
+        assert task.type.name == "task_struct"
+        assert task.address != 0
+        assert not task.maybe_absent
+
+    def test_absent_ksym_is_null(self):
+        reg = BtfRegistry(KernelMemory())
+        absent = reg.object(reg.absent_ksym_id)
+        assert absent.maybe_absent
+        assert absent.address == 0
+
+    def test_current_task_fields_initialised(self):
+        mem = KernelMemory()
+        reg = BtfRegistry(mem)
+        task = reg.object(reg.current_task_id)
+        assert mem.checked_read(task.address + 32, 4) == 4242
+        comm = mem.checked_read_bytes(task.address + 72, 10)
+        assert comm == b"repro_task"
+
+    def test_instantiate_new_object(self):
+        reg = BtfRegistry(KernelMemory())
+        btf_id = reg.instantiate("file")
+        obj = reg.object(btf_id)
+        assert obj.type.name == "file"
+        assert obj.address != 0
+
+    def test_loadable_ids(self):
+        reg = BtfRegistry(KernelMemory())
+        ids = reg.loadable_ids()
+        assert reg.current_task_id in ids
+        assert reg.absent_ksym_id in ids
+
+    def test_unknown_id(self):
+        reg = BtfRegistry(KernelMemory())
+        assert reg.object(9999) is None

@@ -1,0 +1,69 @@
+"""Disassembler output format tests."""
+
+from __future__ import annotations
+
+from repro.ebpf import asm
+from repro.ebpf.disasm import format_insn, format_program
+from repro.ebpf.opcodes import AluOp, AtomicOp, JmpOp, Reg, Size
+
+
+class TestFormatInsn:
+    def test_alu_imm(self):
+        assert format_insn(asm.alu64_imm(AluOp.ADD, Reg.R2, -8)) == "r2 += -8"
+
+    def test_alu_reg_32(self):
+        assert format_insn(asm.alu32_reg(AluOp.XOR, Reg.R1, Reg.R2)) == "w1 ^= w2"
+
+    def test_mov(self):
+        assert format_insn(asm.mov64_reg(Reg.R6, Reg.R1)) == "r6 = r1"
+
+    def test_neg(self):
+        assert format_insn(asm.neg64(Reg.R3)) == "r3 = -r3"
+
+    def test_load(self):
+        text = format_insn(asm.ldx_mem(Size.DW, Reg.R0, Reg.R10, -8))
+        assert text == "r0 = *(u64 *)(r10 -8)"
+
+    def test_store_imm(self):
+        text = format_insn(asm.st_mem(Size.W, Reg.R1, 4, 7))
+        assert text == "*(u32 *)(r1 +4) = 7"
+
+    def test_atomic(self):
+        text = format_insn(
+            asm.atomic_op(Size.DW, AtomicOp.ADD, Reg.R1, Reg.R2, 0)
+        )
+        assert "lock add" in text
+
+    def test_cond_jump(self):
+        text = format_insn(asm.jmp_imm(JmpOp.JSGT, Reg.R3, -1, 5))
+        assert text == "if r3 s> -1 goto +5"
+
+    def test_exit_and_ja(self):
+        assert format_insn(asm.exit_insn()) == "exit"
+        assert format_insn(asm.ja(-4)) == "goto -4"
+
+    def test_calls(self):
+        assert format_insn(asm.call_helper(1)) == "call helper#1"
+        assert format_insn(asm.call_kfunc(9001)) == "call kfunc#9001"
+        assert format_insn(asm.call_subprog(3)) == "call pc+3"
+
+    def test_map_fd_load(self):
+        first, _ = asm.ld_map_fd(Reg.R1, 5)
+        assert format_insn(first) == "r1 = map_fd[5] ll"
+
+    def test_ax_register(self):
+        assert format_insn(asm.mov64_reg(Reg.AX, Reg.R1)) == "ax = r1"
+
+
+class TestFormatProgram:
+    def test_numbering_skips_ld_imm64_filler(self):
+        prog = [
+            *asm.ld_imm64(Reg.R1, 0x1234),
+            asm.mov64_imm(Reg.R0, 0),
+            asm.exit_insn(),
+        ]
+        lines = format_program(prog).splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("   0:")
+        assert lines[1].startswith("   2:")
+        assert lines[2].startswith("   3:")

@@ -1,0 +1,164 @@
+"""Helper registry and implementation tests."""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro.errors import KernelPanic, LockdepReport
+from repro.kernel.config import PROFILES
+from repro.kernel.syscall import Kernel
+from repro.ebpf.helpers import ArgType, HelperContext, HelperId, RetType
+from repro.ebpf.maps import MapType
+
+
+def ctx_for(kernel, **kwargs) -> HelperContext:
+    return HelperContext(kernel=kernel, prog=None, **kwargs)
+
+
+class TestRegistry:
+    def test_all_helpers_registered(self, patched_kernel):
+        ids = patched_kernel.helpers.ids()
+        assert int(HelperId.MAP_LOOKUP_ELEM) in ids
+        assert int(HelperId.TRACE_PRINTK) in ids
+        assert int(HelperId.GET_CURRENT_TASK_BTF) in ids
+
+    def test_version_gating(self, v5_15_kernel):
+        ids = v5_15_kernel.helpers.ids()
+        # bpf_loop and bpf_snprintf post-date v5.15 in our model.
+        assert int(HelperId.LOOP) not in ids
+        assert int(HelperId.SNPRINTF) not in ids
+        assert int(HelperId.MAP_LOOKUP_ELEM) in ids
+
+    def test_prog_type_filtering(self, patched_kernel):
+        socket_ids = patched_kernel.helpers.ids_for_prog_type("socket_filter")
+        kprobe_ids = patched_kernel.helpers.ids_for_prog_type("kprobe")
+        assert int(HelperId.GET_CURRENT_PID_TGID) not in socket_ids
+        assert int(HelperId.GET_CURRENT_PID_TGID) in kprobe_ids
+
+    def test_lock_acquiring_ids(self, patched_kernel):
+        locky = patched_kernel.helpers.lock_acquiring_ids()
+        assert int(HelperId.TRACE_PRINTK) in locky
+        assert int(HelperId.RINGBUF_OUTPUT) in locky
+        assert int(HelperId.KTIME_GET_NS) not in locky
+
+    def test_unknown_helper(self, patched_kernel):
+        assert patched_kernel.helpers.get(9999) is None
+
+
+class TestMapHelpers:
+    def _setup(self, kernel):
+        fd = kernel.map_create(MapType.HASH, 8, 8, 4)
+        bpf_map = kernel.map_by_fd(fd)
+        map_addr = kernel.map_kobj_addr(bpf_map)
+        key_buf = kernel.mem.kmalloc(8, tag="key")
+        val_buf = kernel.mem.kmalloc(8, tag="val")
+        return bpf_map, map_addr, key_buf, val_buf
+
+    def test_lookup_miss_returns_zero(self, patched_kernel):
+        bpf_map, map_addr, key_buf, _ = self._setup(patched_kernel)
+        patched_kernel.mem.checked_write(key_buf.start, 8, 1)
+        proto = patched_kernel.helpers.get(HelperId.MAP_LOOKUP_ELEM)
+        assert proto.impl(ctx_for(patched_kernel), map_addr, key_buf.start) == 0
+
+    def test_update_then_lookup(self, patched_kernel):
+        bpf_map, map_addr, key_buf, val_buf = self._setup(patched_kernel)
+        mem = patched_kernel.mem
+        mem.checked_write(key_buf.start, 8, 5)
+        mem.checked_write(val_buf.start, 8, 77)
+        update = patched_kernel.helpers.get(HelperId.MAP_UPDATE_ELEM)
+        lookup = patched_kernel.helpers.get(HelperId.MAP_LOOKUP_ELEM)
+        assert update.impl(
+            ctx_for(patched_kernel), map_addr, key_buf.start, val_buf.start, 0
+        ) == 0
+        addr = lookup.impl(ctx_for(patched_kernel), map_addr, key_buf.start)
+        assert addr != 0
+        assert mem.checked_read(addr, 8) == 77
+
+    def test_delete_missing_negative_errno(self, patched_kernel):
+        bpf_map, map_addr, key_buf, _ = self._setup(patched_kernel)
+        patched_kernel.mem.checked_write(key_buf.start, 8, 9)
+        delete = patched_kernel.helpers.get(HelperId.MAP_DELETE_ELEM)
+        rv = delete.impl(ctx_for(patched_kernel), map_addr, key_buf.start)
+        assert rv == -errno.ENOENT
+
+
+class TestMiscHelpers:
+    def test_ktime_monotonic(self, patched_kernel):
+        proto = patched_kernel.helpers.get(HelperId.KTIME_GET_NS)
+        a = proto.impl(ctx_for(patched_kernel))
+        b = proto.impl(ctx_for(patched_kernel))
+        assert b > a
+
+    def test_prandom_changes(self, patched_kernel):
+        proto = patched_kernel.helpers.get(HelperId.GET_PRANDOM_U32)
+        values = {proto.impl(ctx_for(patched_kernel)) for _ in range(8)}
+        assert len(values) > 1
+        assert all(0 <= v <= 0xFFFFFFFF for v in values)
+
+    def test_get_current_comm(self, patched_kernel):
+        buf = patched_kernel.mem.kmalloc(16, tag="comm")
+        proto = patched_kernel.helpers.get(HelperId.GET_CURRENT_COMM)
+        assert proto.impl(ctx_for(patched_kernel), buf.start, 16) == 0
+        data = patched_kernel.mem.checked_read_bytes(buf.start, 16)
+        assert data.startswith(b"repro_task")
+
+    def test_get_current_task_address(self, patched_kernel):
+        proto = patched_kernel.helpers.get(HelperId.GET_CURRENT_TASK)
+        addr = proto.impl(ctx_for(patched_kernel))
+        task = patched_kernel.btf.object(patched_kernel.btf.current_task_id)
+        assert addr == task.address
+
+    def test_probe_read_bad_address_faults_gracefully(self, patched_kernel):
+        buf = patched_kernel.mem.kmalloc(8, tag="dst")
+        proto = patched_kernel.helpers.get(HelperId.PROBE_READ_KERNEL)
+        rv = proto.impl(ctx_for(patched_kernel), buf.start, 8, 0x41414141)
+        assert rv == -errno.EFAULT
+        assert patched_kernel.mem.checked_read(buf.start, 8) == 0
+
+
+class TestSendSignal:
+    def test_invalid_signal_einval(self, bpf_next_kernel):
+        proto = bpf_next_kernel.helpers.get(HelperId.SEND_SIGNAL)
+        assert proto.impl(ctx_for(bpf_next_kernel), 0) == -errno.EINVAL
+        assert proto.impl(ctx_for(bpf_next_kernel), 999) == -errno.EINVAL
+
+    def test_normal_context_ok(self, bpf_next_kernel):
+        proto = bpf_next_kernel.helpers.get(HelperId.SEND_SIGNAL)
+        assert proto.impl(ctx_for(bpf_next_kernel), 9) == 0
+
+    def test_nmi_context_panics(self, bpf_next_kernel):
+        proto = bpf_next_kernel.helpers.get(HelperId.SEND_SIGNAL)
+        with pytest.raises(KernelPanic):
+            proto.impl(ctx_for(bpf_next_kernel, in_nmi=True), 9)
+
+
+class TestRingbufOutput:
+    def _ringbuf(self, kernel):
+        fd = kernel.map_create(MapType.RINGBUF, 0, 0, 4096)
+        bpf_map = kernel.map_by_fd(fd)
+        data = kernel.mem.kmalloc(16, tag="data")
+        return kernel.map_kobj_addr(bpf_map), data
+
+    def test_normal_output(self, patched_kernel):
+        map_addr, data = self._ringbuf(patched_kernel)
+        proto = patched_kernel.helpers.get(HelperId.RINGBUF_OUTPUT)
+        rv = proto.impl(ctx_for(patched_kernel), map_addr, data.start, 16, 0)
+        assert rv == 0
+
+    def test_irq_misuse_reported_when_flawed(self, bpf_next_kernel):
+        map_addr, data = self._ringbuf(bpf_next_kernel)
+        proto = bpf_next_kernel.helpers.get(HelperId.RINGBUF_OUTPUT)
+        with pytest.raises(LockdepReport):
+            proto.impl(
+                ctx_for(bpf_next_kernel, in_irq=True), map_addr, data.start, 16, 0
+            )
+
+    def test_irq_ok_when_fixed(self, patched_kernel):
+        map_addr, data = self._ringbuf(patched_kernel)
+        proto = patched_kernel.helpers.get(HelperId.RINGBUF_OUTPUT)
+        rv = proto.impl(
+            ctx_for(patched_kernel, in_irq=True), map_addr, data.start, 16, 0
+        )
+        assert rv == 0

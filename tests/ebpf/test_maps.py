@@ -1,0 +1,272 @@
+"""Map data-structure tests."""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import KasanReport, MapError
+from repro.kernel.config import PROFILES, Flaw
+from repro.kernel.kasan import KernelMemory
+from repro.kernel.lockdep import Lockdep
+from repro.ebpf.maps import (
+    ArrayMap,
+    HashMap,
+    LruHashMap,
+    MapFlags,
+    MapType,
+    QueueMap,
+    RingbufMap,
+    StackMap,
+    create_map,
+)
+
+
+def mem():
+    return KernelMemory()
+
+
+class TestFactory:
+    def test_create_each_type(self):
+        m = mem()
+        assert isinstance(create_map(m, MapType.HASH, 8, 8, 4), HashMap)
+        assert isinstance(create_map(m, MapType.ARRAY, 4, 8, 4), ArrayMap)
+        assert isinstance(create_map(m, MapType.LRU_HASH, 8, 8, 4), LruHashMap)
+        assert isinstance(create_map(m, MapType.QUEUE, 0, 8, 4), QueueMap)
+        assert isinstance(create_map(m, MapType.STACK, 0, 8, 4), StackMap)
+        assert isinstance(create_map(m, MapType.RINGBUF, 0, 0, 4096), RingbufMap)
+
+    def test_unknown_type_einval(self):
+        with pytest.raises(MapError) as exc:
+            create_map(mem(), 999, 4, 4, 4)
+        assert exc.value.errno == errno.EINVAL
+
+    @pytest.mark.parametrize(
+        "key,value,entries",
+        [(0, 8, 4), (-1, 8, 4), (8, 0, 4), (8, 8, 0), (1024, 8, 4)],
+    )
+    def test_bad_params_einval(self, key, value, entries):
+        with pytest.raises(MapError):
+            create_map(mem(), MapType.HASH, key, value, entries)
+
+
+class TestHashMap:
+    def test_update_lookup_delete(self):
+        m = create_map(mem(), MapType.HASH, 8, 16, 4)
+        key = b"k" * 8
+        m.update(key, b"v" * 16)
+        assert m.read_value(key) == b"v" * 16
+        m.delete(key)
+        assert m.lookup(key) is None
+
+    def test_lookup_returns_kernel_address(self):
+        memory = mem()
+        m = create_map(memory, MapType.HASH, 8, 8, 4)
+        m.update(b"A" * 8, b"B" * 8)
+        addr = m.lookup(b"A" * 8)
+        assert memory.checked_read_bytes(addr, 8) == b"B" * 8
+
+    def test_flags(self):
+        m = create_map(mem(), MapType.HASH, 8, 8, 4)
+        key = bytes(8)
+        with pytest.raises(MapError) as exc:
+            m.update(key, bytes(8), MapFlags.EXIST)
+        assert exc.value.errno == errno.ENOENT
+        m.update(key, bytes(8), MapFlags.NOEXIST)
+        with pytest.raises(MapError) as exc:
+            m.update(key, bytes(8), MapFlags.NOEXIST)
+        assert exc.value.errno == errno.EEXIST
+
+    def test_capacity(self):
+        m = create_map(mem(), MapType.HASH, 8, 8, 2)
+        m.update(b"a" * 8, bytes(8))
+        m.update(b"b" * 8, bytes(8))
+        with pytest.raises(MapError) as exc:
+            m.update(b"c" * 8, bytes(8))
+        assert exc.value.errno == errno.E2BIG
+
+    def test_wrong_key_size(self):
+        m = create_map(mem(), MapType.HASH, 8, 8, 4)
+        with pytest.raises(MapError):
+            m.lookup(b"short")
+
+    def test_get_next_key_iteration(self):
+        m = create_map(mem(), MapType.HASH, 8, 8, 8)
+        keys = {bytes([i]) * 8 for i in range(5)}
+        for k in keys:
+            m.update(k, bytes(8))
+        seen = set()
+        cursor = None
+        for _ in range(10):
+            try:
+                cursor = m.get_next_key(cursor)
+            except MapError:
+                break
+            seen.add(cursor)
+        assert seen == keys
+
+    def test_empty_iteration_enoent(self):
+        m = create_map(mem(), MapType.HASH, 8, 8, 4)
+        with pytest.raises(MapError) as exc:
+            m.get_next_key(None)
+        assert exc.value.errno == errno.ENOENT
+
+    def test_delete_frees_element(self):
+        memory = mem()
+        m = create_map(memory, MapType.HASH, 8, 8, 4)
+        m.update(b"x" * 8, bytes(8))
+        addr = m.lookup(b"x" * 8)
+        m.delete(b"x" * 8)
+        with pytest.raises(KasanReport):
+            memory.checked_read(addr, 8)
+
+    @given(st.dictionaries(st.binary(min_size=8, max_size=8),
+                           st.binary(min_size=8, max_size=8), max_size=16))
+    def test_model_equivalence(self, model):
+        m = create_map(mem(), MapType.HASH, 8, 8, 32)
+        for k, v in model.items():
+            m.update(k, v)
+        for k, v in model.items():
+            assert m.read_value(k) == v
+
+
+class TestBucketBug:
+    def _last_bucket_key(self, m: HashMap) -> bytes:
+        for i in range(100000):
+            key = i.to_bytes(8, "little")
+            if m._bucket_of(key) == m.n_buckets - 1:
+                return key
+        raise AssertionError("no key hashed to the last bucket")
+
+    def test_flawed_iteration_oob(self):
+        memory = mem()
+        m = create_map(
+            memory, MapType.HASH, 8, 8, 8,
+            lockdep=Lockdep(), config=PROFILES["bpf-next"](),
+        )
+        key = self._last_bucket_key(m)
+        m.update(key, bytes(8))
+        with pytest.raises(KasanReport):
+            m.get_next_key(key)
+
+    def test_fixed_iteration_clean(self):
+        memory = mem()
+        m = create_map(
+            memory, MapType.HASH, 8, 8, 8,
+            lockdep=Lockdep(), config=PROFILES["patched"](),
+        )
+        key = self._last_bucket_key(m)
+        m.update(key, bytes(8))
+        with pytest.raises(MapError):  # plain end-of-iteration
+            m.get_next_key(key)
+
+
+class TestArrayMap:
+    def test_all_indices_exist(self):
+        m = create_map(mem(), MapType.ARRAY, 4, 8, 4)
+        for i in range(4):
+            assert m.lookup(i.to_bytes(4, "little")) is not None
+        assert m.lookup((4).to_bytes(4, "little")) is None
+
+    def test_values_contiguous(self):
+        m = create_map(mem(), MapType.ARRAY, 4, 8, 4)
+        a0 = m.lookup((0).to_bytes(4, "little"))
+        a1 = m.lookup((1).to_bytes(4, "little"))
+        assert a1 - a0 == 8
+
+    def test_update_out_of_range(self):
+        m = create_map(mem(), MapType.ARRAY, 4, 8, 4)
+        with pytest.raises(MapError) as exc:
+            m.update((9).to_bytes(4, "little"), bytes(8))
+        assert exc.value.errno == errno.E2BIG
+
+    def test_delete_rejected(self):
+        m = create_map(mem(), MapType.ARRAY, 4, 8, 4)
+        with pytest.raises(MapError):
+            m.delete(bytes(4))
+
+    def test_key_size_must_be_4(self):
+        with pytest.raises(MapError):
+            create_map(mem(), MapType.ARRAY, 8, 8, 4)
+
+    def test_noexist_rejected(self):
+        m = create_map(mem(), MapType.ARRAY, 4, 8, 4)
+        with pytest.raises(MapError) as exc:
+            m.update(bytes(4), bytes(8), MapFlags.NOEXIST)
+        assert exc.value.errno == errno.EEXIST
+
+
+class TestLru:
+    def test_eviction_instead_of_full(self):
+        m = create_map(mem(), MapType.LRU_HASH, 8, 8, 2)
+        for i in range(5):
+            m.update(bytes([i]) * 8, bytes(8))
+        assert len(m._elems) == 2
+
+
+class TestQueueStack:
+    def test_queue_fifo(self):
+        m = create_map(mem(), MapType.QUEUE, 0, 8, 4)
+        m.push(b"11111111")
+        m.push(b"22222222")
+        assert m.pop() == b"11111111"
+        assert m.pop() == b"22222222"
+
+    def test_stack_lifo(self):
+        m = create_map(mem(), MapType.STACK, 0, 8, 4)
+        m.push(b"11111111")
+        m.push(b"22222222")
+        assert m.pop() == b"22222222"
+
+    def test_peek_does_not_consume(self):
+        m = create_map(mem(), MapType.QUEUE, 0, 8, 4)
+        m.push(b"11111111")
+        assert m.peek() == b"11111111"
+        assert m.pop() == b"11111111"
+
+    def test_empty_pop(self):
+        m = create_map(mem(), MapType.QUEUE, 0, 8, 4)
+        with pytest.raises(MapError) as exc:
+            m.pop()
+        assert exc.value.errno == errno.ENOENT
+
+    def test_full_push(self):
+        m = create_map(mem(), MapType.QUEUE, 0, 8, 1)
+        m.push(bytes(8))
+        with pytest.raises(MapError) as exc:
+            m.push(bytes(8))
+        assert exc.value.errno == errno.E2BIG
+
+    def test_keyed_ops_rejected(self):
+        m = create_map(mem(), MapType.QUEUE, 0, 8, 4)
+        with pytest.raises(MapError):
+            m.lookup(b"")
+        with pytest.raises(MapError):
+            m.get_next_key(None)
+
+
+class TestRingbuf:
+    def test_output_consume(self):
+        m = create_map(mem(), MapType.RINGBUF, 0, 0, 64)
+        m.output(b"hello")
+        assert m.consume(5) == b"hello"
+
+    def test_wraparound(self):
+        m = create_map(mem(), MapType.RINGBUF, 0, 0, 16)
+        m.output(b"A" * 12)
+        assert m.consume(12) == b"A" * 12
+        m.output(b"B" * 12)  # wraps
+        assert m.consume(12) == b"B" * 12
+
+    def test_full_eagain(self):
+        m = create_map(mem(), MapType.RINGBUF, 0, 0, 16)
+        m.output(b"x" * 16)
+        with pytest.raises(MapError) as exc:
+            m.output(b"y")
+        assert exc.value.errno == errno.EAGAIN
+
+    def test_power_of_two_required(self):
+        with pytest.raises(MapError):
+            create_map(mem(), MapType.RINGBUF, 0, 0, 100)

@@ -1,0 +1,64 @@
+"""Opcode table tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ebpf.opcodes import (
+    AluOp,
+    InsnClass,
+    JmpOp,
+    Mode,
+    Size,
+    Src,
+    SIZE_BYTES,
+    BYTES_TO_SIZE,
+    insn_class,
+    is_alu_class,
+    is_jmp_class,
+    is_ldst_class,
+    opcode,
+)
+
+
+class TestEncoding:
+    def test_class_bits(self):
+        assert insn_class(0x07) == InsnClass.ALU64
+        assert insn_class(0x05) == InsnClass.JMP
+        assert insn_class(0x61) == InsnClass.LDX
+
+    def test_opcode_compose(self):
+        op = opcode(InsnClass.ALU64, AluOp.ADD, Src.X)
+        assert insn_class(op) == InsnClass.ALU64
+        assert op & 0xF0 == AluOp.ADD
+        assert op & 0x08 == Src.X
+
+    def test_classifiers(self):
+        assert is_alu_class(InsnClass.ALU)
+        assert is_alu_class(InsnClass.ALU64)
+        assert not is_alu_class(InsnClass.JMP)
+        assert is_jmp_class(InsnClass.JMP32)
+        assert is_ldst_class(InsnClass.STX)
+        assert not is_ldst_class(InsnClass.ALU)
+
+    def test_size_tables_inverse(self):
+        for size, nbytes in SIZE_BYTES.items():
+            assert BYTES_TO_SIZE[nbytes] == size
+
+    def test_known_kernel_values(self):
+        # Spot-check against the UAPI constants.
+        assert int(InsnClass.LDX) == 0x01
+        assert int(Size.DW) == 0x18
+        assert int(Mode.MEM) == 0x60
+        assert int(Mode.ATOMIC) == 0xC0
+        assert int(AluOp.MOV) == 0xB0
+        assert int(JmpOp.CALL) == 0x80
+        assert int(JmpOp.EXIT) == 0x90
+
+    def test_every_high_nibble_maps_to_alu_op(self):
+        for nibble in range(0, 0x100, 0x10):
+            AluOp(nibble)  # placeholders make this total
+
+    def test_every_high_nibble_maps_to_jmp_op(self):
+        for nibble in range(0, 0x100, 0x10):
+            JmpOp(nibble)

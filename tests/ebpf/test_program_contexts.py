@@ -1,0 +1,98 @@
+"""Program-type and context-descriptor tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ebpf.program import (
+    BpfProgram,
+    CONTEXTS,
+    ContextDescriptor,
+    CtxField,
+    PACKET_ACCESS_TYPES,
+    ProgType,
+)
+
+
+class TestDescriptors:
+    def test_every_prog_type_has_a_context(self):
+        for prog_type in ProgType:
+            assert prog_type in CONTEXTS
+
+    def test_skb_field_layout(self):
+        skb = CONTEXTS[ProgType.SOCKET_FILTER]
+        assert skb.name == "__sk_buff"
+        data = skb.field_covering(76, 4)
+        assert data.special == "pkt_data"
+        end = skb.field_covering(80, 4)
+        assert end.special == "pkt_end"
+
+    def test_xdp_is_small_and_special(self):
+        xdp = CONTEXTS[ProgType.XDP]
+        assert xdp.size == 24
+        specials = {f.special for f in xdp.fields if f.special}
+        assert specials == {"pkt_data", "pkt_end", "pkt_meta"}
+
+    def test_packet_types(self):
+        assert ProgType.XDP in PACKET_ACCESS_TYPES
+        assert ProgType.KPROBE not in PACKET_ACCESS_TYPES
+
+
+class TestAccessRules:
+    def _skb(self) -> ContextDescriptor:
+        return CONTEXTS[ProgType.SOCKET_FILTER]
+
+    def test_scalar_field_narrow_read_ok(self):
+        ok, field, _ = self._skb().check_access(0, 2, is_write=False)
+        assert ok and field.name == "len"
+
+    def test_special_field_requires_exact_size(self):
+        ok, _, reason = self._skb().check_access(76, 2, is_write=False)
+        assert not ok and "exact-size" in reason
+        ok, _, _ = self._skb().check_access(76, 4, is_write=False)
+        assert ok
+
+    def test_special_field_never_writable(self):
+        ok, _, reason = self._skb().check_access(76, 4, is_write=True)
+        assert not ok and "read-only" in reason
+
+    def test_write_rules(self):
+        ok, _, _ = self._skb().check_access(8, 4, is_write=True)  # mark
+        assert ok
+        ok, _, reason = self._skb().check_access(0, 4, is_write=True)  # len
+        assert not ok and "read-only" in reason
+
+    def test_hole_access_rejected(self):
+        ok, field, reason = self._skb().check_access(24, 4, is_write=False)
+        assert not ok and field is None
+
+    def test_out_of_range(self):
+        ok, _, reason = self._skb().check_access(400, 4, is_write=False)
+        assert not ok and "out of range" in reason
+        ok, _, _ = self._skb().check_access(-4, 4, is_write=False)
+        assert not ok
+
+    def test_raw_readable_context(self):
+        tp = CONTEXTS[ProgType.TRACEPOINT]
+        ok, field, _ = tp.check_access(40, 8, is_write=False)
+        assert ok and field is None
+        ok, _, _ = tp.check_access(40, 8, is_write=True)
+        assert not ok
+
+    def test_straddling_field_boundary_rejected(self):
+        # 4-byte read at offset 2 straddles len and pkt_type.
+        ok, field, _ = self._skb().check_access(2, 4, is_write=False)
+        assert not ok
+
+
+class TestBpfProgram:
+    def test_defaults(self):
+        prog = BpfProgram(insns=[])
+        assert prog.prog_type == ProgType.SOCKET_FILTER
+        assert prog.license == "GPL"
+        assert prog.offload_dev is None
+        assert len(prog) == 0
+
+    def test_context_property(self):
+        prog = BpfProgram(insns=[], prog_type=ProgType.KPROBE)
+        assert prog.context.name == "pt_regs"

@@ -1,0 +1,90 @@
+"""Baseline-generator characterisation tests.
+
+These pin down the properties the paper measures: Syzkaller's low
+acceptance with EACCES/EINVAL-dominated rejections, and Buzzer's two
+modes (near-zero acceptance vs ~97% with an ALU/JMP-dominated mix).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import BpfError, VerifierReject
+from repro.kernel.config import PROFILES
+from repro.kernel.syscall import Kernel
+from repro.ebpf.opcodes import InsnClass
+from repro.ebpf.program import BpfProgram
+from repro.fuzz.baselines import BuzzerGenerator, SyzkallerGenerator
+from repro.fuzz.rng import FuzzRng
+
+
+def run_generator(make, n=200, seed=5):
+    rng = FuzzRng(seed)
+    accepted = 0
+    errnos: Counter = Counter()
+    classes: Counter = Counter()
+    for _ in range(n):
+        kernel = Kernel(PROFILES["bpf-next"]())
+        gp = make(kernel, rng).generate()
+        for insn in gp.insns:
+            if not insn.is_filler():
+                classes[insn.insn_class] += 1
+        try:
+            kernel.prog_load(BpfProgram(insns=gp.insns, prog_type=gp.prog_type))
+            accepted += 1
+        except (VerifierReject, BpfError) as exc:
+            errnos[exc.errno] += 1
+    return accepted / n, errnos, classes
+
+
+class TestSyzkaller:
+    def test_acceptance_band(self):
+        rate, _, _ = run_generator(SyzkallerGenerator)
+        assert 0.10 <= rate <= 0.45  # paper: 23.5%
+
+    def test_rejections_dominated_by_eacces_einval(self):
+        import errno
+
+        _, errnos, _ = run_generator(SyzkallerGenerator)
+        top_two = {e for e, _ in errnos.most_common(2)}
+        assert top_two <= {errno.EACCES, errno.EINVAL}
+
+    def test_uses_many_instruction_kinds(self):
+        _, _, classes = run_generator(SyzkallerGenerator)
+        assert len(classes) >= 5
+
+
+class TestBuzzer:
+    def test_random_mode_near_zero_acceptance(self):
+        rate, _, _ = run_generator(
+            lambda k, r: BuzzerGenerator(k, r, mode="random"), n=150
+        )
+        assert rate <= 0.08  # paper: ~1%
+
+    def test_alu_jmp_mode_high_acceptance(self):
+        rate, _, _ = run_generator(
+            lambda k, r: BuzzerGenerator(k, r, mode="alu_jmp"), n=150
+        )
+        assert rate >= 0.90  # paper: ~97%
+
+    def test_alu_jmp_mix_dominates(self):
+        _, _, classes = run_generator(
+            lambda k, r: BuzzerGenerator(k, r, mode="alu_jmp"), n=100
+        )
+        total = sum(classes.values())
+        alu_jmp = sum(
+            c for cls, c in classes.items()
+            if cls in (InsnClass.ALU, InsnClass.ALU64, InsnClass.JMP,
+                       InsnClass.JMP32)
+        )
+        assert alu_jmp / total >= 0.85  # paper: 88.4%+
+
+    def test_mixed_mode_alternates(self):
+        rng = FuzzRng(1)
+        kernel = Kernel(PROFILES["bpf-next"]())
+        origins = {
+            BuzzerGenerator(kernel, rng).generate().origin for _ in range(40)
+        }
+        assert origins == {"buzzer:random", "buzzer:alu_jmp"}

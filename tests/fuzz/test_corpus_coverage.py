@@ -1,0 +1,104 @@
+"""Corpus management and coverage-tracer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.config import PROFILES
+from repro.kernel.syscall import Kernel
+from repro.ebpf import asm
+from repro.ebpf.maps import MapType
+from repro.ebpf.opcodes import Reg
+from repro.ebpf.program import BpfProgram, ProgType
+from repro.fuzz.corpus import Corpus, MapSpec, specs_of
+from repro.fuzz.coverage import VerifierCoverage
+from repro.fuzz.rng import FuzzRng
+from repro.fuzz.structure import ExecutionPlan, GeneratedProgram
+
+
+def dummy_gp(kernel=None, n_maps=1):
+    kernel = kernel or Kernel(PROFILES["patched"]())
+    maps = []
+    for _ in range(n_maps):
+        fd = kernel.map_create(MapType.HASH, 8, 8, 4)
+        maps.append(kernel.map_by_fd(fd))
+    return GeneratedProgram(
+        insns=[asm.mov64_imm(Reg.R0, 0), asm.exit_insn()],
+        prog_type=ProgType.KPROBE,
+        maps=maps,
+        plan=ExecutionPlan(),
+    )
+
+
+class TestCorpus:
+    def test_add_and_pick(self):
+        corpus = Corpus()
+        corpus.add(dummy_gp(), new_edges=5)
+        assert len(corpus) == 1
+        entry = corpus.pick(FuzzRng(0))
+        assert entry.prog_type == ProgType.KPROBE
+        assert entry.map_specs[0].map_type == MapType.HASH
+
+    def test_capacity_eviction_prefers_contributors(self):
+        corpus = Corpus(capacity=2)
+        corpus.add(dummy_gp(), new_edges=1)
+        corpus.add(dummy_gp(), new_edges=10)
+        corpus.add(dummy_gp(), new_edges=5)
+        assert len(corpus) == 2
+        assert sorted(e.new_edges for e in corpus.entries) == [5, 10]
+
+    def test_weak_entry_not_inserted(self):
+        corpus = Corpus(capacity=1)
+        corpus.add(dummy_gp(), new_edges=10)
+        corpus.add(dummy_gp(), new_edges=1)
+        assert corpus.entries[0].new_edges == 10
+
+    def test_specs_of(self):
+        gp = dummy_gp(n_maps=2)
+        specs = specs_of(gp)
+        assert specs == (MapSpec(MapType.HASH, 8, 8, 4),) * 2
+
+
+class TestCoverage:
+    def _verify_once(self, cov, insns=None):
+        kernel = Kernel(PROFILES["patched"]())
+        prog = BpfProgram(
+            insns=insns or [asm.mov64_imm(Reg.R0, 0), asm.exit_insn()]
+        )
+        with cov.collect():
+            kernel.prog_load(prog)
+
+    def test_collect_records_edges(self):
+        cov = VerifierCoverage()
+        self._verify_once(cov)
+        assert cov.edge_count > 0
+        assert cov.last_new == cov.edge_count
+
+    def test_repeat_contributes_nothing(self):
+        cov = VerifierCoverage()
+        self._verify_once(cov)
+        first = cov.edge_count
+        self._verify_once(cov)
+        assert cov.edge_count == first
+        assert cov.last_new == 0
+
+    def test_new_behaviour_adds_edges(self):
+        cov = VerifierCoverage()
+        self._verify_once(cov)
+        first = cov.edge_count
+        self._verify_once(
+            cov,
+            insns=[
+                asm.st_mem(asm.Size.DW, Reg.R10, -8, 1),
+                asm.ldx_mem(asm.Size.DW, Reg.R0, Reg.R10, -8),
+                asm.exit_insn(),
+            ],
+        )
+        assert cov.edge_count > first
+        assert cov.last_new > 0
+
+    def test_tracing_scoped_to_verifier(self):
+        cov = VerifierCoverage()
+        with cov.collect():
+            sum(range(1000))  # non-verifier code
+        assert cov.edge_count == 0

@@ -1,0 +1,57 @@
+"""Feedback-loop behaviours of the campaign driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz.campaign import Campaign, CampaignConfig
+
+
+class TestFeedbackLoop:
+    def test_mutations_appear_after_corpus_grows(self):
+        campaign = Campaign(
+            CampaignConfig(tool="bvf", budget=80, seed=21, mutate_rate=0.5)
+        )
+        result = campaign.run()
+        assert len(campaign.corpus) > 0
+        # Mutated programs are generated from corpus entries and are
+        # tagged with a distinct origin.
+        origins = {e.origin for e in campaign.corpus.entries}
+        assert "bvf" in origins
+
+    def test_mutate_rate_zero_never_mutates(self):
+        campaign = Campaign(
+            CampaignConfig(tool="bvf", budget=60, seed=21, mutate_rate=0.0)
+        )
+        campaign.run()
+        assert all(e.origin == "bvf" for e in campaign.corpus.entries)
+
+    def test_coverage_growth_slows(self):
+        """Coverage gained in the first quarter exceeds the last."""
+        result = Campaign(
+            CampaignConfig(tool="bvf", budget=200, seed=8, sample_every=10)
+        ).run()
+        curve = result.coverage_curve
+        quarter = len(curve) // 4
+        early = curve[quarter][1] - curve[0][1]
+        late = curve[-1][1] - curve[-quarter - 1][1]
+        assert early > late
+
+    def test_insn_class_histogram_populated(self):
+        result = Campaign(CampaignConfig(tool="bvf", budget=30, seed=2)).run()
+        assert sum(result.insn_classes.values()) > 0
+        assert 0.0 < result.alu_jmp_fraction() < 1.0
+
+    def test_errno_counter_keys_are_ints(self):
+        result = Campaign(CampaignConfig(tool="bvf", budget=60, seed=3)).run()
+        assert all(isinstance(k, int) for k in result.reject_errnos)
+
+    def test_findings_carry_programs(self):
+        result = Campaign(
+            CampaignConfig(tool="bvf", kernel_version="bpf-next",
+                           budget=200, seed=4)
+        ).run()
+        assert result.findings
+        for finding in result.findings.values():
+            assert finding.iteration >= 0
+            assert finding.message

@@ -1,0 +1,75 @@
+"""Mutation-operator tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ebpf import asm
+from repro.ebpf.opcodes import AluOp, JmpOp, Reg, Size
+from repro.fuzz.mutator import mutate, _dup_adjacent, _tweak_imm, _flip_alu_op
+from repro.fuzz.rng import FuzzRng
+
+
+def sample_prog():
+    return [
+        asm.mov64_imm(Reg.R0, 5),
+        *asm.ld_imm64(Reg.R1, 0xABCDEF),
+        asm.alu64_imm(AluOp.ADD, Reg.R0, 3),
+        asm.jmp_imm(JmpOp.JGT, Reg.R0, 10, 1),
+        asm.st_mem(Size.DW, Reg.R10, -8, 7),
+        asm.exit_insn(),
+    ]
+
+
+class TestOperators:
+    def test_dup_lengthens_by_one(self):
+        rng = FuzzRng(1)
+        out = _dup_adjacent(sample_prog(), rng)
+        assert len(out) == len(sample_prog()) + 1
+
+    def test_dup_preserves_jump_targets(self):
+        rng = FuzzRng(2)
+        prog = sample_prog()
+        out = _dup_adjacent(prog, rng)
+        jmp = next(i for i in out if i.is_cond_jmp())
+        jmp_idx = out.index(jmp)
+        target = out[jmp_idx + jmp.off + 1]
+        assert target.is_exit()  # still lands on exit
+
+    def test_tweak_imm_changes_one_imm(self):
+        rng = FuzzRng(3)
+        prog = sample_prog()
+        out = _tweak_imm(prog, rng)
+        assert len(out) == len(prog)
+        diffs = [i for i, (a, b) in enumerate(zip(prog, out)) if a != b]
+        assert len(diffs) <= 1
+
+    def test_flip_alu_op(self):
+        rng = FuzzRng(4)
+        prog = sample_prog()
+        out = _flip_alu_op(prog, rng)
+        changed = [(a, b) for a, b in zip(prog, out) if a != b]
+        assert len(changed) == 1
+        old, new = changed[0]
+        assert old.insn_class == new.insn_class
+        assert old.alu_op != new.alu_op
+
+    def test_mutate_never_breaks_ld_imm64_pairing(self):
+        rng = FuzzRng(5)
+        for _ in range(50):
+            out = mutate(sample_prog(), rng, rounds=3)
+            i = 0
+            while i < len(out):
+                if out[i].is_ld_imm64():
+                    assert out[i + 1].is_filler()
+                    i += 2
+                else:
+                    assert not out[i].is_filler()
+                    i += 1
+
+    @given(st.integers(min_value=0, max_value=10000))
+    def test_mutate_total(self, seed):
+        rng = FuzzRng(seed)
+        out = mutate(sample_prog(), rng)
+        assert len(out) >= len(sample_prog())

@@ -1,0 +1,143 @@
+"""Oracle classification and differential-triage tests."""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro.errors import (
+    BpfError,
+    KasanReport,
+    KernelPanic,
+    LockdepReport,
+    NullDerefReport,
+    RecursionReport,
+    SanitizerReport,
+    WarnReport,
+)
+from repro.kernel.config import PROFILES, Flaw
+from repro.ebpf import asm
+from repro.ebpf.helpers import HelperId
+from repro.ebpf.maps import MapType
+from repro.ebpf.opcodes import AluOp, JmpOp, Reg, Size
+from repro.ebpf.program import ProgType
+from repro.fuzz.oracle import Oracle, replay_kernel
+from repro.fuzz.structure import ExecutionPlan, GeneratedProgram
+from repro.kernel.syscall import Kernel
+
+
+def oracle():
+    return Oracle(PROFILES["bpf-next"]())
+
+
+class TestIndicator2Classification:
+    def test_trace_printk_lockdep(self):
+        report = LockdepReport("recursive", context={"lock": "trace_printk_lock"})
+        finding = oracle().classify_report(report, None)
+        assert finding.bug_id == Flaw.TRACE_PRINTK_DEADLOCK.value
+        assert finding.indicator == "indicator2"
+        assert finding.is_verifier_bug
+
+    def test_contention_recursion(self):
+        report = RecursionReport("rec", context={"tracepoint": "contention_begin"})
+        finding = oracle().classify_report(report, None)
+        assert finding.bug_id == Flaw.CONTENTION_BEGIN_LOCK.value
+
+    def test_signal_panic(self):
+        report = KernelPanic("bpf_send_signal from NMI")
+        finding = oracle().classify_report(report, None)
+        assert finding.bug_id == Flaw.SIGNAL_PANIC.value
+
+    def test_ringbuf_lock_component(self):
+        report = LockdepReport("sleep", context={"lock": "ringbuf_waitq_lock"})
+        finding = oracle().classify_report(report, None)
+        assert finding.bug_id == Flaw.IRQ_WORK_LOCK.value
+        assert finding.indicator == "component"
+
+    def test_dispatcher_null_deref(self):
+        report = NullDerefReport("bpf dispatcher: null program slot executed")
+        finding = oracle().classify_report(report, None)
+        assert finding.bug_id == Flaw.DISPATCHER_RACE.value
+
+    def test_offload_warn(self):
+        report = WarnReport("executing device-offloaded BPF program on the host")
+        finding = oracle().classify_report(report, None)
+        assert finding.bug_id == Flaw.XDP_DEV_HOST.value
+
+    def test_htab_iter_kasan(self):
+        report = KasanReport("htab-iter: slab-out-of-bounds read")
+        finding = oracle().classify_report(report, None)
+        assert finding.bug_id == Flaw.MAP_BUCKET_ITER.value
+
+    def test_kmemdup_syscall_error(self):
+        error = BpfError(errno.ENOMEM, "kmemdup of 9000 bytes failed")
+        finding = oracle().classify_syscall_error(error, None)
+        assert finding.bug_id == Flaw.KMEMDUP_LIMIT.value
+
+    def test_ordinary_syscall_error_ignored(self):
+        error = BpfError(errno.EINVAL, "bad argument")
+        assert oracle().classify_syscall_error(error, None) is None
+
+
+class TestTriage:
+    def _cve_program(self, kernel):
+        fd = kernel.map_create(MapType.HASH, 8, 16, 4)
+        insns = [
+            asm.st_mem(Size.DW, Reg.R10, -8, 0),
+            *asm.ld_map_fd(Reg.R1, fd),
+            asm.mov64_reg(Reg.R2, Reg.R10),
+            asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+            asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+            asm.alu64_imm(AluOp.ADD, Reg.R0, 8),
+            asm.jmp_imm(JmpOp.JNE, Reg.R0, 0, 2),
+            asm.mov64_imm(Reg.R0, 0),
+            asm.exit_insn(),
+            asm.st_mem(Size.DW, Reg.R0, 0, 1),
+            asm.mov64_imm(Reg.R0, 0),
+            asm.exit_insn(),
+        ]
+        return GeneratedProgram(
+            insns=insns,
+            prog_type=ProgType.SOCKET_FILTER,
+            maps=[kernel.map_by_fd(fd)],
+            plan=ExecutionPlan(),
+        )
+
+    def test_triage_attributes_cve(self):
+        config = PROFILES["v5.15"]()
+        kernel = Kernel(config)
+        gp = self._cve_program(kernel)
+        o = Oracle(config)
+        report = SanitizerReport("asan", address=8, size=8, is_write=True)
+        finding = o.classify_report(report, gp)
+        assert finding.bug_id == Flaw.CVE_2022_23222.value
+        assert finding.indicator == "indicator1"
+
+    def test_triage_caches_attribution(self):
+        config = PROFILES["v5.15"]()
+        kernel = Kernel(config)
+        gp = self._cve_program(kernel)
+        o = Oracle(config)
+        report = SanitizerReport("asan", address=8, size=8, is_write=True)
+        first = o.classify_report(report, gp)
+        second = o.classify_report(report, gp)
+        assert first.bug_id == Flaw.CVE_2022_23222.value
+        # All active indicator-1 flaws attributed: duplicate short-circuit.
+        assert second.bug_id in (Flaw.CVE_2022_23222.value,
+                                 "indicator1-duplicate")
+
+    def test_replay_kernel_reproduces_fds(self):
+        kernel = Kernel(PROFILES["bpf-next"]())
+        fd1 = kernel.map_create(MapType.HASH, 8, 8, 4)
+        fd2 = kernel.map_create(MapType.ARRAY, 4, 16, 2)
+        gp = GeneratedProgram(
+            insns=[],
+            prog_type=ProgType.KPROBE,
+            maps=[kernel.map_by_fd(fd1), kernel.map_by_fd(fd2)],
+            plan=ExecutionPlan(),
+        )
+        replay = replay_kernel(PROFILES["patched"](), gp)
+        assert replay.map_by_fd(fd1).map_type == MapType.HASH
+        assert replay.map_by_fd(fd2).map_type == MapType.ARRAY
+        assert replay.map_by_fd(fd2).value_size == 16

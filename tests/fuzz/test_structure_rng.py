@@ -1,0 +1,128 @@
+"""GenState / ExecutionPlan / FuzzRng unit tests."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ebpf.program import ProgType
+from repro.fuzz.rng import FuzzRng, INTERESTING_U64
+from repro.fuzz.structure import GenState, RegTag
+
+
+class TestRegTag:
+    def test_pointer_classification(self):
+        assert RegTag(kind="map_value").is_pointer()
+        assert RegTag(kind="stack").is_pointer()
+        assert not RegTag(kind="scalar").is_pointer()
+        assert RegTag(kind="const").is_scalarish()
+        assert not RegTag(kind="uninit").usable()
+        assert not RegTag(kind="poison").usable()
+
+    def test_clone_independent(self):
+        tag = RegTag(kind="const", const=5)
+        copy = tag.clone()
+        copy.const = 7
+        assert tag.const == 5
+
+
+class TestGenState:
+    def _state(self):
+        return GenState(prog_type=ProgType.KPROBE)
+
+    def test_initial_tags_uninit(self):
+        st_ = self._state()
+        assert st_.regs_with("uninit") == list(range(10))
+
+    def test_regs_with_filters(self):
+        st_ = self._state()
+        st_.set_tag(3, RegTag(kind="map_value"))
+        st_.set_tag(7, RegTag(kind="ctx"))
+        assert st_.regs_with("map_value") == [3]
+        assert st_.regs_with("map_value", "ctx") == [3, 7]
+
+    def test_scratch_excludes_pointers(self):
+        st_ = self._state()
+        st_.set_tag(2, RegTag(kind="btf"))
+        st_.set_tag(4, RegTag(kind="scalar"))
+        scratch = st_.scratch_regs()
+        assert 2 not in scratch
+        assert 4 in scratch
+
+    def test_clobber_caller_saved(self):
+        st_ = self._state()
+        for r in range(10):
+            st_.set_tag(r, RegTag(kind="scalar"))
+        st_.clobber_caller_saved()
+        assert st_.regs_with("uninit") == list(range(6))
+        assert st_.regs_with("scalar") == [6, 7, 8, 9]
+
+    def test_merge_poisons_divergent(self):
+        st_ = self._state()
+        st_.set_tag(1, RegTag(kind="map_value"))
+        before = st_.snapshot_tags()
+        st_.set_tag(1, RegTag(kind="scalar"))  # body changed the type
+        st_.merge_tags(before)
+        assert st_.tag(1).kind == "poison"
+
+    def test_merge_keeps_matching(self):
+        st_ = self._state()
+        st_.set_tag(1, RegTag(kind="ctx"))
+        before = st_.snapshot_tags()
+        st_.merge_tags(before)
+        assert st_.tag(1).kind == "ctx"
+
+    def test_merge_joins_scalarish(self):
+        st_ = self._state()
+        st_.set_tag(1, RegTag(kind="const", const=5))
+        before = st_.snapshot_tags()
+        st_.set_tag(1, RegTag(kind="scalar"))
+        st_.merge_tags(before)
+        assert st_.tag(1).kind == "scalar"  # joined, not poisoned
+
+
+class TestFuzzRng:
+    def test_deterministic(self):
+        a, b = FuzzRng(3), FuzzRng(3)
+        assert [a.fuzz_u64() for _ in range(20)] == [
+            b.fuzz_u64() for _ in range(20)
+        ]
+
+    def test_chance_extremes(self):
+        rng = FuzzRng(0)
+        assert not any(rng.chance(0.0) for _ in range(100))
+        assert all(rng.chance(1.0) for _ in range(100))
+
+    def test_interesting_values_from_table(self):
+        rng = FuzzRng(1)
+        for _ in range(50):
+            assert rng.interesting_u64() in INTERESTING_U64
+
+    @given(st.integers(min_value=0, max_value=1000),
+           st.integers(min_value=0, max_value=1000))
+    def test_fuzz_int_in_range(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        rng = FuzzRng(a * 1001 + b)
+        for _ in range(10):
+            assert lo <= rng.fuzz_int(lo, hi) <= hi
+
+    def test_fuzz_int_hits_boundaries(self):
+        rng = FuzzRng(2)
+        values = Counter(rng.fuzz_int(0, 100) for _ in range(300))
+        assert values[0] > 20
+        assert values[100] > 20
+
+    def test_fuzz_imm32_signed_range(self):
+        rng = FuzzRng(4)
+        for _ in range(200):
+            value = rng.fuzz_imm32()
+            assert -(1 << 31) <= value < (1 << 31)
+
+    def test_pick_weighted_respects_weights(self):
+        rng = FuzzRng(5)
+        picks = Counter(
+            rng.pick_weighted(["a", "b"], [99, 1]) for _ in range(500)
+        )
+        assert picks["a"] > picks["b"] * 5

@@ -1,0 +1,411 @@
+"""End-to-end scenarios for every Table-2 bug and the motivating CVE.
+
+Each scenario has two halves:
+
+1. on the *flawed* kernel the crafted program loads (or the operation
+   succeeds) and the indicator fires at runtime — captured by the
+   sanitation or a kernel self-check;
+2. on the *fixed* kernel the same program/operation is refused, and
+   nothing fires — proving the oracle has no false positives.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    BpfError,
+    KasanReport,
+    KernelPanic,
+    LockdepReport,
+    NullDerefReport,
+    RecursionReport,
+    SanitizerReport,
+    VerifierReject,
+    WarnReport,
+)
+from repro.kernel.config import PROFILES, Flaw
+from repro.kernel.syscall import Kernel
+from repro.ebpf import asm
+from repro.ebpf.helpers import HelperId
+from repro.ebpf.kfuncs import KFUNC_RAND
+from repro.ebpf.maps import MapType
+from repro.ebpf.opcodes import AluOp, JmpOp, Reg, Size
+from repro.ebpf.program import BpfProgram, ProgType
+from repro.runtime.executor import Executor
+
+
+def flawed():
+    return Kernel(PROFILES["bpf-next"]())
+
+
+def fixed():
+    return Kernel(PROFILES["patched"]())
+
+
+def lookup_preamble(fd):
+    return [
+        asm.st_mem(Size.DW, Reg.R10, -8, 0),
+        *asm.ld_map_fd(Reg.R1, fd),
+        asm.mov64_reg(Reg.R2, Reg.R10),
+        asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+        asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+    ]
+
+
+class TestBug1NullnessPropagation:
+    def _prog(self, kernel, fd):
+        return BpfProgram(
+            insns=[
+                *asm.ld_btf_id(Reg.R6, kernel.btf.absent_ksym_id),
+                *lookup_preamble(fd),
+                asm.jmp_reg(JmpOp.JEQ, Reg.R0, Reg.R6, 1),
+                asm.ja(1),
+                asm.ldx_mem(Size.DW, Reg.R3, Reg.R0, 0),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+            prog_type=ProgType.KPROBE,
+        )
+
+    def test_flawed_kernel_sanitizer_catches(self):
+        kernel = flawed()
+        fd = kernel.map_create(MapType.HASH, 8, 16, 4)
+        verified = kernel.prog_load(self._prog(kernel, fd), sanitize=True)
+        result = Executor(kernel).run(verified)
+        assert isinstance(result.report, SanitizerReport)
+        assert result.report.address == 0
+
+    def test_fixed_kernel_rejects(self):
+        kernel = fixed()
+        fd = kernel.map_create(MapType.HASH, 8, 16, 4)
+        with pytest.raises(VerifierReject) as exc:
+            kernel.prog_load(self._prog(kernel, fd))
+        assert "possibly NULL" in exc.value.message
+
+    def test_propagation_without_btf_is_legitimate(self):
+        # Comparing against a genuinely non-null pointer (stack) is the
+        # sound use of the pass and must load on the fixed kernel.
+        kernel = fixed()
+        fd = kernel.map_create(MapType.HASH, 8, 16, 4)
+        prog = BpfProgram(
+            insns=[
+                asm.mov64_reg(Reg.R6, Reg.R10),
+                *lookup_preamble(fd),
+                asm.jmp_reg(JmpOp.JEQ, Reg.R0, Reg.R6, 1),
+                asm.ja(1),
+                asm.ldx_mem(Size.DW, Reg.R3, Reg.R0, 0),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+            prog_type=ProgType.KPROBE,
+        )
+        verified = kernel.prog_load(prog, sanitize=True)
+        result = Executor(kernel).run(verified)
+        assert result.report is None  # never equal at runtime
+
+
+class TestBug2TaskStructOob:
+    def _prog(self):
+        return BpfProgram(
+            insns=[
+                asm.call_helper(HelperId.GET_CURRENT_TASK_BTF),
+                asm.ldx_mem(Size.DW, Reg.R1, Reg.R0, 128),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+            prog_type=ProgType.KPROBE,
+        )
+
+    def test_flawed_kernel_sanitizer_catches(self):
+        kernel = flawed()
+        verified = kernel.prog_load(self._prog(), sanitize=True)
+        result = Executor(kernel).run(verified)
+        assert isinstance(result.report, SanitizerReport)
+
+    def test_fixed_kernel_rejects(self):
+        with pytest.raises(VerifierReject):
+            fixed().prog_load(self._prog())
+
+
+class TestBug3KfuncBacktrack:
+    def _prog(self, fd):
+        return BpfProgram(
+            insns=[
+                *lookup_preamble(fd),
+                asm.jmp_imm(JmpOp.JNE, Reg.R0, 0, 2),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+                asm.mov64_reg(Reg.R6, Reg.R0),
+                asm.mov64_imm(Reg.R0, 4),
+                asm.call_kfunc(KFUNC_RAND),
+                asm.alu64_reg(AluOp.ADD, Reg.R6, Reg.R0),
+                asm.ldx_mem(Size.B, Reg.R3, Reg.R6, 0),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+            prog_type=ProgType.KPROBE,
+        )
+
+    def test_flawed_kernel_sanitizer_catches(self):
+        kernel = flawed()
+        fd = kernel.map_create(MapType.HASH, 8, 16, 4)
+        kernel.map_update(fd, bytes(8), bytes(16))
+        verified = kernel.prog_load(self._prog(fd), sanitize=True)
+        result = Executor(kernel).run(verified)
+        assert isinstance(result.report, (SanitizerReport, KernelPanic))
+
+    def test_fixed_kernel_rejects(self):
+        kernel = fixed()
+        fd = kernel.map_create(MapType.HASH, 8, 16, 4)
+        with pytest.raises(VerifierReject):
+            kernel.prog_load(self._prog(fd))
+
+
+def printk_prog():
+    return BpfProgram(
+        insns=[
+            asm.mov64_reg(Reg.R1, Reg.R10),
+            asm.alu64_imm(AluOp.ADD, Reg.R1, -8),
+            asm.st_mem(Size.DW, Reg.R1, 0, 0x006968),
+            asm.mov64_imm(Reg.R2, 8),
+            asm.call_helper(HelperId.TRACE_PRINTK),
+            asm.mov64_imm(Reg.R0, 0),
+            asm.exit_insn(),
+        ],
+        prog_type=ProgType.KPROBE,
+    )
+
+
+class TestBug4TracePrintkDeadlock:
+    def test_flawed_kernel_recursive_lock(self):
+        kernel = flawed()
+        verified = kernel.prog_load(printk_prog(), sanitize=True)
+        kernel.prog_attach_tracepoint(verified, "bpf_trace_printk")
+        result = Executor(kernel).run(verified)
+        assert isinstance(result.report, (LockdepReport, RecursionReport))
+
+    def test_fixed_kernel_refuses_attach(self):
+        kernel = fixed()
+        verified = kernel.prog_load(printk_prog())
+        with pytest.raises(BpfError):
+            kernel.prog_attach_tracepoint(verified, "bpf_trace_printk")
+
+    def test_flawed_kernel_quiet_without_attach(self):
+        kernel = flawed()
+        verified = kernel.prog_load(printk_prog(), sanitize=True)
+        result = Executor(kernel).run(verified)
+        assert result.report is None
+
+
+class TestBug5ContentionBegin:
+    def test_flawed_kernel_recursion(self):
+        kernel = flawed()
+        verified = kernel.prog_load(printk_prog(), sanitize=True)
+        kernel.prog_attach_tracepoint(verified, "contention_begin")
+        result = Executor(kernel).run(verified)
+        assert isinstance(result.report, (RecursionReport, LockdepReport))
+
+    def test_fixed_kernel_refuses_attach(self):
+        kernel = fixed()
+        verified = kernel.prog_load(printk_prog())
+        with pytest.raises(BpfError):
+            kernel.prog_attach_tracepoint(verified, "contention_begin")
+
+
+class TestBug6SignalPanic:
+    def _prog(self):
+        return BpfProgram(
+            insns=[
+                asm.mov64_imm(Reg.R1, 9),
+                asm.call_helper(HelperId.SEND_SIGNAL),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+            prog_type=ProgType.PERF_EVENT,
+        )
+
+    def test_flawed_kernel_panics(self):
+        kernel = flawed()
+        verified = kernel.prog_load(self._prog(), sanitize=True)
+        result = Executor(kernel).run(verified)
+        assert isinstance(result.report, KernelPanic)
+
+    def test_fixed_kernel_rejects(self):
+        with pytest.raises(VerifierReject) as exc:
+            fixed().prog_load(self._prog())
+        assert "NMI" in exc.value.message
+
+    def test_kprobe_context_is_fine(self):
+        # Same helper from a non-NMI program type: legal everywhere.
+        kernel = fixed()
+        prog = BpfProgram(
+            insns=self._prog().insns, prog_type=ProgType.KPROBE
+        )
+        verified = kernel.prog_load(prog)
+        result = Executor(kernel).run(verified)
+        assert result.report is None
+
+
+def xdp_prog(offload=None):
+    return BpfProgram(
+        insns=[asm.mov64_imm(Reg.R0, 2), asm.exit_insn()],
+        prog_type=ProgType.XDP,
+        offload_dev=offload,
+    )
+
+
+class TestBug7DispatcherRace:
+    def test_flawed_kernel_null_deref(self):
+        kernel = flawed()
+        v1 = kernel.prog_load(xdp_prog())
+        v2 = kernel.prog_load(xdp_prog())
+        kernel.prog_attach_xdp(v1)
+        kernel.prog_attach_xdp(v2)  # update without sync
+        result = Executor(kernel).run_xdp_via_dispatcher()
+        assert isinstance(result.report, NullDerefReport)
+
+    def test_fixed_kernel_survives_updates(self):
+        kernel = fixed()
+        v1 = kernel.prog_load(xdp_prog())
+        v2 = kernel.prog_load(xdp_prog())
+        kernel.prog_attach_xdp(v1)
+        kernel.prog_attach_xdp(v2)
+        result = Executor(kernel).run_xdp_via_dispatcher()
+        assert result.report is None
+        assert result.r0 == 2
+
+
+class TestBug8KmemdupLimit:
+    def _large_prog(self, kernel):
+        body = []
+        for _ in range(150):
+            body.append(asm.st_mem(Size.DW, Reg.R10, -8, 1))
+            body.append(asm.ldx_mem(Size.DW, Reg.R0, Reg.R10, -8))
+        return BpfProgram(
+            insns=[*body, asm.mov64_imm(Reg.R0, 0), asm.exit_insn()],
+        )
+
+    def test_flawed_kernel_info_fails(self):
+        kernel = flawed()
+        verified = kernel.prog_load(self._large_prog(kernel), sanitize=True)
+        assert len(verified.xlated) > 256
+        with pytest.raises(BpfError) as exc:
+            kernel.prog_get_info(verified)
+        assert "kmemdup" in exc.value.message
+
+    def test_fixed_kernel_info_succeeds(self):
+        kernel = fixed()
+        verified = kernel.prog_load(self._large_prog(kernel), sanitize=True)
+        info = kernel.prog_get_info(verified)
+        assert info["xlated_prog_len"] == len(verified.xlated) * 8
+
+    def test_small_programs_unaffected_when_flawed(self):
+        kernel = flawed()
+        verified = kernel.prog_load(xdp_prog())
+        kernel.prog_get_info(verified)
+
+
+class TestBug9MapBucketIter:
+    def _key_in_last_bucket(self, bpf_map):
+        for i in range(100000):
+            key = i.to_bytes(8, "little")
+            if bpf_map._bucket_of(key) == bpf_map.n_buckets - 1:
+                return key
+        raise AssertionError
+
+    def test_flawed_kernel_oob(self):
+        kernel = flawed()
+        fd = kernel.map_create(MapType.HASH, 8, 8, 8)
+        bpf_map = kernel.map_by_fd(fd)
+        key = self._key_in_last_bucket(bpf_map)
+        kernel.map_update(fd, key, bytes(8))
+        with pytest.raises(KasanReport):
+            kernel.map_get_next_key(fd, key)
+
+    def test_fixed_kernel_iterates_cleanly(self):
+        kernel = fixed()
+        fd = kernel.map_create(MapType.HASH, 8, 8, 8)
+        bpf_map = kernel.map_by_fd(fd)
+        key = self._key_in_last_bucket(bpf_map)
+        kernel.map_update(fd, key, bytes(8))
+        with pytest.raises(BpfError):  # ENOENT: end of iteration
+            kernel.map_get_next_key(fd, key)
+
+
+class TestBug10IrqWorkLock:
+    def _prog(self, fd):
+        return BpfProgram(
+            insns=[
+                asm.st_mem(Size.DW, Reg.R10, -8, 7),
+                *asm.ld_map_fd(Reg.R1, fd),
+                asm.mov64_reg(Reg.R2, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                asm.mov64_imm(Reg.R3, 8),
+                asm.mov64_imm(Reg.R4, 0),
+                asm.call_helper(HelperId.RINGBUF_OUTPUT),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+            prog_type=ProgType.KPROBE,  # runs in irq-ish context
+        )
+
+    def test_flawed_kernel_lockdep(self):
+        kernel = flawed()
+        fd = kernel.map_create(MapType.RINGBUF, 0, 0, 4096)
+        verified = kernel.prog_load(self._prog(fd), sanitize=True)
+        result = Executor(kernel).run(verified)
+        assert isinstance(result.report, LockdepReport)
+
+    def test_fixed_kernel_clean(self):
+        kernel = fixed()
+        fd = kernel.map_create(MapType.RINGBUF, 0, 0, 4096)
+        verified = kernel.prog_load(self._prog(fd))
+        result = Executor(kernel).run(verified)
+        assert result.report is None
+
+
+class TestBug11XdpOffload:
+    def test_flawed_kernel_runs_on_host(self):
+        kernel = flawed()
+        verified = kernel.prog_load(xdp_prog(offload="netdev0"))
+        result = Executor(kernel).run(verified)
+        assert isinstance(result.report, WarnReport)
+
+    def test_fixed_kernel_refuses_host_run(self):
+        kernel = fixed()
+        verified = kernel.prog_load(xdp_prog(offload="netdev0"))
+        result = Executor(kernel).run(verified)
+        assert result.report is None
+        assert result.error is not None  # EINVAL, not a crash
+
+
+class TestCve202223222:
+    def _prog(self, fd):
+        return BpfProgram(
+            insns=[
+                *lookup_preamble(fd),
+                asm.mov64_reg(Reg.R1, Reg.R0),
+                asm.alu64_imm(AluOp.ADD, Reg.R1, 8),
+                asm.jmp_imm(JmpOp.JEQ, Reg.R1, 0, 2),
+                asm.st_mem(Size.DW, Reg.R1, 0, 0x42),
+                asm.ja(0),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+
+    def test_v5_15_sanitizer_catches(self):
+        kernel = Kernel(PROFILES["v5.15"]())
+        fd = kernel.map_create(MapType.HASH, 8, 16, 4)
+        verified = kernel.prog_load(self._prog(fd), sanitize=True)
+        result = Executor(kernel).run(verified)
+        assert isinstance(result.report, SanitizerReport)
+        assert result.report.is_write
+        assert result.report.address == 8
+
+    def test_v6_1_rejects(self):
+        kernel = Kernel(PROFILES["v6.1"]())
+        fd = kernel.map_create(MapType.HASH, 8, 16, 4)
+        with pytest.raises(VerifierReject):
+            kernel.prog_load(self._prog(fd))

@@ -1,0 +1,71 @@
+"""Cross-kernel-version behaviour: each profile exposes its own bugs.
+
+The paper tests Linux v5.15, v6.1, and bpf-next; bugs exist (and are
+discoverable) only in the versions whose code contains them — e.g.
+CVE-2022-23222 only pre-v5.16, Bug #1 only where the nullness
+propagation pass exists.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.config import PROFILES, Flaw
+from repro.fuzz.campaign import Campaign, CampaignConfig
+
+
+class TestProfileFeatureMatrix:
+    def test_v5_15_lacks_kfuncs_and_propagation(self):
+        config = PROFILES["v5.15"]()
+        assert not config.has_kfuncs
+        assert not config.has_nullness_propagation
+        assert config.has_flaw(Flaw.CVE_2022_23222)
+        assert not config.has_flaw(Flaw.NULLNESS_PROPAGATION)
+
+    def test_v6_1_fixed_the_cve(self):
+        config = PROFILES["v6.1"]()
+        assert not config.has_flaw(Flaw.CVE_2022_23222)
+        assert config.has_kfuncs
+
+    def test_bpf_next_has_every_table2_bug(self):
+        config = PROFILES["bpf-next"]()
+        for flaw in Flaw:
+            if flaw == Flaw.CVE_2022_23222:
+                assert not config.has_flaw(flaw)
+            else:
+                assert config.has_flaw(flaw), flaw
+
+
+class TestVersionScopedDiscovery:
+    @pytest.fixture(scope="class")
+    def campaigns(self):
+        results = {}
+        for version in ("v5.15", "v6.1", "bpf-next"):
+            results[version] = Campaign(
+                CampaignConfig(
+                    tool="bvf", kernel_version=version, budget=700, seed=77
+                )
+            ).run()
+        return results
+
+    def test_findings_only_from_present_flaws(self, campaigns):
+        for version, result in campaigns.items():
+            present = {f.value for f in PROFILES[version]().flaws}
+            for bug_id in result.findings:
+                if bug_id.startswith(("bug", "cve")):
+                    assert bug_id in present, (
+                        f"{version} reported {bug_id} which it does not have"
+                    )
+
+    def test_v5_15_can_find_the_cve(self, campaigns):
+        # The CVE has a broad trigger (any ALU on a nullable pointer);
+        # a modest budget finds it on the affected version.
+        assert Flaw.CVE_2022_23222.value in campaigns["v5.15"].findings
+
+    def test_kfunc_bug_needs_kfunc_support(self, campaigns):
+        assert Flaw.KFUNC_BACKTRACK.value not in campaigns["v5.15"].findings
+        assert Flaw.KFUNC_BACKTRACK.value not in campaigns["v6.1"].findings
+
+    def test_every_version_finds_something(self, campaigns):
+        for version, result in campaigns.items():
+            assert result.findings, f"{version} campaign found nothing"

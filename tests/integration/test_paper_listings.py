@@ -1,0 +1,129 @@
+"""The paper's listings, as executable tests.
+
+- **Table 1**: the verifier's workflow on the canonical map-lookup
+  program — register states checked via the level-2 verifier log.
+- **Listing 1** (CVE-2022-23222) and **Listing 2** (Bug #1) are covered
+  in test_bug_scenarios.py; here we additionally check the *fix*
+  behaviours of Listing 3 (the nullness-propagation filter).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.config import PROFILES
+from repro.kernel.syscall import Kernel
+from repro.ebpf import asm
+from repro.ebpf.helpers import HelperId
+from repro.ebpf.maps import MapType
+from repro.ebpf.opcodes import AluOp, JmpOp, Reg, Size
+from repro.ebpf.program import BpfProgram, ProgType
+from repro.verifier.core import Verifier
+
+
+class TestTable1Workflow:
+    """'Example of the verifier's workflow' — Table 1 of the paper."""
+
+    def _verify_with_log(self, kernel, insns):
+        verifier = Verifier(
+            kernel, BpfProgram(insns=list(insns)), log_level=2
+        )
+        verifier.verify()
+        return verifier.log.text().splitlines()
+
+    def test_register_states_through_lookup(self, patched_kernel):
+        fd = patched_kernel.map_create(MapType.HASH, 8, 8, 4)
+        log = self._verify_with_log(
+            patched_kernel,
+            [
+                *asm.ld_map_fd(Reg.R1, fd),          # R1 = map_ptr
+                asm.mov64_reg(Reg.R2, Reg.R10),       # R2 = fp
+                asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                asm.st_mem(Size.DW, Reg.R2, 0, 0),    # fp-8 = 0
+                asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        # "initial state of regs": R1 is ctx, R10 is the frame pointer.
+        assert "R1=ptr_to_ctx" in log[0]
+        assert "R10=ptr_to_stack" in log[0]
+        # After the map-fd load, R1 is a pointer to the map.
+        after_ld = next(l for l in log if l.startswith("2:"))
+        assert "R1=const_ptr_to_map" in after_ld
+        # After `r2 = r10; r2 += -8`, R2 is a stack pointer at -8.
+        after_add = next(l for l in log if l.startswith("4:"))
+        assert "R2=ptr_to_stack(off=-8)" in after_add
+        # After the call, R0 is the nullable pointer to the map value.
+        after_call = next(l for l in log if l.startswith("6:"))
+        assert "R0=ptr_to_map_value_or_null" in after_call
+
+    def test_uninitialised_key_rejected_as_table1_requires(
+        self, patched_kernel
+    ):
+        """'all the memory must be properly initialized before use'."""
+        from repro.errors import VerifierReject
+
+        fd = patched_kernel.map_create(MapType.HASH, 8, 8, 4)
+        with pytest.raises(VerifierReject):
+            patched_kernel.prog_load(
+                BpfProgram(
+                    insns=[
+                        *asm.ld_map_fd(Reg.R1, fd),
+                        asm.mov64_reg(Reg.R2, Reg.R10),
+                        asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                        # missing: store to fp-8
+                        asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+                        asm.mov64_imm(Reg.R0, 0),
+                        asm.exit_insn(),
+                    ]
+                )
+            )
+
+
+class TestListing3Fix:
+    """The Listing-3 patch: filter PTR_TO_BTF_ID from the propagation."""
+
+    def _program(self, kernel, fd, other_reg_setup):
+        return BpfProgram(
+            insns=[
+                *other_reg_setup,
+                asm.st_mem(Size.DW, Reg.R10, -8, 0),
+                *asm.ld_map_fd(Reg.R1, fd),
+                asm.mov64_reg(Reg.R2, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+                asm.jmp_reg(JmpOp.JEQ, Reg.R0, Reg.R6, 1),
+                asm.ja(1),
+                asm.ldx_mem(Size.DW, Reg.R3, Reg.R0, 0),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+            prog_type=ProgType.KPROBE,
+        )
+
+    def test_btf_comparison_filtered(self, patched_kernel):
+        """With the fix, propagation skips PTR_TO_BTF_ID operands: the
+        dereference stays unproven and the program is rejected."""
+        from repro.errors import VerifierReject
+
+        fd = patched_kernel.map_create(MapType.HASH, 8, 8, 4)
+        setup = [*asm.ld_btf_id(Reg.R6, patched_kernel.btf.current_task_id)]
+        with pytest.raises(VerifierReject) as exc:
+            patched_kernel.prog_load(self._program(patched_kernel, fd, setup))
+        assert "possibly NULL" in exc.value.message
+
+    def test_non_btf_comparison_still_propagates(self, patched_kernel):
+        """The fix keeps the feature for genuinely non-null pointers."""
+        fd = patched_kernel.map_create(MapType.HASH, 8, 8, 4)
+        setup = [asm.mov64_reg(Reg.R6, Reg.R10)]
+        patched_kernel.prog_load(self._program(patched_kernel, fd, setup))
+
+    def test_feature_absent_before_the_commit(self, v6_1_kernel):
+        """Pre-bfeae75856ab kernels have no propagation at all."""
+        from repro.errors import VerifierReject
+
+        fd = v6_1_kernel.map_create(MapType.HASH, 8, 8, 4)
+        setup = [asm.mov64_reg(Reg.R6, Reg.R10)]
+        with pytest.raises(VerifierReject):
+            v6_1_kernel.prog_load(self._program(v6_1_kernel, fd, setup))

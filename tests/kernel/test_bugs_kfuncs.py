@@ -1,0 +1,93 @@
+"""Unit tests for kernel/bugs.py and the kfunc registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BpfError, NullDerefReport
+from repro.kernel.bugs import Dispatcher, KMEMDUP_XLATED_LIMIT, dup_xlated_insns
+from repro.kernel.config import PROFILES
+from repro.kernel.syscall import Kernel
+from repro.ebpf.helpers import HelperContext
+from repro.ebpf.kfuncs import (
+    KFUNC_GET_TASK,
+    KFUNC_RAND,
+    KFUNC_TASK_PID,
+    KFUNCS,
+)
+
+
+class TestDispatcher:
+    def test_single_program(self):
+        d = Dispatcher(PROFILES["patched"]())
+        d.update("prog")
+        assert d.entry() == "prog"
+
+    def test_fixed_update_is_synchronised(self):
+        d = Dispatcher(PROFILES["patched"]())
+        d.update("a")
+        d.update("b")
+        assert d.entry() == "b"
+
+    def test_flawed_update_corrupts(self):
+        d = Dispatcher(PROFILES["bpf-next"]())
+        d.update("a")
+        d.update("b")
+        with pytest.raises(NullDerefReport):
+            d.entry()
+        # One oops per race; the slot is sane afterwards.
+        assert d.entry() == "b"
+
+    def test_remove_clears(self):
+        d = Dispatcher(PROFILES["bpf-next"]())
+        d.update("a")
+        d.remove()
+        assert d.entry() is None
+
+
+class TestKmemdup:
+    def test_small_duplication_always_works(self):
+        for profile in ("patched", "bpf-next"):
+            data = dup_xlated_insns(PROFILES[profile](), 10)
+            assert len(data) == 80
+
+    def test_flawed_fails_above_limit(self):
+        n = KMEMDUP_XLATED_LIMIT // 8 + 1
+        with pytest.raises(BpfError) as exc:
+            dup_xlated_insns(PROFILES["bpf-next"](), n)
+        assert "kmemdup" in exc.value.message
+
+    def test_fixed_uses_kvmemdup(self):
+        n = KMEMDUP_XLATED_LIMIT // 8 + 1
+        data = dup_xlated_insns(PROFILES["patched"](), n)
+        assert len(data) == n * 8
+
+
+class TestKfuncs:
+    def _ctx(self):
+        return HelperContext(kernel=Kernel(PROFILES["patched"]()), prog=None)
+
+    def test_registry_contents(self):
+        assert set(KFUNCS) == {KFUNC_RAND, KFUNC_TASK_PID, KFUNC_GET_TASK}
+        for proto in KFUNCS.values():
+            assert proto.name.startswith("bpf_repro_")
+
+    def test_rand_changes(self):
+        ctx = self._ctx()
+        impl = KFUNCS[KFUNC_RAND].impl
+        values = {impl(ctx) for _ in range(5)}
+        assert len(values) == 5
+
+    def test_task_pid_reads_pid(self):
+        ctx = self._ctx()
+        task = ctx.kernel.btf.object(ctx.kernel.btf.current_task_id)
+        assert KFUNCS[KFUNC_TASK_PID].impl(ctx, task.address) == 4242
+
+    def test_task_pid_null_tolerant(self):
+        ctx = self._ctx()
+        assert KFUNCS[KFUNC_TASK_PID].impl(ctx, 0) == -1
+
+    def test_get_task_returns_current(self):
+        ctx = self._ctx()
+        task = ctx.kernel.btf.object(ctx.kernel.btf.current_task_id)
+        assert KFUNCS[KFUNC_GET_TASK].impl(ctx) == task.address

@@ -1,0 +1,132 @@
+"""Locking-correctness validator tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LockdepReport
+from repro.kernel.lockdep import LockClass, Lockdep
+
+
+A = LockClass("lock_a")
+B = LockClass("lock_b")
+C = LockClass("lock_c")
+R = LockClass("lock_r", recursive=True)
+S = LockClass("lock_s", sleeping=True)
+
+
+class TestBasics:
+    def test_acquire_release(self):
+        ld = Lockdep()
+        ld.acquire(A)
+        assert ld.holds(A)
+        ld.release(A)
+        assert not ld.holds(A)
+        ld.assert_clean()
+
+    def test_recursive_self_deadlock(self):
+        ld = Lockdep()
+        ld.acquire(A)
+        with pytest.raises(LockdepReport) as exc:
+            ld.acquire(A)
+        assert "recursive" in str(exc.value)
+
+    def test_recursive_class_allowed(self):
+        ld = Lockdep()
+        ld.acquire(R)
+        ld.acquire(R)  # no report
+        ld.release(R)
+        ld.release(R)
+
+    def test_release_unheld(self):
+        ld = Lockdep()
+        with pytest.raises(LockdepReport):
+            ld.release(A)
+
+    def test_leaked_locks_detected(self):
+        ld = Lockdep()
+        ld.acquire(A)
+        with pytest.raises(LockdepReport):
+            ld.assert_clean()
+
+    def test_contexts_are_independent(self):
+        ld = Lockdep()
+        ld.acquire(A, context=1)
+        ld.acquire(A, context=2)  # different context: fine
+        ld.release(A, context=1)
+        ld.release(A, context=2)
+
+
+class TestOrdering:
+    def test_ab_ba_deadlock(self):
+        ld = Lockdep()
+        ld.acquire(A, context=1)
+        ld.acquire(B, context=1)
+        ld.release(B, context=1)
+        ld.release(A, context=1)
+        ld.acquire(B, context=2)
+        with pytest.raises(LockdepReport) as exc:
+            ld.acquire(A, context=2)
+        assert "circular" in str(exc.value)
+
+    def test_transitive_cycle(self):
+        ld = Lockdep()
+        ld.acquire(A, 1); ld.acquire(B, 1); ld.release(B, 1); ld.release(A, 1)
+        ld.acquire(B, 2); ld.acquire(C, 2); ld.release(C, 2); ld.release(B, 2)
+        ld.acquire(C, 3)
+        with pytest.raises(LockdepReport):
+            ld.acquire(A, 3)
+
+    def test_consistent_order_is_fine(self):
+        ld = Lockdep()
+        for ctx in (1, 2, 3):
+            ld.acquire(A, ctx)
+            ld.acquire(B, ctx)
+            ld.release(B, ctx)
+            ld.release(A, ctx)
+
+
+class TestIrqSemantics:
+    def test_sleeping_lock_in_irq(self):
+        ld = Lockdep()
+        with pytest.raises(LockdepReport) as exc:
+            ld.acquire(S, in_irq=True)
+        assert "sleeping" in str(exc.value)
+
+    def test_sleeping_lock_outside_irq_ok(self):
+        ld = Lockdep()
+        ld.acquire(S)
+        ld.release(S)
+
+    def test_inconsistent_state(self):
+        ld = Lockdep()
+        ld.acquire(A, context=1, in_irq=True)
+        ld.release(A, context=1)
+        with pytest.raises(LockdepReport) as exc:
+            ld.acquire(A, context=2, in_irq=False)
+        assert "inconsistent" in str(exc.value)
+
+
+class TestRecordMode:
+    def test_record_only(self):
+        ld = Lockdep()
+        ld.raise_on_report = False
+        ld.acquire(A)
+        ld.acquire(A)
+        reports = ld.drain_reports()
+        assert len(reports) == 1
+        assert not ld.reports
+
+    @given(st.lists(st.sampled_from([A, B, C]), max_size=12))
+    def test_same_order_never_reports(self, locks):
+        """Acquiring in a globally consistent order is always clean."""
+        order = {"lock_a": 0, "lock_b": 1, "lock_c": 2}
+        ld = Lockdep()
+        for ctx, lock in enumerate(locks):
+            chain = sorted(set([lock]), key=lambda l: order[l.name])
+            for l in chain:
+                ld.acquire(l, context=ctx)
+            for l in reversed(chain):
+                ld.release(l, context=ctx)
+        ld.assert_clean()

@@ -1,0 +1,91 @@
+"""Verifier-log buffer and runtime-context lifecycle tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KasanReport
+from repro.kernel.config import PROFILES
+from repro.kernel.syscall import Kernel
+from repro.ebpf import asm
+from repro.ebpf.opcodes import Reg
+from repro.ebpf.program import BpfProgram, ProgType
+from repro.runtime.context import build_context, release_context
+from repro.verifier.log import VerifierLog
+
+
+class TestVerifierLog:
+    def test_accumulates(self):
+        log = VerifierLog()
+        log.write("one")
+        log.write("two")
+        assert log.text() == "one\ntwo"
+
+    def test_level_zero_silent(self):
+        log = VerifierLog(level=0)
+        log.write("hidden")
+        assert log.text() == ""
+
+    def test_truncation(self):
+        log = VerifierLog(limit=16)
+        log.write("x" * 10)
+        log.write("y" * 10)  # would exceed the limit
+        log.write("z")
+        assert log.truncated
+        assert "y" not in log.text()
+        assert "z" not in log.text()  # once truncated, stays truncated
+
+    def test_insn_logging_gated_by_level(self):
+        quiet = VerifierLog(level=1)
+        quiet.insn(3, "r0 = 0")
+        assert quiet.text() == ""
+        verbose = VerifierLog(level=2)
+        verbose.insn(3, "r0 = 0")
+        assert "3: r0 = 0" in verbose.text()
+
+    def test_rejection_carries_log(self):
+        from repro.errors import VerifierReject
+
+        kernel = Kernel(PROFILES["patched"]())
+        prog = BpfProgram(insns=[asm.exit_insn()])
+        with pytest.raises(VerifierReject) as exc:
+            kernel.prog_load(prog, log_level=2)
+        assert "R0 !read_ok" in exc.value.log
+
+
+class TestContextLifecycle:
+    def test_release_quarantines_allocations(self):
+        kernel = Kernel(PROFILES["patched"]())
+        verified = kernel.prog_load(
+            BpfProgram(insns=[asm.mov64_imm(Reg.R0, 0), asm.exit_insn()],
+                       prog_type=ProgType.XDP)
+        )
+        rt = build_context(kernel.mem, verified)
+        ctx_addr = rt.ctx_addr
+        release_context(kernel.mem, rt)
+        with pytest.raises(KasanReport):
+            kernel.mem.checked_read(ctx_addr, 4)
+
+    def test_contexts_do_not_alias(self):
+        kernel = Kernel(PROFILES["patched"]())
+        verified = kernel.prog_load(
+            BpfProgram(insns=[asm.mov64_imm(Reg.R0, 0), asm.exit_insn()])
+        )
+        a = build_context(kernel.mem, verified)
+        b = build_context(kernel.mem, verified)
+        assert a.ctx_addr != b.ctx_addr
+        assert a.stack_alloc.start != b.stack_alloc.start
+        release_context(kernel.mem, a)
+        release_context(kernel.mem, b)
+
+    def test_stack_top_is_frame_pointer(self):
+        kernel = Kernel(PROFILES["patched"]())
+        verified = kernel.prog_load(
+            BpfProgram(insns=[asm.mov64_imm(Reg.R0, 0), asm.exit_insn()])
+        )
+        rt = build_context(kernel.mem, verified)
+        assert rt.fp == rt.stack_alloc.start + 512
+        # The whole 512-byte window below fp is valid kernel memory.
+        kernel.mem.checked_write(rt.fp - 512, 8, 1)
+        kernel.mem.checked_write(rt.fp - 8, 8, 1)
+        release_context(kernel.mem, rt)

@@ -1,0 +1,157 @@
+"""bpf() syscall-surface tests."""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro.errors import BpfError, VerifierReject
+from repro.kernel.config import PROFILES, Flaw
+from repro.kernel.syscall import Kernel
+from repro.ebpf import asm
+from repro.ebpf.maps import MapType
+from repro.ebpf.opcodes import Reg
+from repro.ebpf.program import BpfProgram, ProgType
+
+
+def trivial_prog(prog_type=ProgType.SOCKET_FILTER):
+    return BpfProgram(
+        insns=[asm.mov64_imm(Reg.R0, 0), asm.exit_insn()], prog_type=prog_type
+    )
+
+
+class TestFdTable:
+    def test_map_fds_sequential(self, patched_kernel):
+        fd1 = patched_kernel.map_create(MapType.HASH, 8, 8, 4)
+        fd2 = patched_kernel.map_create(MapType.ARRAY, 4, 8, 4)
+        assert fd2 == fd1 + 1
+        assert patched_kernel.map_by_fd(fd1).map_type == MapType.HASH
+
+    def test_prog_fd_not_a_map(self, patched_kernel):
+        verified = patched_kernel.prog_load(trivial_prog())
+        assert patched_kernel.map_by_fd(verified.fd) is None
+        assert patched_kernel.prog_by_fd(verified.fd) is verified
+
+    def test_map_by_addr(self, patched_kernel):
+        fd = patched_kernel.map_create(MapType.HASH, 8, 8, 4)
+        bpf_map = patched_kernel.map_by_fd(fd)
+        addr = patched_kernel.map_kobj_addr(bpf_map)
+        assert patched_kernel.map_by_addr(addr) is bpf_map
+        with pytest.raises(BpfError):
+            patched_kernel.map_by_addr(0x1234)
+
+
+class TestUserMapOps:
+    def test_roundtrip(self, patched_kernel):
+        fd = patched_kernel.map_create(MapType.HASH, 8, 8, 4)
+        patched_kernel.map_update(fd, b"k" * 8, b"v" * 8)
+        assert patched_kernel.map_lookup(fd, b"k" * 8) == b"v" * 8
+        patched_kernel.map_delete(fd, b"k" * 8)
+        assert patched_kernel.map_lookup(fd, b"k" * 8) is None
+
+    def test_bad_fd(self, patched_kernel):
+        with pytest.raises(BpfError) as exc:
+            patched_kernel.map_update(99, b"k" * 8, b"v" * 8)
+        assert exc.value.errno == errno.EBADF
+
+
+class TestProgLoad:
+    def test_load_assigns_fd(self, patched_kernel):
+        verified = patched_kernel.prog_load(trivial_prog())
+        assert verified.fd > 2
+        assert verified in patched_kernel.loaded_programs
+
+    def test_reject_propagates(self, patched_kernel):
+        with pytest.raises(VerifierReject):
+            patched_kernel.prog_load(BpfProgram(insns=[asm.exit_insn()]))
+
+    def test_offload_flag_recorded(self, patched_kernel):
+        prog = trivial_prog(ProgType.XDP)
+        prog.offload_dev = "netdev0"
+        verified = patched_kernel.prog_load(prog)
+        assert getattr(verified, "offloaded", False)
+
+
+class TestAttach:
+    def test_socket_filter_cannot_attach_tracepoint(self, patched_kernel):
+        verified = patched_kernel.prog_load(trivial_prog())
+        with pytest.raises(BpfError):
+            patched_kernel.prog_attach_tracepoint(verified, "sys_enter")
+
+    def test_kprobe_attaches(self, patched_kernel):
+        verified = patched_kernel.prog_load(trivial_prog(ProgType.KPROBE))
+        patched_kernel.prog_attach_tracepoint(verified, "sys_enter")
+        assert patched_kernel.tracepoints.attached("sys_enter") == [verified]
+
+    def test_only_xdp_attaches_to_dispatcher(self, patched_kernel):
+        verified = patched_kernel.prog_load(trivial_prog())
+        with pytest.raises(BpfError):
+            patched_kernel.prog_attach_xdp(verified)
+
+    def test_reset_attachments(self, patched_kernel):
+        verified = patched_kernel.prog_load(trivial_prog(ProgType.KPROBE))
+        patched_kernel.prog_attach_tracepoint(verified, "sys_enter")
+        patched_kernel.reset_attachments()
+        assert patched_kernel.tracepoints.attached("sys_enter") == []
+
+
+class TestDispatcherBug:
+    def test_flawed_corruption_on_double_update(self, bpf_next_kernel):
+        from repro.errors import NullDerefReport
+
+        v = bpf_next_kernel.prog_load(trivial_prog(ProgType.XDP))
+        bpf_next_kernel.prog_attach_xdp(v)
+        bpf_next_kernel.prog_attach_xdp(v)
+        with pytest.raises(NullDerefReport):
+            bpf_next_kernel.dispatcher.entry()
+
+    def test_single_attach_is_safe_even_flawed(self, bpf_next_kernel):
+        v = bpf_next_kernel.prog_load(trivial_prog(ProgType.XDP))
+        bpf_next_kernel.prog_attach_xdp(v)
+        assert bpf_next_kernel.dispatcher.entry() is v
+
+
+class TestKmemdupBug:
+    def _big_prog(self):
+        insns = []
+        for _ in range(140):
+            insns.append(asm.st_mem(asm.Size.DW, Reg.R10, -8, 1))
+            insns.append(asm.ldx_mem(asm.Size.DW, Reg.R0, Reg.R10, -8))
+        insns += [asm.mov64_imm(Reg.R0, 0), asm.exit_insn()]
+        return BpfProgram(insns=insns)
+
+    def test_flawed_info_enomem(self, bpf_next_kernel):
+        verified = bpf_next_kernel.prog_load(self._big_prog(), sanitize=True)
+        with pytest.raises(BpfError) as exc:
+            bpf_next_kernel.prog_get_info(verified)
+        assert exc.value.errno == errno.ENOMEM
+
+    def test_fixed_info_ok(self, patched_kernel):
+        verified = patched_kernel.prog_load(self._big_prog(), sanitize=True)
+        info = patched_kernel.prog_get_info(verified)
+        assert info["xlated_prog_len"] > 2048
+
+
+class TestConfigProfiles:
+    def test_profiles_exist(self):
+        for name in ("v5.15", "v6.1", "bpf-next", "patched"):
+            kernel = Kernel(PROFILES[name]())
+            assert kernel.config.version in (name, "patched")
+
+    def test_flaw_toggling(self):
+        config = PROFILES["bpf-next"]()
+        assert config.has_flaw(Flaw.NULLNESS_PROPAGATION)
+        fixed = config.without_flaw(Flaw.NULLNESS_PROPAGATION)
+        assert not fixed.has_flaw(Flaw.NULLNESS_PROPAGATION)
+        again = fixed.with_flaw(Flaw.NULLNESS_PROPAGATION)
+        assert again.has_flaw(Flaw.NULLNESS_PROPAGATION)
+
+    def test_flaw_partition(self):
+        config = PROFILES["bpf-next"]()
+        assert len(config.verifier_flaws()) == 6  # bugs 1-6 (CVE fixed)
+        assert len(config.component_flaws()) == 5  # bugs 7-11
+
+    def test_patched_is_clean(self):
+        config = PROFILES["patched"]()
+        assert not config.flaws

@@ -1,0 +1,97 @@
+"""Tracepoint registry and recursion semantics."""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro.errors import BpfError, RecursionReport
+from repro.kernel.config import PROFILES, Flaw
+from repro.kernel.tracepoints import MAX_TRACE_RECURSION, TracepointRegistry
+
+
+class FakeProg:
+    def __init__(self, uses_lock_helpers=False):
+        self.uses_lock_helpers = uses_lock_helpers
+
+
+def make_registry(version="patched"):
+    return TracepointRegistry(PROFILES[version]())
+
+
+class TestRegistry:
+    def test_default_tracepoints_present(self):
+        reg = make_registry()
+        names = reg.names()
+        assert "contention_begin" in names
+        assert "bpf_trace_printk" in names
+        assert "perf_event_overflow" in names
+
+    def test_unknown_tracepoint(self):
+        reg = make_registry()
+        with pytest.raises(BpfError) as exc:
+            reg.get("no_such_tp")
+        assert exc.value.errno == errno.ENOENT
+
+    def test_attach_detach(self):
+        reg = make_registry()
+        prog = FakeProg()
+        reg.attach(prog, "sys_enter")
+        assert reg.attached("sys_enter") == [prog]
+        reg.detach(prog, "sys_enter")
+        assert reg.attached("sys_enter") == []
+
+
+class TestLockSensitiveAttach:
+    def test_fixed_kernel_refuses_lock_helpers(self):
+        reg = make_registry("patched")
+        with pytest.raises(BpfError) as exc:
+            reg.attach(FakeProg(uses_lock_helpers=True), "contention_begin")
+        assert exc.value.errno == errno.EINVAL
+
+    def test_fixed_kernel_allows_lock_free_programs(self):
+        reg = make_registry("patched")
+        reg.attach(FakeProg(uses_lock_helpers=False), "contention_begin")
+
+    def test_flawed_kernel_allows_attach(self):
+        reg = make_registry("bpf-next")
+        reg.attach(FakeProg(uses_lock_helpers=True), "contention_begin")
+        reg.attach(FakeProg(uses_lock_helpers=True), "bpf_trace_printk")
+
+
+class TestFiring:
+    def test_fire_runs_attached(self):
+        reg = make_registry()
+        runs = []
+        reg.runner = lambda prog, tp: runs.append((prog, tp))
+        progs = [FakeProg(), FakeProg()]
+        for p in progs:
+            reg.attach(p, "sys_enter")
+        reg.fire("sys_enter")
+        assert [p for p, _ in runs] == progs
+
+    def test_fire_without_attachments_is_noop(self):
+        reg = make_registry()
+        reg.runner = None
+        reg.fire("sys_enter")  # must not need a runner
+
+    def test_recursion_limit(self):
+        reg = make_registry("bpf-next")
+        depth = {"n": 0}
+
+        def runner(prog, tp):
+            depth["n"] += 1
+            reg.fire(tp)  # the program re-fires its own tracepoint
+
+        reg.runner = runner
+        reg.attach(FakeProg(), "contention_begin")
+        with pytest.raises(RecursionReport):
+            reg.fire("contention_begin")
+        assert depth["n"] == MAX_TRACE_RECURSION
+
+    def test_detach_all(self):
+        reg = make_registry()
+        reg.attach(FakeProg(), "sys_enter")
+        reg.detach_all()
+        assert reg.attached("sys_enter") == []

@@ -1,0 +1,122 @@
+"""Executor and runtime-context tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KernelReport
+from repro.kernel.config import PROFILES
+from repro.kernel.syscall import Kernel
+from repro.ebpf import asm
+from repro.ebpf.helpers import HelperId
+from repro.ebpf.opcodes import AluOp, Reg, Size
+from repro.ebpf.program import BpfProgram, CONTEXTS, ProgType
+from repro.runtime.context import build_context, release_context
+from repro.runtime.executor import Executor, RunResult
+
+
+def trivial(prog_type=ProgType.SOCKET_FILTER, r0=0):
+    return BpfProgram(
+        insns=[asm.mov64_imm(Reg.R0, r0), asm.exit_insn()], prog_type=prog_type
+    )
+
+
+class TestRuntimeContext:
+    @pytest.mark.parametrize("prog_type", list(ProgType))
+    def test_context_built_for_every_type(self, patched_kernel, prog_type):
+        verified = patched_kernel.prog_load(trivial(prog_type))
+        rt = build_context(patched_kernel.mem, verified)
+        assert rt.ctx_alloc.size == CONTEXTS[prog_type].size
+        assert rt.stack_alloc.size == 512
+        release_context(patched_kernel.mem, rt)
+
+    def test_packet_types_get_packets(self, patched_kernel):
+        verified = patched_kernel.prog_load(trivial(ProgType.XDP))
+        rt = build_context(patched_kernel.mem, verified)
+        assert rt.pkt_alloc is not None
+        assert len(rt.special_fields) == 3  # data, data_end, data_meta
+        release_context(patched_kernel.mem, rt)
+
+    def test_context_flags(self, patched_kernel):
+        for prog_type, irq, nmi in (
+            (ProgType.SOCKET_FILTER, False, False),
+            (ProgType.KPROBE, True, False),
+            (ProgType.PERF_EVENT, False, True),
+            (ProgType.XDP, True, False),
+        ):
+            verified = patched_kernel.prog_load(trivial(prog_type))
+            rt = build_context(patched_kernel.mem, verified)
+            assert rt.in_irq == irq
+            assert rt.in_nmi == nmi
+
+
+class TestExecutor:
+    def test_run_returns_r0(self, patched_kernel):
+        verified = patched_kernel.prog_load(trivial(r0=7))
+        result = Executor(patched_kernel).run(verified)
+        assert isinstance(result, RunResult)
+        assert result.r0 == 7
+        assert not result.crashed
+
+    def test_reports_captured_not_raised(self, bpf_next_kernel):
+        prog = BpfProgram(
+            insns=[
+                asm.mov64_imm(Reg.R1, 9),
+                asm.call_helper(HelperId.SEND_SIGNAL),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+            prog_type=ProgType.PERF_EVENT,
+        )
+        verified = bpf_next_kernel.prog_load(prog)
+        result = Executor(bpf_next_kernel).run(verified)
+        assert result.crashed
+        assert isinstance(result.report, KernelReport)
+
+    def test_lockdep_context_reset_between_runs(self, bpf_next_kernel):
+        # A crashing run must not leave lock state that poisons the next.
+        prog = BpfProgram(
+            insns=[
+                asm.mov64_reg(Reg.R1, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R1, -8),
+                asm.st_mem(Size.DW, Reg.R1, 0, 1),
+                asm.mov64_imm(Reg.R2, 8),
+                asm.call_helper(HelperId.TRACE_PRINTK),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+            prog_type=ProgType.KPROBE,
+        )
+        verified = bpf_next_kernel.prog_load(prog)
+        bpf_next_kernel.prog_attach_tracepoint(verified, "bpf_trace_printk")
+        executor = Executor(bpf_next_kernel)
+        first = executor.run(verified)
+        assert first.crashed
+        bpf_next_kernel.reset_attachments()
+        second = executor.run(verified)
+        assert not second.crashed
+
+    def test_trigger_tracepoint_runs_attached(self, patched_kernel):
+        verified = patched_kernel.prog_load(trivial(ProgType.KPROBE, r0=1))
+        patched_kernel.prog_attach_tracepoint(verified, "sys_enter")
+        result = Executor(patched_kernel).trigger_tracepoint("sys_enter")
+        assert not result.crashed
+
+    def test_dispatcher_empty_is_noop(self, patched_kernel):
+        result = Executor(patched_kernel).run_xdp_via_dispatcher()
+        assert result.r0 == 0 and not result.crashed
+
+    def test_stats_populated(self, patched_kernel):
+        verified = patched_kernel.prog_load(
+            BpfProgram(
+                insns=[
+                    asm.st_mem(Size.DW, Reg.R10, -8, 1),
+                    asm.ldx_mem(Size.DW, Reg.R0, Reg.R10, -8),
+                    asm.exit_insn(),
+                ]
+            )
+        )
+        result = Executor(patched_kernel).run(verified)
+        assert result.stats.insns_executed == 3
+        assert result.stats.loads == 1
+        assert result.stats.stores == 1

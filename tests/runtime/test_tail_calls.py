@@ -1,0 +1,168 @@
+"""bpf_tail_call semantics: prog arrays, chaining, limits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import VerifierReject
+from repro.kernel.config import PROFILES
+from repro.kernel.syscall import Kernel
+from repro.ebpf import asm
+from repro.ebpf.helpers import HelperId
+from repro.ebpf.maps import MapType
+from repro.ebpf.opcodes import AluOp, Reg, Size
+from repro.ebpf.program import BpfProgram, ProgType
+from repro.runtime.executor import Executor
+
+
+def tail_caller(pa_fd: int, index: int, fallthrough_r0: int = 5) -> BpfProgram:
+    return BpfProgram(
+        insns=[
+            asm.mov64_reg(Reg.R6, Reg.R1),
+            asm.mov64_reg(Reg.R1, Reg.R6),
+            *asm.ld_map_fd(Reg.R2, pa_fd),
+            asm.mov64_imm(Reg.R3, index),
+            asm.call_helper(HelperId.TAIL_CALL),
+            asm.mov64_imm(Reg.R0, fallthrough_r0),
+            asm.exit_insn(),
+        ],
+    )
+
+
+class TestTailCall:
+    def _kernel(self):
+        kernel = Kernel(PROFILES["patched"]())
+        pa_fd = kernel.map_create(MapType.PROG_ARRAY, 4, 4, 8)
+        return kernel, pa_fd
+
+    def test_successful_tail_call_switches_program(self):
+        kernel, pa_fd = self._kernel()
+        target = kernel.prog_load(
+            BpfProgram(insns=[asm.mov64_imm(Reg.R0, 77), asm.exit_insn()])
+        )
+        kernel.map_update(pa_fd, (0).to_bytes(4, "little"),
+                          target.fd.to_bytes(4, "little"))
+        caller = kernel.prog_load(tail_caller(pa_fd, 0), sanitize=True)
+        result = Executor(kernel).run(caller)
+        assert result.report is None
+        assert result.r0 == 77
+
+    def test_empty_slot_falls_through(self):
+        kernel, pa_fd = self._kernel()
+        caller = kernel.prog_load(tail_caller(pa_fd, 3))
+        result = Executor(kernel).run(caller)
+        assert result.r0 == 5
+
+    def test_out_of_range_index_falls_through(self):
+        kernel, pa_fd = self._kernel()
+        caller = kernel.prog_load(tail_caller(pa_fd, 100))
+        result = Executor(kernel).run(caller)
+        assert result.r0 == 5
+
+    def test_wrong_prog_type_falls_through(self):
+        kernel, pa_fd = self._kernel()
+        target = kernel.prog_load(
+            BpfProgram(
+                insns=[asm.mov64_imm(Reg.R0, 2), asm.exit_insn()],
+                prog_type=ProgType.XDP,
+            )
+        )
+        kernel.map_update(pa_fd, (0).to_bytes(4, "little"),
+                          target.fd.to_bytes(4, "little"))
+        caller = kernel.prog_load(tail_caller(pa_fd, 0))
+        result = Executor(kernel).run(caller)
+        assert result.r0 == 5  # socket filter cannot enter an XDP prog
+
+    def test_self_tail_call_bounded(self):
+        """A program that tail-calls itself stops at MAX_TAIL_CALLS."""
+        kernel, pa_fd = self._kernel()
+        prog = kernel.prog_load(tail_caller(pa_fd, 0, fallthrough_r0=9))
+        kernel.map_update(pa_fd, (0).to_bytes(4, "little"),
+                          prog.fd.to_bytes(4, "little"))
+        result = Executor(kernel).run(prog)
+        assert result.report is None
+        assert result.r0 == 9  # the 33rd attempt fell through
+
+    def test_chain_of_programs(self):
+        kernel, pa_fd = self._kernel()
+        final = kernel.prog_load(
+            BpfProgram(insns=[asm.mov64_imm(Reg.R0, 42), asm.exit_insn()])
+        )
+        middle = kernel.prog_load(tail_caller(pa_fd, 1))
+        kernel.map_update(pa_fd, (0).to_bytes(4, "little"),
+                          middle.fd.to_bytes(4, "little"))
+        kernel.map_update(pa_fd, (1).to_bytes(4, "little"),
+                          final.fd.to_bytes(4, "little"))
+        entry = kernel.prog_load(tail_caller(pa_fd, 0), sanitize=True)
+        result = Executor(kernel).run(entry)
+        assert result.r0 == 42
+
+
+class TestProgArrayVerifierRules:
+    def test_hash_map_into_tail_call_rejected(self, patched_kernel):
+        fd = patched_kernel.map_create(MapType.HASH, 8, 8, 4)
+        with pytest.raises(VerifierReject) as exc:
+            patched_kernel.prog_load(tail_caller(fd, 0))
+        assert "cannot pass map_type" in exc.value.message
+
+    def test_lookup_on_prog_array_rejected(self, patched_kernel):
+        pa_fd = patched_kernel.map_create(MapType.PROG_ARRAY, 4, 4, 4)
+        with pytest.raises(VerifierReject) as exc:
+            patched_kernel.prog_load(
+                BpfProgram(
+                    insns=[
+                        asm.st_mem(Size.W, Reg.R10, -8, 0),
+                        *asm.ld_map_fd(Reg.R1, pa_fd),
+                        asm.mov64_reg(Reg.R2, Reg.R10),
+                        asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                        asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+                        asm.mov64_imm(Reg.R0, 0),
+                        asm.exit_insn(),
+                    ]
+                )
+            )
+        assert "cannot pass map_type" in exc.value.message
+
+    def test_direct_value_access_rejected(self, patched_kernel):
+        pa_fd = patched_kernel.map_create(MapType.PROG_ARRAY, 4, 4, 4)
+        with pytest.raises(VerifierReject) as exc:
+            patched_kernel.prog_load(
+                BpfProgram(
+                    insns=[
+                        *asm.ld_map_value(Reg.R1, pa_fd, 0),
+                        asm.mov64_imm(Reg.R0, 0),
+                        asm.exit_insn(),
+                    ]
+                )
+            )
+        assert "direct value access" in exc.value.message
+
+    def test_prog_array_value_size_must_be_4(self, patched_kernel):
+        from repro.errors import MapError
+
+        with pytest.raises(MapError):
+            patched_kernel.map_create(MapType.PROG_ARRAY, 4, 8, 4)
+
+
+class TestVerifierLogLevel2:
+    def test_per_insn_logging(self, patched_kernel):
+        from repro.verifier.core import Verifier
+
+        prog = BpfProgram(
+            insns=[asm.mov64_imm(Reg.R0, 7), asm.exit_insn()]
+        )
+        verifier = Verifier(patched_kernel, prog, log_level=2)
+        verifier.verify()
+        text = verifier.log.text()
+        assert "r0 = 7" in text
+        assert "R1=ptr_to_ctx" in text
+
+    def test_level1_quiet_on_success(self, patched_kernel):
+        from repro.verifier.core import Verifier
+
+        prog = BpfProgram(
+            insns=[asm.mov64_imm(Reg.R0, 7), asm.exit_insn()]
+        )
+        verifier = Verifier(patched_kernel, prog, log_level=1)
+        verifier.verify()
+        assert verifier.log.text() == ""

@@ -1,0 +1,88 @@
+"""Sanitizing-function semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SanitizerReport
+from repro.kernel.kasan import KernelMemory
+from repro.sanitizer.asan_funcs import (
+    ASAN_ALU_LIMIT,
+    ASAN_LOAD,
+    ASAN_STORE,
+    asan_call_size,
+    asan_check,
+    is_asan_call,
+)
+from repro.sanitizer.alu_limit import check_alu_limit
+from repro.errors import AluLimitViolation
+
+
+class TestIds:
+    def test_ids_distinct(self):
+        ids = list(ASAN_LOAD.values()) + list(ASAN_STORE.values()) + [ASAN_ALU_LIMIT]
+        assert len(set(ids)) == len(ids)
+
+    def test_is_asan_call(self):
+        assert is_asan_call(ASAN_LOAD[8])
+        assert is_asan_call(ASAN_STORE[1])
+        assert is_asan_call(ASAN_ALU_LIMIT)
+        assert not is_asan_call(1)  # map_lookup_elem
+
+    def test_call_size_mapping(self):
+        assert asan_call_size(ASAN_LOAD[4]) == (4, False)
+        assert asan_call_size(ASAN_STORE[2]) == (2, True)
+        with pytest.raises(KeyError):
+            asan_call_size(12345)
+
+
+class TestAsanCheck:
+    def test_valid_access_passes(self):
+        mem = KernelMemory()
+        a = mem.kmalloc(16)
+        assert asan_check(mem, a.start, 8, is_write=False)
+
+    def test_oob_raises_sanitizer_report(self):
+        mem = KernelMemory()
+        a = mem.kmalloc(8)
+        with pytest.raises(SanitizerReport) as exc:
+            asan_check(mem, a.start + 4, 8, is_write=True, site=7)
+        assert exc.value.context["site"] == 7
+        assert exc.value.is_write
+
+    def test_null_raises(self):
+        mem = KernelMemory()
+        with pytest.raises(SanitizerReport):
+            asan_check(mem, 0, 8, is_write=False)
+
+    def test_probe_mem_tolerates_null(self):
+        mem = KernelMemory()
+        assert asan_check(mem, 0, 8, is_write=False, probe_mem=True) is False
+
+    def test_probe_mem_tolerates_unmapped(self):
+        mem = KernelMemory()
+        ok = asan_check(mem, 0x4141_4141_4141, 8, is_write=False, probe_mem=True)
+        assert ok is False
+
+    def test_probe_mem_still_catches_slab_oob(self):
+        """Bug #2's capture path: OOB within the arena traps even for
+        fault-handled loads."""
+        mem = KernelMemory()
+        a = mem.kmalloc(8)
+        with pytest.raises(SanitizerReport):
+            asan_check(mem, a.start + 8, 8, is_write=False, probe_mem=True)
+
+
+class TestAluLimit:
+    def test_within_limit_passes(self):
+        check_alu_limit(7, 8)
+
+    def test_at_limit_fails(self):
+        with pytest.raises(AluLimitViolation):
+            check_alu_limit(8, 8)
+
+    def test_violation_carries_context(self):
+        with pytest.raises(AluLimitViolation) as exc:
+            check_alu_limit(100, 8, site=3)
+        assert exc.value.context["limit"] == 8
+        assert exc.value.context["site"] == 3

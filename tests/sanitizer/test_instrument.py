@@ -1,0 +1,125 @@
+"""Instrumentation-pass tests: dispatch sequences and skip rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.config import PROFILES
+from repro.kernel.syscall import Kernel
+from repro.ebpf import asm
+from repro.ebpf.helpers import HelperId
+from repro.ebpf.maps import MapType
+from repro.ebpf.opcodes import AluOp, AtomicOp, JmpOp, Reg, Size
+from repro.ebpf.program import BpfProgram, ProgType
+from repro.sanitizer.asan_funcs import ASAN_LOAD, ASAN_STORE, is_asan_call
+from repro.sanitizer.instrument import build_insertions
+
+
+class TestBuildInsertions:
+    def test_load_instrumented(self):
+        prog = [
+            asm.mov64_reg(Reg.R1, Reg.R10),
+            asm.alu64_imm(AluOp.ADD, Reg.R1, -8),
+            asm.st_mem(Size.DW, Reg.R1, 0, 5),
+            asm.ldx_mem(Size.W, Reg.R0, Reg.R1, 0),
+            asm.exit_insn(),
+        ]
+        insertions, sites = build_insertions(prog, set())
+        assert set(insertions) == {2, 3}
+        assert sites[3].size == 4 and not sites[3].is_write
+        assert sites[2].size == 8 and sites[2].is_write
+
+    def test_dispatch_sequence_shape(self):
+        prog = [asm.ldx_mem(Size.DW, Reg.R0, Reg.R2, 16), asm.exit_insn()]
+        insertions, _ = build_insertions(prog, set())
+        block = insertions[0]
+        assert len(block) == 5
+        assert block[0] == asm.mov64_reg(Reg.AX, Reg.R1)
+        assert block[1] == asm.mov64_reg(Reg.R1, Reg.R2)
+        assert block[2] == asm.alu64_imm(AluOp.ADD, Reg.R1, 16)
+        assert block[3].is_helper_call()
+        assert block[3].imm == ASAN_LOAD[8]
+        assert block[4] == asm.mov64_reg(Reg.R1, Reg.AX)
+
+    def test_r10_accesses_skipped(self):
+        """Reduction rule 1: stack-pointer accesses are pre-validated."""
+        prog = [
+            asm.st_mem(Size.DW, Reg.R10, -8, 1),
+            asm.ldx_mem(Size.DW, Reg.R0, Reg.R10, -8),
+            asm.exit_insn(),
+        ]
+        insertions, sites = build_insertions(prog, set())
+        assert not insertions
+        assert not sites
+
+    def test_atomic_instrumented_as_store(self):
+        prog = [
+            asm.atomic_op(Size.DW, AtomicOp.ADD, Reg.R2, Reg.R1, 0),
+            asm.exit_insn(),
+        ]
+        insertions, sites = build_insertions(prog, set())
+        assert insertions[0][3].imm == ASAN_STORE[8]
+        assert sites[0].is_write
+
+    def test_probe_mem_flag_carried(self):
+        prog = [asm.ldx_mem(Size.DW, Reg.R0, Reg.R2, 0), asm.exit_insn()]
+        _, sites = build_insertions(prog, probe_mem={0})
+        assert sites[0].probe_mem
+
+    def test_alu_and_jumps_not_instrumented(self):
+        prog = [
+            asm.mov64_imm(Reg.R0, 0),
+            asm.jmp_imm(JmpOp.JEQ, Reg.R0, 0, 0),
+            asm.exit_insn(),
+        ]
+        insertions, _ = build_insertions(prog, set())
+        assert not insertions
+
+
+class TestEndToEndInstrumentation:
+    def _map_prog(self, fd):
+        return BpfProgram(
+            insns=[
+                asm.st_mem(Size.DW, Reg.R10, -8, 0),
+                *asm.ld_map_fd(Reg.R1, fd),
+                asm.mov64_reg(Reg.R2, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+                asm.jmp_imm(JmpOp.JNE, Reg.R0, 0, 2),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+                asm.ldx_mem(Size.DW, Reg.R3, Reg.R0, 0),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ]
+        )
+
+    def test_footprint_grows(self, patched_kernel):
+        fd = patched_kernel.map_create(MapType.HASH, 8, 8, 4)
+        raw = patched_kernel.prog_load(self._map_prog(fd))
+        fd2 = patched_kernel.map_create(MapType.HASH, 8, 8, 4)
+        san = patched_kernel.prog_load(self._map_prog(fd2), sanitize=True)
+        assert len(san.xlated) > len(raw.xlated)
+        assert san.sanitized
+        assert not raw.sanitized
+
+    def test_sanitizer_metadata_keyed_by_call_index(self, patched_kernel):
+        fd = patched_kernel.map_create(MapType.HASH, 8, 8, 4)
+        san = patched_kernel.prog_load(self._map_prog(fd), sanitize=True)
+        for call_idx, site in san.sanitizer_meta.items():
+            insn = san.xlated[call_idx]
+            assert insn.is_helper_call()
+            assert is_asan_call(insn.imm)
+            original = san.xlated[site.orig_idx]
+            assert original.is_memory_load() or original.is_memory_store()
+
+    def test_sanitize_unavailable_kernel(self):
+        from repro.kernel.config import KernelConfig
+        from repro.errors import BpfError
+
+        kernel = Kernel(KernelConfig(version="nosan", sanitizer_available=False))
+        with pytest.raises(BpfError):
+            kernel.prog_load(
+                BpfProgram(insns=[asm.mov64_imm(Reg.R0, 0), asm.exit_insn()]),
+                sanitize=True,
+            )

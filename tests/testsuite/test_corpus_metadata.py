@@ -1,0 +1,49 @@
+"""Structural properties of the self-test corpus itself."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.testsuite import all_selftests, all_selftests_extended
+
+
+class TestCorpusShape:
+    def test_names_unique(self):
+        names = [t.name for t in all_selftests_extended()]
+        duplicates = [n for n, c in Counter(names).items() if c > 1]
+        assert not duplicates, duplicates
+
+    def test_size_is_substantial(self):
+        assert len(all_selftests()) >= 180
+        assert len(all_selftests_extended()) >= 300
+
+    def test_both_verdicts_represented(self):
+        verdicts = Counter(t.expect for t in all_selftests_extended())
+        assert verdicts["accept"] >= 150
+        assert verdicts["reject"] >= 60
+
+    def test_semantic_subset_annotated(self):
+        semantic = [t for t in all_selftests_extended()
+                    if t.expected_r0 is not None]
+        assert len(semantic) >= 60
+        assert all(t.expect == "accept" for t in semantic)
+
+    def test_memory_access_flag_sane(self):
+        corpus = all_selftests_extended()
+        with_mem = [t for t in corpus if t.has_memory_access]
+        without = [t for t in corpus if not t.has_memory_access]
+        assert len(with_mem) >= 100
+        assert len(without) >= 50
+
+    def test_builders_are_idempotent(self):
+        """Building twice in fresh kernels yields identical programs."""
+        from repro.kernel.config import PROFILES
+        from repro.kernel.syscall import Kernel
+
+        for selftest in all_selftests_extended()[:40]:
+            a = selftest.build(Kernel(PROFILES["patched"]()))
+            b = selftest.build(Kernel(PROFILES["patched"]()))
+            assert a.insns == b.insns, selftest.name
+            assert a.prog_type == b.prog_type

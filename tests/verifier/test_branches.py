@@ -1,0 +1,211 @@
+"""Branch reasoning unit tests: refinement, decisions, nullness."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel.config import PROFILES
+from repro.ebpf.opcodes import JmpOp
+from repro.verifier.branches import (
+    is_branch_taken,
+    mark_ptr_or_null,
+    propagate_nullness,
+    refine_branch,
+)
+from repro.verifier.env import FuncFrame, VerifierState
+from repro.verifier.state import RegState, RegType
+
+U64 = (1 << 64) - 1
+
+
+def scalar(lo=0, hi=U64):
+    reg = RegState.unknown_scalar()
+    reg.umin, reg.umax = lo, hi
+    reg.smin, reg.smax = lo if hi <= (1 << 63) - 1 else -(1 << 63), min(
+        hi, (1 << 63) - 1
+    )
+    reg.sync_bounds()
+    return reg
+
+
+class TestIsBranchTaken:
+    def test_const_decisions(self):
+        five = RegState.const_scalar(5)
+        assert is_branch_taken(five, RegState.const_scalar(5), JmpOp.JEQ, True) == 1
+        assert is_branch_taken(five, RegState.const_scalar(6), JmpOp.JEQ, True) == 0
+        assert is_branch_taken(five, RegState.const_scalar(4), JmpOp.JGT, True) == 1
+        assert is_branch_taken(five, RegState.const_scalar(5), JmpOp.JGT, True) == 0
+
+    def test_range_decisions(self):
+        lo = scalar(0, 10)
+        hi = scalar(100, 200)
+        assert is_branch_taken(hi, lo, JmpOp.JGT, True) == 1
+        assert is_branch_taken(lo, hi, JmpOp.JLT, True) == 1
+        assert is_branch_taken(lo, hi, JmpOp.JGE, True) == 0
+
+    def test_overlap_unknown(self):
+        a = scalar(0, 100)
+        b = scalar(50, 150)
+        assert is_branch_taken(a, b, JmpOp.JGT, True) == -1
+
+    def test_jset(self):
+        reg = RegState.const_scalar(0b1010)
+        assert is_branch_taken(reg, RegState.const_scalar(0b0010),
+                               JmpOp.JSET, True) == 1
+        assert is_branch_taken(reg, RegState.const_scalar(0b0101),
+                               JmpOp.JSET, True) == 0
+
+    def test_signed_decisions(self):
+        minus_one = RegState.const_scalar(U64)
+        one = RegState.const_scalar(1)
+        assert is_branch_taken(minus_one, one, JmpOp.JSLT, True) == 1
+        assert is_branch_taken(minus_one, one, JmpOp.JGT, True) == 1  # unsigned
+
+    def test_nonnull_pointer_vs_zero(self):
+        stack = RegState.pointer(RegType.PTR_TO_STACK)
+        zero = RegState.const_scalar(0)
+        assert is_branch_taken(stack, zero, JmpOp.JEQ, True) == 0
+        assert is_branch_taken(stack, zero, JmpOp.JNE, True) == 1
+
+    def test_btf_pointer_vs_zero_undecidable(self):
+        # PTR_TO_BTF_ID may be NULL at runtime: never decide.
+        btf = RegState.pointer(RegType.PTR_TO_BTF_ID)
+        zero = RegState.const_scalar(0)
+        assert is_branch_taken(btf, zero, JmpOp.JEQ, True) == -1
+
+
+class TestRefinement:
+    @given(
+        st.sampled_from([JmpOp.JGT, JmpOp.JGE, JmpOp.JLT, JmpOp.JLE,
+                         JmpOp.JEQ]),
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=1000),
+        st.booleans(),
+    )
+    def test_refinement_sound(self, op, value, bound, taken):
+        """A concrete value satisfying the branch outcome must remain
+        within the refined bounds."""
+        concrete = {
+            JmpOp.JEQ: value == bound,
+            JmpOp.JGT: value > bound,
+            JmpOp.JGE: value >= bound,
+            JmpOp.JLT: value < bound,
+            JmpOp.JLE: value <= bound,
+        }[op]
+        if concrete != taken:
+            return  # runtime wouldn't take this path
+        reg = scalar(0, 1000)
+        rhs = RegState.const_scalar(bound)
+        refine_branch(reg, rhs, op, taken=taken, is64=True)
+        assert reg.umin <= value <= reg.umax
+
+    def test_jgt_taken_tightens_umin(self):
+        reg = scalar(0, 100)
+        refine_branch(reg, RegState.const_scalar(50), JmpOp.JGT, True, True)
+        assert reg.umin == 51
+        assert reg.umax == 100
+
+    def test_jgt_false_tightens_umax(self):
+        reg = scalar(0, 100)
+        refine_branch(reg, RegState.const_scalar(50), JmpOp.JGT, False, True)
+        assert reg.umax == 50
+
+    def test_jeq_taken_pins_value(self):
+        reg = scalar(0, 100)
+        refine_branch(reg, RegState.const_scalar(7), JmpOp.JEQ, True, True)
+        assert reg.is_const() and reg.const_value() == 7
+
+    def test_reg_reg_refinement(self):
+        a = scalar(0, 100)
+        b = scalar(40, 60)
+        refine_branch(a, b, JmpOp.JGT, True, True)
+        assert a.umin == 41
+
+    def test_jset_false_clears_bits(self):
+        reg = scalar(0, U64)
+        refine_branch(reg, RegState.const_scalar(0xF0), JmpOp.JSET, False, True)
+        assert reg.var_off.mask & 0xF0 == 0
+        assert reg.var_off.value & 0xF0 == 0
+
+    def test_broken_bounds_detectable(self):
+        reg = scalar(10, 20)
+        refine_branch(reg, RegState.const_scalar(50), JmpOp.JGT, True, True)
+        assert reg.is_bounds_broken()
+
+
+def _state_with(regs: dict[int, RegState]) -> VerifierState:
+    frame = FuncFrame.entry(RegState.pointer(RegType.PTR_TO_CTX))
+    for idx, reg in regs.items():
+        frame.regs[idx] = reg
+    return VerifierState(frames=[frame])
+
+
+class TestNullness:
+    def _or_null(self, reg_id=7):
+        reg = RegState.pointer(RegType.PTR_TO_MAP_VALUE_OR_NULL)
+        reg.id = reg_id
+        return reg
+
+    def test_mark_null_resolves_all_copies(self):
+        a, b = self._or_null(), self._or_null()
+        state = _state_with({2: a, 3: b})
+        mark_ptr_or_null(state, 7, is_null=False)
+        assert state.regs[2].type == RegType.PTR_TO_MAP_VALUE
+        assert state.regs[3].type == RegType.PTR_TO_MAP_VALUE
+
+    def test_mark_null_makes_zero_scalar(self):
+        state = _state_with({2: self._or_null()})
+        mark_ptr_or_null(state, 7, is_null=True)
+        assert state.regs[2].is_const()
+        assert state.regs[2].const_value() == 0
+
+    def test_spilled_copies_resolved_too(self):
+        state = _state_with({2: self._or_null()})
+        state.stack.write_reg(-8, self._or_null())
+        mark_ptr_or_null(state, 7, is_null=False)
+        assert state.stack.spilled_reg(-8).type == RegType.PTR_TO_MAP_VALUE
+
+    def test_different_id_untouched(self):
+        other = self._or_null(reg_id=9)
+        state = _state_with({2: self._or_null(), 3: other})
+        mark_ptr_or_null(state, 7, is_null=False)
+        assert state.regs[3].type == RegType.PTR_TO_MAP_VALUE_OR_NULL
+
+
+class TestNullnessPropagation:
+    def _setup(self):
+        nullable = RegState.pointer(RegType.PTR_TO_MAP_VALUE_OR_NULL)
+        nullable.id = 5
+        btf = RegState.pointer(RegType.PTR_TO_BTF_ID)
+        stack = RegState.pointer(RegType.PTR_TO_STACK)
+        return nullable, btf, stack
+
+    def test_flawed_propagates_from_btf(self):
+        nullable, btf, _ = self._setup()
+        state = _state_with({2: nullable})
+        config = PROFILES["bpf-next"]()
+        propagate_nullness(state, state.regs[2], btf, config, flaw_active=True)
+        assert state.regs[2].type == RegType.PTR_TO_MAP_VALUE
+
+    def test_fixed_filters_btf(self):
+        nullable, btf, _ = self._setup()
+        state = _state_with({2: nullable})
+        config = PROFILES["patched"]()
+        propagate_nullness(state, state.regs[2], btf, config, flaw_active=False)
+        assert state.regs[2].type == RegType.PTR_TO_MAP_VALUE_OR_NULL
+
+    def test_fixed_still_propagates_from_stack(self):
+        nullable, _, stack = self._setup()
+        state = _state_with({2: nullable})
+        config = PROFILES["patched"]()
+        propagate_nullness(state, state.regs[2], stack, config, flaw_active=False)
+        assert state.regs[2].type == RegType.PTR_TO_MAP_VALUE
+
+    def test_gated_on_feature_flag(self):
+        nullable, _, stack = self._setup()
+        state = _state_with({2: nullable})
+        config = PROFILES["v6.1"]()  # pass not merged yet
+        assert not config.has_nullness_propagation
+        propagate_nullness(state, state.regs[2], stack, config, flaw_active=False)
+        assert state.regs[2].type == RegType.PTR_TO_MAP_VALUE_OR_NULL

@@ -1,0 +1,267 @@
+"""Helper/kfunc call-checking tests."""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro.errors import VerifierReject
+from repro.kernel.config import PROFILES, Flaw
+from repro.kernel.syscall import Kernel
+from repro.ebpf import asm
+from repro.ebpf.helpers import HelperId
+from repro.ebpf.kfuncs import KFUNC_GET_TASK, KFUNC_RAND, KFUNC_TASK_PID
+from repro.ebpf.maps import MapType
+from repro.ebpf.opcodes import AluOp, JmpOp, Reg, Size
+from repro.ebpf.program import BpfProgram, ProgType
+
+
+def load(kernel, insns, prog_type=ProgType.KPROBE):
+    return kernel.prog_load(BpfProgram(insns=list(insns), prog_type=prog_type))
+
+
+def reject(kernel, insns, prog_type=ProgType.KPROBE):
+    with pytest.raises(VerifierReject) as exc:
+        load(kernel, insns, prog_type)
+    return exc.value
+
+
+class TestArgumentChecking:
+    def test_unknown_helper_einval(self, patched_kernel):
+        exc = reject(patched_kernel, [asm.call_helper(777), asm.exit_insn()])
+        assert exc.errno == errno.EINVAL
+        assert "unknown" in exc.message
+
+    def test_uninit_arg(self, patched_kernel):
+        fd = patched_kernel.map_create(MapType.HASH, 8, 8, 4)
+        exc = reject(
+            patched_kernel,
+            [
+                *asm.ld_map_fd(Reg.R1, fd),
+                # R2 never initialised
+                asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "!read_ok" in exc.message
+
+    def test_maybe_null_arg_rejected(self, patched_kernel):
+        fd = patched_kernel.map_create(MapType.HASH, 8, 8, 4)
+        # Pass the OR_NULL result of a lookup as a map value argument.
+        exc = reject(
+            patched_kernel,
+            [
+                asm.st_mem(Size.DW, Reg.R10, -8, 0),
+                *asm.ld_map_fd(Reg.R6, fd),
+                asm.mov64_reg(Reg.R1, Reg.R6),
+                asm.mov64_reg(Reg.R2, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+                asm.mov64_reg(Reg.R3, Reg.R0),
+                asm.mov64_reg(Reg.R1, Reg.R6),
+                asm.mov64_reg(Reg.R2, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                asm.mov64_imm(Reg.R4, 0),
+                asm.call_helper(HelperId.MAP_UPDATE_ELEM),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "non-null" in exc.message
+
+    def test_stack_region_too_small(self, patched_kernel):
+        exc = reject(
+            patched_kernel,
+            [
+                asm.mov64_reg(Reg.R1, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R1, -4),
+                asm.mov64_imm(Reg.R2, 16),  # 16 bytes from fp-4: OOB
+                asm.call_helper(HelperId.GET_CURRENT_COMM),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "indirect access" in exc.message
+
+    def test_negative_size_rejected(self, patched_kernel):
+        exc = reject(
+            patched_kernel,
+            [
+                asm.mov64_reg(Reg.R1, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R1, -16),
+                asm.mov64_imm(Reg.R2, -5),
+                asm.call_helper(HelperId.GET_CURRENT_COMM),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "negative" in exc.message or "may be" in exc.message
+
+    def test_writable_region_need_not_be_initialised(self, patched_kernel):
+        # get_current_comm writes; uninitialised stack is fine, and the
+        # region becomes readable afterwards.
+        load(
+            patched_kernel,
+            [
+                asm.mov64_reg(Reg.R1, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R1, -16),
+                asm.mov64_imm(Reg.R2, 16),
+                asm.call_helper(HelperId.GET_CURRENT_COMM),
+                asm.ldx_mem(Size.DW, Reg.R0, Reg.R10, -16),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+
+    def test_map_value_region_checked_against_value_size(self, patched_kernel):
+        fd = patched_kernel.map_create(MapType.QUEUE, 0, 32, 4)
+        # Queue value is 32 bytes but only 8 provided on the stack.
+        exc = reject(
+            patched_kernel,
+            [
+                asm.st_mem(Size.DW, Reg.R10, -8, 1),
+                *asm.ld_map_fd(Reg.R1, fd),
+                asm.mov64_reg(Reg.R2, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                asm.mov64_imm(Reg.R3, 0),
+                asm.call_helper(HelperId.MAP_PUSH_ELEM),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert exc.errno == errno.EACCES
+
+
+class TestReturnTypes:
+    def test_integer_return_is_unknown_scalar(self, patched_kernel):
+        # Using R0 as an index without bounding must fail.
+        fd = patched_kernel.map_create(MapType.ARRAY, 4, 8, 1)
+        exc = reject(
+            patched_kernel,
+            [
+                *asm.ld_map_value(Reg.R6, fd, 0),
+                asm.call_helper(HelperId.KTIME_GET_NS),
+                asm.alu64_reg(AluOp.ADD, Reg.R6, Reg.R0),
+                asm.ldx_mem(Size.B, Reg.R1, Reg.R6, 0),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "invalid access to map value" in exc.message
+
+    def test_btf_return_usable_without_null_check(self, patched_kernel):
+        load(
+            patched_kernel,
+            [
+                asm.call_helper(HelperId.GET_CURRENT_TASK_BTF),
+                asm.ldx_mem(Size.W, Reg.R1, Reg.R0, 32),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+
+
+class TestKfuncs:
+    def test_kfunc_requires_feature(self, v5_15_kernel):
+        exc = reject(
+            v5_15_kernel,
+            [asm.call_kfunc(KFUNC_RAND), asm.mov64_imm(Reg.R0, 0),
+             asm.exit_insn()],
+        )
+        assert "not supported" in exc.message
+
+    def test_unknown_kfunc(self, patched_kernel):
+        exc = reject(
+            patched_kernel,
+            [asm.call_kfunc(1234), asm.mov64_imm(Reg.R0, 0), asm.exit_insn()],
+        )
+        assert "not allowed" in exc.message
+
+    def test_kfunc_arg_type_checked(self, patched_kernel):
+        exc = reject(
+            patched_kernel,
+            [
+                asm.mov64_imm(Reg.R1, 5),
+                asm.call_kfunc(KFUNC_TASK_PID),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "BTF object pointer" in exc.message
+
+    def test_kfunc_r0_invalidated_when_fixed(self, patched_kernel):
+        fd = patched_kernel.map_create(MapType.HASH, 8, 16, 4)
+        exc = reject(
+            patched_kernel,
+            [
+                asm.st_mem(Size.DW, Reg.R10, -8, 0),
+                *asm.ld_map_fd(Reg.R1, fd),
+                asm.mov64_reg(Reg.R2, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+                asm.jmp_imm(JmpOp.JNE, Reg.R0, 0, 2),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+                asm.mov64_reg(Reg.R6, Reg.R0),
+                asm.mov64_imm(Reg.R0, 4),
+                asm.call_kfunc(KFUNC_RAND),
+                asm.alu64_reg(AluOp.ADD, Reg.R6, Reg.R0),
+                asm.ldx_mem(Size.B, Reg.R3, Reg.R6, 0),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "invalid access to map value" in exc.message
+
+    def test_kfunc_r0_stale_when_flawed(self, bpf_next_kernel):
+        assert bpf_next_kernel.config.has_flaw(Flaw.KFUNC_BACKTRACK)
+        fd = bpf_next_kernel.map_create(MapType.HASH, 8, 16, 4)
+        load(
+            bpf_next_kernel,
+            [
+                asm.st_mem(Size.DW, Reg.R10, -8, 0),
+                *asm.ld_map_fd(Reg.R1, fd),
+                asm.mov64_reg(Reg.R2, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+                asm.jmp_imm(JmpOp.JNE, Reg.R0, 0, 2),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+                asm.mov64_reg(Reg.R6, Reg.R0),
+                asm.mov64_imm(Reg.R0, 4),
+                asm.call_kfunc(KFUNC_RAND),
+                asm.alu64_reg(AluOp.ADD, Reg.R6, Reg.R0),
+                asm.ldx_mem(Size.B, Reg.R3, Reg.R6, 0),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+
+    def test_kfunc_btf_return(self, patched_kernel):
+        load(
+            patched_kernel,
+            [
+                asm.call_kfunc(KFUNC_GET_TASK),
+                asm.ldx_mem(Size.W, Reg.R1, Reg.R0, 32),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+
+    def test_helper_notes_lock_usage(self, patched_kernel):
+        verified = load(
+            patched_kernel,
+            [
+                asm.mov64_reg(Reg.R1, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R1, -8),
+                asm.st_mem(Size.DW, Reg.R1, 0, 1),
+                asm.mov64_imm(Reg.R2, 8),
+                asm.call_helper(HelperId.TRACE_PRINTK),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert verified.uses_lock_helpers
+        assert int(HelperId.TRACE_PRINTK) in verified.helper_ids

@@ -1,0 +1,275 @@
+"""ALU verification: scalar bounds tracking and pointer rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import VerifierReject
+from repro.kernel.config import PROFILES
+from repro.kernel.syscall import Kernel
+from repro.ebpf import asm
+from repro.ebpf.maps import MapType
+from repro.ebpf.helpers import HelperId
+from repro.ebpf.opcodes import AluOp, JmpOp, Reg, Size
+from repro.ebpf.program import BpfProgram, ProgType
+
+
+def load(kernel, insns, prog_type=ProgType.SOCKET_FILTER, sanitize=False):
+    return kernel.prog_load(
+        BpfProgram(insns=list(insns), prog_type=prog_type), sanitize=sanitize
+    )
+
+
+def reject_msg(kernel, insns, prog_type=ProgType.SOCKET_FILTER):
+    with pytest.raises(VerifierReject) as exc:
+        load(kernel, insns, prog_type)
+    return exc.value.message
+
+
+class TestScalarTracking:
+    def test_const_fold_through_alu(self, patched_kernel):
+        """Constant arithmetic must track precisely: the verifier can
+        prove the bounded index below is in range."""
+        fd = patched_kernel.map_create(MapType.HASH, 8, 16, 4)
+        load(
+            patched_kernel,
+            [
+                asm.st_mem(Size.DW, Reg.R10, -8, 0),
+                *asm.ld_map_fd(Reg.R1, fd),
+                asm.mov64_reg(Reg.R2, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+                asm.jmp_imm(JmpOp.JNE, Reg.R0, 0, 2),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+                asm.mov64_imm(Reg.R1, 3),
+                asm.alu64_imm(AluOp.MUL, Reg.R1, 4),  # 12
+                asm.alu64_imm(AluOp.SUB, Reg.R1, 4),  # 8
+                asm.alu64_reg(AluOp.ADD, Reg.R0, Reg.R1),
+                asm.ldx_mem(Size.DW, Reg.R2, Reg.R0, 0),  # [8..16) ok
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+
+    def test_and_masking_bounds(self, patched_kernel):
+        fd = patched_kernel.map_create(MapType.HASH, 8, 16, 4)
+        # idx = unknown & 7 -> [0, 7]; access of 8 bytes at idx ok.
+        load(
+            patched_kernel,
+            [
+                asm.st_mem(Size.DW, Reg.R10, -8, 0),
+                *asm.ld_map_fd(Reg.R1, fd),
+                asm.mov64_reg(Reg.R2, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+                asm.jmp_imm(JmpOp.JNE, Reg.R0, 0, 2),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+                asm.call_helper(HelperId.GET_PRANDOM_U32),
+                asm.mov64_reg(Reg.R1, Reg.R0),
+                asm.alu64_imm(AluOp.AND, Reg.R1, 7),
+                # reload value ptr
+                asm.st_mem(Size.DW, Reg.R10, -8, 0),
+                *asm.ld_map_fd(Reg.R6, fd),
+                asm.mov64_reg(Reg.R7, Reg.R1),
+                asm.mov64_reg(Reg.R1, Reg.R6),
+                asm.mov64_reg(Reg.R2, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+                asm.jmp_imm(JmpOp.JNE, Reg.R0, 0, 2),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+                asm.alu64_reg(AluOp.ADD, Reg.R0, Reg.R7),
+                asm.ldx_mem(Size.DW, Reg.R3, Reg.R0, 0),  # max 7+8 <= 16
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+
+    def test_unbounded_index_rejected(self, patched_kernel):
+        fd = patched_kernel.map_create(MapType.HASH, 8, 16, 4)
+        msg = reject_msg(
+            patched_kernel,
+            [
+                asm.st_mem(Size.DW, Reg.R10, -8, 0),
+                *asm.ld_map_fd(Reg.R1, fd),
+                asm.mov64_reg(Reg.R2, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+                asm.jmp_imm(JmpOp.JNE, Reg.R0, 0, 2),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+                asm.call_helper(HelperId.GET_PRANDOM_U32),
+                asm.mov64_reg(Reg.R6, Reg.R0),
+                # reload and add the *unbounded* random value
+                asm.st_mem(Size.DW, Reg.R10, -8, 0),
+                *asm.ld_map_fd(Reg.R1, fd),
+                asm.mov64_reg(Reg.R2, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+                asm.jmp_imm(JmpOp.JNE, Reg.R0, 0, 2),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+                asm.alu64_reg(AluOp.ADD, Reg.R0, Reg.R6),
+                asm.ldx_mem(Size.DW, Reg.R3, Reg.R0, 0),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "invalid access to map value" in msg
+
+    def test_alu32_zero_extends(self, patched_kernel):
+        # mov32 of a negative value leaves a small positive 32-bit value.
+        load(
+            patched_kernel,
+            [
+                asm.mov64_imm(Reg.R1, -1),
+                asm.mov32_reg(Reg.R1, Reg.R1),  # r1 = 0xFFFFFFFF
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+
+
+class TestAluRejections:
+    def test_write_to_fp(self, patched_kernel):
+        msg = reject_msg(patched_kernel, [asm.mov64_imm(Reg.R10, 0),
+                                          asm.exit_insn()])
+        assert "frame pointer" in msg
+
+    def test_uninit_source(self, patched_kernel):
+        msg = reject_msg(
+            patched_kernel,
+            [asm.mov64_reg(Reg.R0, Reg.R5), asm.exit_insn()],
+        )
+        assert "!read_ok" in msg
+
+    def test_uninit_dst(self, patched_kernel):
+        msg = reject_msg(
+            patched_kernel,
+            [asm.alu64_imm(AluOp.ADD, Reg.R3, 1), asm.mov64_imm(Reg.R0, 0),
+             asm.exit_insn()],
+        )
+        assert "!read_ok" in msg
+
+    def test_partial_pointer_copy(self, patched_kernel):
+        msg = reject_msg(
+            patched_kernel,
+            [asm.mov32_reg(Reg.R1, Reg.R10), asm.mov64_imm(Reg.R0, 0),
+             asm.exit_insn()],
+        )
+        assert "partial copy of pointer" in msg
+
+    def test_pointer_pointer_add(self, patched_kernel):
+        msg = reject_msg(
+            patched_kernel,
+            [
+                asm.mov64_reg(Reg.R1, Reg.R10),
+                asm.alu64_reg(AluOp.ADD, Reg.R1, Reg.R10),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "between pointers" in msg
+
+    def test_pointer_mul_prohibited(self, patched_kernel):
+        msg = reject_msg(
+            patched_kernel,
+            [
+                asm.mov64_reg(Reg.R1, Reg.R10),
+                asm.alu64_imm(AluOp.MUL, Reg.R1, 2),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "MUL" in msg
+
+    def test_32bit_pointer_arith_prohibited(self, patched_kernel):
+        msg = reject_msg(
+            patched_kernel,
+            [
+                asm.mov64_reg(Reg.R1, Reg.R10),
+                asm.alu32_imm(AluOp.ADD, Reg.R1, -8),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "32-bit pointer arithmetic" in msg
+
+    def test_pointer_neg_prohibited(self, patched_kernel):
+        msg = reject_msg(
+            patched_kernel,
+            [
+                asm.mov64_reg(Reg.R1, Reg.R10),
+                asm.neg64(Reg.R1),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "negation" in msg
+
+    def test_ctx_variable_offset_prohibited(self, patched_kernel):
+        msg = reject_msg(
+            patched_kernel,
+            [
+                asm.mov64_reg(Reg.R6, Reg.R1),  # save ctx across the call
+                asm.call_helper(HelperId.GET_PRANDOM_U32),
+                asm.alu64_reg(AluOp.ADD, Reg.R6, Reg.R0),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "variable offset" in msg
+
+    def test_huge_pointer_offset(self, patched_kernel):
+        msg = reject_msg(
+            patched_kernel,
+            [
+                asm.mov64_reg(Reg.R1, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R1, 1 << 30),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "out of range" in msg
+
+    def test_scalar_plus_pointer_commutes(self, patched_kernel):
+        # scalar += pointer is rewritten as pointer + scalar.
+        load(
+            patched_kernel,
+            [
+                asm.mov64_imm(Reg.R1, -8),
+                asm.alu64_reg(AluOp.ADD, Reg.R1, Reg.R10),
+                asm.st_mem(Size.DW, Reg.R1, 0, 1),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+
+
+class TestCve202223222:
+    def _prog(self, kernel, fd):
+        return [
+            asm.st_mem(Size.DW, Reg.R10, -8, 0),
+            *asm.ld_map_fd(Reg.R1, fd),
+            asm.mov64_reg(Reg.R2, Reg.R10),
+            asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+            asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+            asm.alu64_imm(AluOp.ADD, Reg.R0, 8),  # ALU on OR_NULL
+            asm.jmp_imm(JmpOp.JNE, Reg.R0, 0, 2),
+            asm.mov64_imm(Reg.R0, 0),
+            asm.exit_insn(),
+            asm.ldx_mem(Size.DW, Reg.R3, Reg.R0, 0),
+            asm.mov64_imm(Reg.R0, 0),
+            asm.exit_insn(),
+        ]
+
+    def test_fixed_kernel_rejects(self, patched_kernel):
+        fd = patched_kernel.map_create(MapType.HASH, 8, 16, 4)
+        msg = reject_msg(patched_kernel, self._prog(patched_kernel, fd))
+        assert "pointer arithmetic" in msg
+
+    def test_v5_15_accepts(self, v5_15_kernel):
+        fd = v5_15_kernel.map_create(MapType.HASH, 8, 16, 4)
+        load(v5_15_kernel, self._prog(v5_15_kernel, fd))

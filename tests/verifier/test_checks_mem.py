@@ -1,0 +1,281 @@
+"""Memory-access verification across all pointer types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import VerifierReject
+from repro.kernel.config import PROFILES, Flaw
+from repro.kernel.syscall import Kernel
+from repro.ebpf import asm
+from repro.ebpf.helpers import HelperId
+from repro.ebpf.maps import MapType
+from repro.ebpf.opcodes import AluOp, JmpOp, Reg, Size
+from repro.ebpf.program import BpfProgram, ProgType
+
+
+def load(kernel, insns, prog_type=ProgType.SOCKET_FILTER):
+    return kernel.prog_load(BpfProgram(insns=list(insns), prog_type=prog_type))
+
+
+def reject_msg(kernel, insns, prog_type=ProgType.SOCKET_FILTER):
+    with pytest.raises(VerifierReject) as exc:
+        load(kernel, insns, prog_type)
+    return exc.value.message
+
+
+class TestScalarDeref:
+    def test_scalar_deref_rejected(self, patched_kernel):
+        msg = reject_msg(
+            patched_kernel,
+            [
+                asm.mov64_imm(Reg.R1, 0x1000),
+                asm.ldx_mem(Size.DW, Reg.R0, Reg.R1, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "invalid mem access 'scalar'" in msg
+
+    def test_uninit_deref_rejected(self, patched_kernel):
+        msg = reject_msg(
+            patched_kernel,
+            [asm.ldx_mem(Size.DW, Reg.R0, Reg.R4, 0), asm.exit_insn()],
+        )
+        assert "!read_ok" in msg
+
+
+class TestMaybeNull:
+    def test_or_null_deref_rejected(self, patched_kernel):
+        fd = patched_kernel.map_create(MapType.HASH, 8, 8, 4)
+        msg = reject_msg(
+            patched_kernel,
+            [
+                asm.st_mem(Size.DW, Reg.R10, -8, 0),
+                *asm.ld_map_fd(Reg.R1, fd),
+                asm.mov64_reg(Reg.R2, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+                asm.ldx_mem(Size.DW, Reg.R3, Reg.R0, 0),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "possibly NULL" in msg
+
+    def test_null_branch_resolves_both_sides(self, patched_kernel):
+        fd = patched_kernel.map_create(MapType.HASH, 8, 8, 4)
+        # JEQ 0: taken -> pointer is null scalar; fall-through -> usable.
+        load(
+            patched_kernel,
+            [
+                asm.st_mem(Size.DW, Reg.R10, -8, 0),
+                *asm.ld_map_fd(Reg.R1, fd),
+                asm.mov64_reg(Reg.R2, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+                asm.jmp_imm(JmpOp.JEQ, Reg.R0, 0, 2),
+                asm.ldx_mem(Size.DW, Reg.R3, Reg.R0, 0),
+                asm.mov64_imm(Reg.R0, 0),
+                # null path: R0 became scalar 0 -> legal to exit with
+                asm.exit_insn(),
+            ],
+        )
+
+    def test_null_resolution_propagates_to_copies(self, patched_kernel):
+        fd = patched_kernel.map_create(MapType.HASH, 8, 8, 4)
+        # Copy the OR_NULL pointer, null-check the copy, use the original.
+        load(
+            patched_kernel,
+            [
+                asm.st_mem(Size.DW, Reg.R10, -8, 0),
+                *asm.ld_map_fd(Reg.R1, fd),
+                asm.mov64_reg(Reg.R2, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+                asm.mov64_reg(Reg.R6, Reg.R0),
+                asm.jmp_imm(JmpOp.JNE, Reg.R6, 0, 2),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+                asm.ldx_mem(Size.DW, Reg.R3, Reg.R0, 0),  # original usable
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+
+
+class TestBtfAccess:
+    def _task_prog(self, off, size=Size.DW):
+        return [
+            asm.call_helper(HelperId.GET_CURRENT_TASK_BTF),
+            asm.ldx_mem(size, Reg.R1, Reg.R0, off),
+            asm.mov64_imm(Reg.R0, 0),
+            asm.exit_insn(),
+        ]
+
+    def test_within_bounds(self, patched_kernel):
+        load(patched_kernel, self._task_prog(0), ProgType.KPROBE)
+        load(patched_kernel, self._task_prog(120), ProgType.KPROBE)
+
+    def test_past_end_rejected(self, patched_kernel):
+        msg = reject_msg(patched_kernel, self._task_prog(128), ProgType.KPROBE)
+        assert "invalid access to task_struct" in msg
+
+    def test_bug2_slack_accepted_when_flawed(self, bpf_next_kernel):
+        assert bpf_next_kernel.config.has_flaw(Flaw.TASK_STRUCT_OOB)
+        load(bpf_next_kernel, self._task_prog(128), ProgType.KPROBE)
+
+    def test_bug2_slack_is_bounded(self, bpf_next_kernel):
+        # Even the flawed check rejects far-out accesses.
+        with pytest.raises(VerifierReject):
+            load(bpf_next_kernel, self._task_prog(256), ProgType.KPROBE)
+
+    def test_negative_offset_rejected(self, patched_kernel):
+        with pytest.raises(VerifierReject):
+            load(patched_kernel, self._task_prog(-8), ProgType.KPROBE)
+
+    def test_btf_loads_marked_probe_mem(self, patched_kernel):
+        verified = load(patched_kernel, self._task_prog(16), ProgType.KPROBE)
+        assert len(verified.probe_mem) == 1
+
+
+class TestStackAccess:
+    def test_variable_stack_access_rejected(self, patched_kernel):
+        msg = reject_msg(
+            patched_kernel,
+            [
+                asm.call_helper(HelperId.GET_PRANDOM_U32),
+                asm.alu64_imm(AluOp.AND, Reg.R0, 7),
+                asm.mov64_reg(Reg.R1, Reg.R10),
+                asm.alu64_reg(AluOp.SUB, Reg.R1, Reg.R0),
+                asm.st_mem(Size.B, Reg.R1, -8, 1),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "variable stack access" in msg
+
+
+class TestMapValueVarOffset:
+    def test_bounded_variable_offset_ok(self, patched_kernel):
+        fd = patched_kernel.map_create(MapType.ARRAY, 4, 64, 1)
+        load(
+            patched_kernel,
+            [
+                *asm.ld_map_value(Reg.R6, fd, 0),
+                asm.call_helper(HelperId.GET_PRANDOM_U32),
+                asm.alu64_imm(AluOp.AND, Reg.R0, 31),
+                asm.alu64_reg(AluOp.ADD, Reg.R6, Reg.R0),
+                asm.ldx_mem(Size.DW, Reg.R1, Reg.R6, 0),  # 31+8 <= 64
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+
+    def test_overlapping_variable_offset_rejected(self, patched_kernel):
+        fd = patched_kernel.map_create(MapType.ARRAY, 4, 32, 1)
+        msg = reject_msg(
+            patched_kernel,
+            [
+                *asm.ld_map_value(Reg.R6, fd, 0),
+                asm.call_helper(HelperId.GET_PRANDOM_U32),
+                asm.alu64_imm(AluOp.AND, Reg.R0, 31),
+                asm.alu64_reg(AluOp.ADD, Reg.R6, Reg.R0),
+                asm.ldx_mem(Size.DW, Reg.R1, Reg.R6, 0),  # 31+8 > 32
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "invalid access to map value" in msg
+
+
+class TestPacket:
+    def test_range_via_lt(self, patched_kernel):
+        # "if end > data+n" with operands reversed also learns ranges.
+        load(
+            patched_kernel,
+            [
+                asm.ldx_mem(Size.W, Reg.R2, Reg.R1, 76),
+                asm.ldx_mem(Size.W, Reg.R3, Reg.R1, 80),
+                asm.mov64_reg(Reg.R4, Reg.R2),
+                asm.alu64_imm(AluOp.ADD, Reg.R4, 8),
+                asm.jmp_reg(JmpOp.JGE, Reg.R3, Reg.R4, 2),  # end >= data+8
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+                asm.ldx_mem(Size.DW, Reg.R5, Reg.R2, 0),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+
+    def test_access_beyond_checked_range_rejected(self, patched_kernel):
+        msg = reject_msg(
+            patched_kernel,
+            [
+                asm.ldx_mem(Size.W, Reg.R2, Reg.R1, 76),
+                asm.ldx_mem(Size.W, Reg.R3, Reg.R1, 80),
+                asm.mov64_reg(Reg.R4, Reg.R2),
+                asm.alu64_imm(AluOp.ADD, Reg.R4, 8),
+                asm.jmp_reg(JmpOp.JGT, Reg.R4, Reg.R3, 1),
+                asm.ldx_mem(Size.DW, Reg.R5, Reg.R2, 8),  # [8..16) > range 8
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "invalid access to packet" in msg
+
+    def test_packet_write_rejected_for_socket_filter(self, patched_kernel):
+        msg = reject_msg(
+            patched_kernel,
+            [
+                asm.ldx_mem(Size.W, Reg.R2, Reg.R1, 76),
+                asm.ldx_mem(Size.W, Reg.R3, Reg.R1, 80),
+                asm.mov64_reg(Reg.R4, Reg.R2),
+                asm.alu64_imm(AluOp.ADD, Reg.R4, 2),
+                asm.jmp_reg(JmpOp.JGT, Reg.R4, Reg.R3, 1),
+                asm.st_mem(Size.B, Reg.R2, 0, 1),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "cannot write into packet" in msg
+
+    def test_packet_write_allowed_for_tc(self, patched_kernel):
+        load(
+            patched_kernel,
+            [
+                asm.ldx_mem(Size.W, Reg.R2, Reg.R1, 76),
+                asm.ldx_mem(Size.W, Reg.R3, Reg.R1, 80),
+                asm.mov64_reg(Reg.R4, Reg.R2),
+                asm.alu64_imm(AluOp.ADD, Reg.R4, 2),
+                asm.jmp_reg(JmpOp.JGT, Reg.R4, Reg.R3, 1),
+                asm.st_mem(Size.B, Reg.R2, 0, 1),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+            prog_type=ProgType.SCHED_CLS,
+        )
+
+    def test_pkt_end_deref_rejected(self, patched_kernel):
+        msg = reject_msg(
+            patched_kernel,
+            [
+                asm.ldx_mem(Size.W, Reg.R3, Reg.R1, 80),
+                asm.ldx_mem(Size.B, Reg.R0, Reg.R3, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "invalid mem access" in msg
+
+
+class TestConstMapPtr:
+    def test_map_ptr_deref_rejected(self, patched_kernel):
+        fd = patched_kernel.map_create(MapType.HASH, 8, 8, 4)
+        msg = reject_msg(
+            patched_kernel,
+            [
+                *asm.ld_map_fd(Reg.R1, fd),
+                asm.ldx_mem(Size.DW, Reg.R0, Reg.R1, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "invalid mem access" in msg

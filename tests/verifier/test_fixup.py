@@ -1,0 +1,147 @@
+"""Fixup-phase tests: immediate resolution and rewrite metadata."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.config import PROFILES
+from repro.kernel.syscall import Kernel
+from repro.ebpf import asm
+from repro.ebpf.helpers import HelperId
+from repro.ebpf.maps import MapType
+from repro.ebpf.opcodes import AluOp, JmpOp, PseudoSrc, Reg, Size
+from repro.ebpf.program import BpfProgram, ProgType
+
+
+class TestImmediateResolution:
+    def test_map_fd_becomes_kernel_address(self, patched_kernel):
+        fd = patched_kernel.map_create(MapType.HASH, 8, 8, 4)
+        bpf_map = patched_kernel.map_by_fd(fd)
+        verified = patched_kernel.prog_load(
+            BpfProgram(
+                insns=[
+                    *asm.ld_map_fd(Reg.R1, fd),
+                    asm.mov64_imm(Reg.R0, 0),
+                    asm.exit_insn(),
+                ]
+            )
+        )
+        resolved = verified.xlated[0]
+        assert resolved.imm64 == patched_kernel.map_kobj_addr(bpf_map)
+        assert 0 in verified.map_addrs
+
+    def test_direct_map_value_address(self, patched_kernel):
+        fd = patched_kernel.map_create(MapType.ARRAY, 4, 32, 1)
+        bpf_map = patched_kernel.map_by_fd(fd)
+        verified = patched_kernel.prog_load(
+            BpfProgram(
+                insns=[
+                    *asm.ld_map_value(Reg.R1, fd, 16),
+                    asm.st_mem(Size.DW, Reg.R1, 0, 1),
+                    asm.mov64_imm(Reg.R0, 0),
+                    asm.exit_insn(),
+                ]
+            )
+        )
+        assert verified.xlated[0].imm64 == bpf_map._values.start + 16
+
+    def test_absent_btf_resolves_to_null(self, patched_kernel):
+        verified = patched_kernel.prog_load(
+            BpfProgram(
+                insns=[
+                    *asm.ld_btf_id(Reg.R1, patched_kernel.btf.absent_ksym_id),
+                    asm.mov64_imm(Reg.R0, 0),
+                    asm.exit_insn(),
+                ],
+                prog_type=ProgType.KPROBE,
+            )
+        )
+        assert verified.xlated[0].imm64 == 0
+
+    def test_present_btf_resolves_to_object(self, patched_kernel):
+        task_id = patched_kernel.btf.current_task_id
+        verified = patched_kernel.prog_load(
+            BpfProgram(
+                insns=[
+                    *asm.ld_btf_id(Reg.R1, task_id),
+                    asm.mov64_imm(Reg.R0, 0),
+                    asm.exit_insn(),
+                ],
+                prog_type=ProgType.KPROBE,
+            )
+        )
+        obj = patched_kernel.btf.object(task_id)
+        assert verified.xlated[0].imm64 == obj.address
+
+
+class TestAluLimits:
+    def _var_offset_prog(self, fd):
+        return BpfProgram(
+            insns=[
+                *asm.ld_map_value(Reg.R6, fd, 0),
+                asm.call_helper(HelperId.GET_PRANDOM_U32),
+                asm.alu64_imm(AluOp.AND, Reg.R0, 15),
+                asm.alu64_reg(AluOp.ADD, Reg.R6, Reg.R0),  # var ptr ALU
+                asm.ldx_mem(Size.B, Reg.R1, Reg.R6, 0),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ]
+        )
+
+    def test_alu_limit_recorded(self, patched_kernel):
+        fd = patched_kernel.map_create(MapType.ARRAY, 4, 32, 1)
+        verified = patched_kernel.prog_load(self._var_offset_prog(fd))
+        assert verified.alu_limits
+        (limit, op), = verified.alu_limits.values()
+        assert limit == 32  # value_size - off
+
+    def test_sanitized_alu_limit_check_emitted(self, patched_kernel):
+        from repro.sanitizer.asan_funcs import ASAN_ALU_LIMIT
+
+        fd = patched_kernel.map_create(MapType.ARRAY, 4, 32, 1)
+        verified = patched_kernel.prog_load(
+            self._var_offset_prog(fd), sanitize=True
+        )
+        checks = [
+            i for i in verified.xlated
+            if i.is_helper_call() and i.imm == ASAN_ALU_LIMIT
+        ]
+        assert len(checks) == 1
+        assert checks[0].off == 32  # the limit rides in the off field
+
+
+class TestMetadataRelocation:
+    def test_probe_mem_indices_track_insertions(self, patched_kernel):
+        verified = patched_kernel.prog_load(
+            BpfProgram(
+                insns=[
+                    asm.call_helper(HelperId.GET_CURRENT_TASK_BTF),
+                    asm.ldx_mem(Size.W, Reg.R1, Reg.R0, 32),
+                    asm.mov64_imm(Reg.R0, 0),
+                    asm.exit_insn(),
+                ],
+                prog_type=ProgType.KPROBE,
+            ),
+            sanitize=True,
+        )
+        # The relocated probe_mem index must point at the actual load.
+        (idx,) = verified.probe_mem
+        assert verified.xlated[idx].is_memory_load()
+        assert idx in verified.sanitized_sites
+
+    def test_sanitizer_insn_indices_are_inserted_code(self, patched_kernel):
+        fd = patched_kernel.map_create(MapType.ARRAY, 4, 8, 1)
+        verified = patched_kernel.prog_load(
+            BpfProgram(
+                insns=[
+                    *asm.ld_map_value(Reg.R1, fd, 0),
+                    asm.st_mem(Size.DW, Reg.R1, 0, 5),
+                    asm.mov64_imm(Reg.R0, 0),
+                    asm.exit_insn(),
+                ]
+            ),
+            sanitize=True,
+        )
+        assert verified.sanitizer_insns
+        for idx in verified.sanitizer_insns:
+            assert idx not in verified.sanitized_sites

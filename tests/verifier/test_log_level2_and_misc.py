@@ -1,0 +1,145 @@
+"""Assorted verifier behaviours: MEMSX gating, JMP32 fields, misc."""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro.errors import VerifierReject
+from repro.kernel.config import PROFILES
+from repro.kernel.syscall import Kernel
+from repro.ebpf import asm
+from repro.ebpf.insn import Insn
+from repro.ebpf.opcodes import AluOp, InsnClass, JmpOp, Reg, Size, Src
+from repro.ebpf.program import BpfProgram, ProgType
+
+
+def load(kernel, insns, prog_type=ProgType.SOCKET_FILTER):
+    return kernel.prog_load(BpfProgram(insns=list(insns), prog_type=prog_type))
+
+
+def reject(kernel, insns, prog_type=ProgType.SOCKET_FILTER):
+    with pytest.raises(VerifierReject) as exc:
+        load(kernel, insns, prog_type)
+    return exc.value
+
+
+class TestFeatureGating:
+    def _memsx_prog(self):
+        return [
+            asm.st_mem(Size.B, Reg.R10, -1, 0x80),
+            asm.ldx_memsx(Size.B, Reg.R0, Reg.R10, -1),
+            asm.exit_insn(),
+        ]
+
+    def test_memsx_accepted_on_new_kernels(self, bpf_next_kernel):
+        load(bpf_next_kernel, self._memsx_prog())
+
+    def test_memsx_rejected_on_old_kernels(self, v5_15_kernel):
+        exc = reject(v5_15_kernel, self._memsx_prog())
+        assert "MEMSX" in exc.message
+
+    def test_memsx_dw_invalid(self, bpf_next_kernel):
+        bad = Insn(
+            opcode=InsnClass.LDX | Size.DW | 0x80,  # MEMSX mode
+            dst=Reg.R0, src=Reg.R10, off=-8,
+        )
+        exc = reject(bpf_next_kernel, [bad, asm.exit_insn()])
+        assert exc.errno == errno.EINVAL
+
+
+class TestReservedFields:
+    def test_alu_imm_with_src_reg_set(self, patched_kernel):
+        bad = Insn(opcode=InsnClass.ALU64 | AluOp.ADD | Src.K,
+                   dst=Reg.R0, src=3, imm=1)
+        exc = reject(
+            patched_kernel,
+            [asm.mov64_imm(Reg.R0, 0), bad, asm.exit_insn()],
+        )
+        assert "reserved" in exc.message
+
+    def test_alu_reg_with_imm_set(self, patched_kernel):
+        bad = Insn(opcode=InsnClass.ALU64 | AluOp.ADD | Src.X,
+                   dst=Reg.R0, src=Reg.R1, imm=5)
+        exc = reject(
+            patched_kernel,
+            [asm.mov64_imm(Reg.R0, 0), asm.mov64_imm(Reg.R1, 0), bad,
+             asm.exit_insn()],
+        )
+        assert "reserved" in exc.message
+
+    def test_jmp_reg_with_imm_set(self, patched_kernel):
+        bad = Insn(opcode=InsnClass.JMP | JmpOp.JEQ | Src.X,
+                   dst=Reg.R0, src=Reg.R1, imm=5, off=0)
+        exc = reject(
+            patched_kernel,
+            [asm.mov64_imm(Reg.R0, 0), asm.mov64_imm(Reg.R1, 0), bad,
+             asm.exit_insn()],
+        )
+        assert "reserved" in exc.message
+
+    def test_call_with_dst_set(self, patched_kernel):
+        bad = Insn(opcode=InsnClass.JMP | JmpOp.CALL, dst=3, imm=5)
+        exc = reject(patched_kernel, [bad, asm.exit_insn()])
+        assert "reserved" in exc.message
+
+    def test_jmp32_ja_invalid(self, patched_kernel):
+        bad = Insn(opcode=InsnClass.JMP32 | JmpOp.JA, off=0)
+        exc = reject(
+            patched_kernel,
+            [asm.mov64_imm(Reg.R0, 0), bad, asm.exit_insn()],
+        )
+        assert "JMP32" in exc.message
+
+
+class TestSpillSemantics:
+    def test_partial_pointer_store_rejected(self, patched_kernel):
+        exc = reject(
+            patched_kernel,
+            [
+                asm.mov64_reg(Reg.R1, Reg.R10),
+                asm.stx_mem(Size.W, Reg.R10, Reg.R1, -8),  # 4-byte ptr spill
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "partial spill" in exc.message
+
+    def test_pointer_spill_through_copied_fp(self, patched_kernel):
+        # Spilling through r2 = r10 - N must preserve the pointer too.
+        load(
+            patched_kernel,
+            [
+                asm.mov64_reg(Reg.R2, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                asm.mov64_reg(Reg.R1, Reg.R10),
+                asm.stx_mem(Size.DW, Reg.R2, Reg.R1, 0),
+                asm.ldx_mem(Size.DW, Reg.R3, Reg.R10, -8),
+                asm.st_mem(Size.DW, Reg.R3, -16, 7),  # use the filled fp
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+
+
+class TestReturnValue:
+    def test_map_value_in_r0_at_exit_rejected(self, patched_kernel):
+        from repro.ebpf.maps import MapType
+        from repro.ebpf.helpers import HelperId
+
+        fd = patched_kernel.map_create(MapType.HASH, 8, 8, 4)
+        exc = reject(
+            patched_kernel,
+            [
+                asm.st_mem(Size.DW, Reg.R10, -8, 0),
+                *asm.ld_map_fd(Reg.R1, fd),
+                asm.mov64_reg(Reg.R2, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+                asm.jmp_imm(JmpOp.JNE, Reg.R0, 0, 1),
+                asm.exit_insn(),  # null path: R0 == 0, fine
+                asm.exit_insn(),  # non-null path: leaks the pointer!
+            ],
+        )
+        assert "leaks addr" in exc.message

@@ -1,0 +1,116 @@
+"""Instruction-patching (jump retargeting) tests."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.kernel.config import PROFILES
+from repro.kernel.syscall import Kernel
+from repro.ebpf import asm
+from repro.ebpf.opcodes import AluOp, JmpOp, Reg, Size
+from repro.ebpf.program import BpfProgram
+from repro.runtime.executor import Executor
+from repro.verifier.patch import insert_before
+
+
+def nop():
+    return asm.mov64_reg(Reg.AX, Reg.AX)
+
+
+class TestInsertBefore:
+    def test_no_insertions_identity(self):
+        prog = [asm.mov64_imm(Reg.R0, 0), asm.exit_insn()]
+        new, index_map = insert_before(prog, {})
+        assert new == prog
+        assert index_map == {0: 0, 1: 1}
+
+    def test_forward_jump_across_insertion(self):
+        prog = [
+            asm.jmp_imm(JmpOp.JEQ, Reg.R1, 0, 1),  # -> idx 2
+            asm.mov64_imm(Reg.R0, 1),
+            asm.exit_insn(),
+        ]
+        new, index_map = insert_before(prog, {1: [nop(), nop()]})
+        # The jump must now skip the inserted block AND the original.
+        assert new[0].off == 3
+        assert index_map == {0: 0, 1: 3, 2: 4}
+
+    def test_jump_to_instrumented_target_lands_on_block(self):
+        prog = [
+            asm.jmp_imm(JmpOp.JEQ, Reg.R1, 0, 1),  # -> idx 2 (the load)
+            asm.mov64_imm(Reg.R0, 1),
+            asm.ldx_mem(Size.DW, Reg.R0, Reg.R10, -8),
+            asm.exit_insn(),
+        ]
+        new, _ = insert_before(prog, {2: [nop()]})
+        # Taken branch must execute the inserted nop first: target is
+        # the block start (old idx2 -> new idx2), so off stays 1.
+        assert new[0].off == 1
+        assert new[2] == nop()
+
+    def test_backward_jump(self):
+        prog = [
+            asm.mov64_imm(Reg.R1, 0),
+            asm.alu64_imm(AluOp.ADD, Reg.R1, 1),
+            asm.jmp_imm(JmpOp.JLT, Reg.R1, 5, -2),  # -> idx 1
+            asm.mov64_imm(Reg.R0, 0),
+            asm.exit_insn(),
+        ]
+        new, _ = insert_before(prog, {1: [nop()]})
+        # Back edge must land on the inserted block before the ADD.
+        jmp = next(i for i in new if i.is_cond_jmp())
+        jmp_idx = new.index(jmp)
+        assert jmp_idx + jmp.off + 1 == 1  # the nop sits at index 1
+
+    def test_pseudo_call_retargeted(self):
+        prog = [
+            asm.mov64_imm(Reg.R1, 1),
+            asm.call_subprog(2),
+            asm.exit_insn(),
+            nop(),
+            asm.mov64_reg(Reg.R0, Reg.R1),
+            asm.exit_insn(),
+        ]
+        new, index_map = insert_before(prog, {3: [nop()]})
+        call = next(i for i in new if i.is_pseudo_call())
+        call_idx = new.index(call)
+        target = call_idx + call.imm + 1
+        # No insertion at old idx 4, so the call lands exactly there.
+        assert target == index_map[4]
+
+    def test_insertion_at_multiple_points(self):
+        prog = [
+            asm.jmp_imm(JmpOp.JEQ, Reg.R1, 0, 2),
+            asm.ldx_mem(Size.DW, Reg.R2, Reg.R10, -8),
+            asm.ldx_mem(Size.DW, Reg.R3, Reg.R10, -16),
+            asm.exit_insn(),
+        ]
+        new, index_map = insert_before(prog, {1: [nop()], 2: [nop(), nop()]})
+        assert index_map == {0: 0, 1: 2, 2: 5, 3: 6}
+        assert new[0].off == 5  # -> old idx 3, now at new idx 6
+
+
+class TestSemanticsPreserved:
+    @given(st.integers(min_value=0, max_value=20))
+    def test_instrumented_loop_counts_identically(self, n):
+        """Sanitation across a loop program must not change R0."""
+        prog = BpfProgram(
+            insns=[
+                asm.mov64_imm(Reg.R0, 0),
+                asm.mov64_imm(Reg.R1, 0),
+                asm.st_mem(Size.DW, Reg.R10, -8, 7),
+                asm.mov64_reg(Reg.R2, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+                asm.ldx_mem(Size.DW, Reg.R3, Reg.R2, 0),
+                asm.alu64_reg(AluOp.ADD, Reg.R0, Reg.R3),
+                asm.alu64_imm(AluOp.ADD, Reg.R1, 1),
+                asm.jmp_imm(JmpOp.JLT, Reg.R1, n, -6),
+                asm.exit_insn(),
+            ]
+        )
+        k_raw = Kernel(PROFILES["patched"]())
+        raw = Executor(k_raw).run(k_raw.prog_load(prog))
+        k_san = Kernel(PROFILES["patched"]())
+        san = Executor(k_san).run(k_san.prog_load(prog, sanitize=True))
+        assert raw.report is None and san.report is None
+        assert raw.r0 == san.r0 == 7 * max(n, 1)

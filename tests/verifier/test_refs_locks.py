@@ -1,0 +1,283 @@
+"""Reference tracking and spin-lock discipline tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import VerifierReject
+from repro.kernel.config import PROFILES
+from repro.kernel.syscall import Kernel
+from repro.ebpf import asm
+from repro.ebpf.helpers import HelperId
+from repro.ebpf.maps import MapType
+from repro.ebpf.opcodes import AluOp, JmpOp, Reg, Size
+from repro.ebpf.program import BpfProgram
+from repro.runtime.executor import Executor
+
+
+def load(kernel, insns, sanitize=False):
+    return kernel.prog_load(BpfProgram(insns=list(insns)), sanitize=sanitize)
+
+
+def reject(kernel, insns):
+    with pytest.raises(VerifierReject) as exc:
+        load(kernel, insns)
+    return exc.value.message
+
+
+def reserve_header(fd, size=16):
+    return [
+        *asm.ld_map_fd(Reg.R1, fd),
+        asm.mov64_imm(Reg.R2, size),
+        asm.mov64_imm(Reg.R3, 0),
+        asm.call_helper(HelperId.RINGBUF_RESERVE),
+    ]
+
+
+class TestReferenceTracking:
+    def _kernel(self):
+        kernel = Kernel(PROFILES["patched"]())
+        fd = kernel.map_create(MapType.RINGBUF, 0, 0, 4096)
+        return kernel, fd
+
+    def test_reserve_submit_accepted(self):
+        kernel, fd = self._kernel()
+        load(
+            kernel,
+            [
+                *reserve_header(fd),
+                asm.jmp_imm(JmpOp.JEQ, Reg.R0, 0, 4),
+                asm.st_mem(Size.DW, Reg.R0, 0, 1),
+                asm.mov64_reg(Reg.R1, Reg.R0),
+                asm.mov64_imm(Reg.R2, 0),
+                asm.call_helper(HelperId.RINGBUF_SUBMIT),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+
+    def test_leak_rejected_with_alloc_site(self):
+        kernel, fd = self._kernel()
+        msg = reject(
+            kernel,
+            [
+                *reserve_header(fd),
+                asm.jmp_imm(JmpOp.JEQ, Reg.R0, 0, 1),
+                asm.st_mem(Size.DW, Reg.R0, 0, 1),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "Unreleased reference" in msg
+        assert "alloc_insn=" in msg
+
+    def test_null_branch_owes_nothing(self):
+        kernel, fd = self._kernel()
+        # The null path exits without releasing: legal, nothing acquired.
+        load(
+            kernel,
+            [
+                *reserve_header(fd),
+                asm.jmp_imm(JmpOp.JNE, Reg.R0, 0, 2),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+                asm.mov64_reg(Reg.R1, Reg.R0),
+                asm.mov64_imm(Reg.R2, 0),
+                asm.call_helper(HelperId.RINGBUF_DISCARD),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+
+    def test_release_requires_allocation_start(self):
+        kernel, fd = self._kernel()
+        msg = reject(
+            kernel,
+            [
+                *reserve_header(fd),
+                asm.jmp_imm(JmpOp.JEQ, Reg.R0, 0, 3),
+                asm.alu64_imm(AluOp.ADD, Reg.R0, 8),  # mid-record pointer
+                asm.mov64_reg(Reg.R1, Reg.R0),
+                asm.call_helper(HelperId.RINGBUF_SUBMIT),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "start of the allocation" in msg
+
+    def test_plain_pointer_cannot_release(self):
+        kernel, fd = self._kernel()
+        msg = reject(
+            kernel,
+            [
+                asm.mov64_reg(Reg.R1, Reg.R10),
+                asm.alu64_imm(AluOp.ADD, Reg.R1, -8),
+                asm.call_helper(HelperId.RINGBUF_SUBMIT),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "acquired" in msg
+
+    def test_record_bounds_enforced(self):
+        kernel, fd = self._kernel()
+        msg = reject(
+            kernel,
+            [
+                *reserve_header(fd, size=16),
+                asm.jmp_imm(JmpOp.JEQ, Reg.R0, 0, 3),
+                asm.st_mem(Size.DW, Reg.R0, 16, 1),  # one past the end
+                asm.mov64_reg(Reg.R1, Reg.R0),
+                asm.call_helper(HelperId.RINGBUF_SUBMIT),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "invalid access to memory" in msg
+
+    def test_runtime_record_published(self):
+        kernel, fd = self._kernel()
+        verified = load(
+            kernel,
+            [
+                *reserve_header(fd, size=8),
+                asm.jmp_imm(JmpOp.JEQ, Reg.R0, 0, 4),
+                asm.st_mem(Size.DW, Reg.R0, 0, 0x77),
+                asm.mov64_reg(Reg.R1, Reg.R0),
+                asm.mov64_imm(Reg.R2, 0),
+                asm.call_helper(HelperId.RINGBUF_SUBMIT),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+            sanitize=True,
+        )
+        result = Executor(kernel).run(verified)
+        assert result.report is None
+        ringbuf = kernel.map_by_fd(fd)
+        assert ringbuf.consume(8) == (0x77).to_bytes(8, "little")
+        assert not kernel.ringbuf_records  # nothing left reserved
+
+
+class TestSpinLock:
+    def _kernel(self):
+        kernel = Kernel(PROFILES["patched"]())
+        fd = kernel.map_create(MapType.HASH, 8, 16, 4, has_spin_lock=True)
+        kernel.map_update(fd, bytes(8), bytes(16))
+        return kernel, fd
+
+    def _lookup(self, fd):
+        return [
+            asm.st_mem(Size.DW, Reg.R10, -8, 0),
+            *asm.ld_map_fd(Reg.R1, fd),
+            asm.mov64_reg(Reg.R2, Reg.R10),
+            asm.alu64_imm(AluOp.ADD, Reg.R2, -8),
+            asm.call_helper(HelperId.MAP_LOOKUP_ELEM),
+            asm.jmp_imm(JmpOp.JNE, Reg.R0, 0, 2),
+            asm.mov64_imm(Reg.R0, 0),
+            asm.exit_insn(),
+        ]
+
+    def test_balanced_lock_runs(self):
+        kernel, fd = self._kernel()
+        verified = load(
+            kernel,
+            [
+                *self._lookup(fd),
+                asm.mov64_reg(Reg.R6, Reg.R0),
+                asm.mov64_reg(Reg.R1, Reg.R0),
+                asm.call_helper(HelperId.SPIN_LOCK),
+                asm.st_mem(Size.DW, Reg.R6, 8, 42),
+                asm.mov64_reg(Reg.R1, Reg.R6),
+                asm.call_helper(HelperId.SPIN_UNLOCK),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+            sanitize=True,
+        )
+        result = Executor(kernel).run(verified)
+        assert result.report is None
+        value = kernel.map_lookup(fd, bytes(8))
+        assert int.from_bytes(value[8:16], "little") == 42
+
+    def test_exit_with_lock_rejected(self):
+        kernel, fd = self._kernel()
+        msg = reject(
+            kernel,
+            [
+                *self._lookup(fd),
+                asm.mov64_reg(Reg.R1, Reg.R0),
+                asm.call_helper(HelperId.SPIN_LOCK),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "held but program exits" in msg
+
+    def test_unlock_without_lock_rejected(self):
+        kernel, fd = self._kernel()
+        msg = reject(
+            kernel,
+            [
+                *self._lookup(fd),
+                asm.mov64_reg(Reg.R1, Reg.R0),
+                asm.call_helper(HelperId.SPIN_UNLOCK),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "without taking a lock" in msg
+
+    def test_lock_region_access_rejected(self):
+        kernel, fd = self._kernel()
+        msg = reject(
+            kernel,
+            [
+                *self._lookup(fd),
+                asm.ldx_mem(Size.W, Reg.R1, Reg.R0, 0),  # reads the lock
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "bpf_spin_lock is not allowed" in msg
+
+    def test_calls_blocked_in_critical_section(self):
+        kernel, fd = self._kernel()
+        msg = reject(
+            kernel,
+            [
+                *self._lookup(fd),
+                asm.mov64_reg(Reg.R6, Reg.R0),
+                asm.mov64_reg(Reg.R1, Reg.R0),
+                asm.call_helper(HelperId.SPIN_LOCK),
+                asm.call_helper(HelperId.KTIME_GET_NS),
+                asm.mov64_reg(Reg.R1, Reg.R6),
+                asm.call_helper(HelperId.SPIN_UNLOCK),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "not allowed while holding a lock" in msg
+
+    def test_lockless_map_cannot_lock(self):
+        kernel = Kernel(PROFILES["patched"]())
+        fd = kernel.map_create(MapType.HASH, 8, 16, 4)
+        msg = reject(
+            kernel,
+            [
+                *self._lookup(fd),
+                asm.mov64_reg(Reg.R1, Reg.R0),
+                asm.call_helper(HelperId.SPIN_LOCK),
+                asm.mov64_imm(Reg.R0, 0),
+                asm.exit_insn(),
+            ],
+        )
+        assert "does not contain" in msg
+
+    def test_spin_lock_map_param_validation(self):
+        from repro.errors import MapError
+
+        kernel = Kernel(PROFILES["patched"]())
+        with pytest.raises(MapError):
+            kernel.map_create(MapType.QUEUE, 0, 16, 4, has_spin_lock=True)
+        with pytest.raises(MapError):
+            kernel.map_create(MapType.HASH, 8, 2, 4, has_spin_lock=True)

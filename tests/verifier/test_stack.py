@@ -1,0 +1,119 @@
+"""Stack-slot tracking tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verifier.stack import SlotType, StackState, STACK_SIZE
+from repro.verifier.state import RegState, RegType
+
+
+class TestBounds:
+    @pytest.mark.parametrize("off,size,ok", [
+        (-8, 8, True),
+        (-512, 8, True),
+        (-512, 512, True),
+        (-1, 1, True),
+        (0, 1, False),
+        (-513, 8, False),
+        (-8, 16, False),
+        (-520, 4, False),
+    ])
+    def test_in_bounds(self, off, size, ok):
+        assert StackState.in_bounds(off, size) == ok
+
+
+class TestReadsWrites:
+    def test_uninitialised_read_rejected(self):
+        stack = StackState()
+        reg, error = stack.read(-8, 8)
+        assert reg is None
+        assert "uninitialised" in error
+
+    def test_misc_write_then_read(self):
+        stack = StackState()
+        stack.write_misc(-8, 8)
+        reg, error = stack.read(-8, 8)
+        assert error == ""
+        assert reg.is_scalar() and not reg.is_const()
+
+    def test_zero_write_reads_const_zero(self):
+        stack = StackState()
+        stack.write_misc(-8, 8, zero=True)
+        reg, _ = stack.read(-8, 8)
+        assert reg.is_const() and reg.const_value() == 0
+
+    def test_partial_read_of_initialised(self):
+        stack = StackState()
+        stack.write_misc(-8, 8)
+        reg, error = stack.read(-5, 2)
+        assert error == ""
+
+    def test_partial_read_straddling_uninit(self):
+        stack = StackState()
+        stack.write_misc(-8, 4)
+        _, error = stack.read(-8, 8)
+        assert error
+
+    def test_depth_tracking(self):
+        stack = StackState()
+        stack.write_misc(-64, 8)
+        assert stack.depth == 64
+        stack.write_misc(-8, 8)
+        assert stack.depth == 64
+
+
+class TestSpills:
+    def test_spill_fill_preserves_pointer(self):
+        stack = StackState()
+        ptr = RegState.pointer(RegType.PTR_TO_MAP_VALUE)
+        ptr.off = 16
+        stack.write_reg(-8, ptr)
+        reg, error = stack.read(-8, 8)
+        assert error == ""
+        assert reg.type == RegType.PTR_TO_MAP_VALUE
+        assert reg.off == 16
+
+    def test_partial_overwrite_degrades_spill(self):
+        stack = StackState()
+        stack.write_reg(-8, RegState.pointer(RegType.PTR_TO_STACK))
+        stack.write_misc(-5, 1)
+        reg, error = stack.read(-8, 8)
+        assert error == ""
+        assert reg.is_scalar()  # no longer the pointer
+
+    def test_unaligned_read_of_spill_is_scalar(self):
+        stack = StackState()
+        stack.write_reg(-8, RegState.pointer(RegType.PTR_TO_STACK))
+        reg, error = stack.read(-8, 4)
+        assert error == ""
+        assert reg.is_scalar()
+
+    def test_spilled_reg_accessor(self):
+        stack = StackState()
+        stack.write_reg(-16, RegState.const_scalar(5))
+        assert stack.spilled_reg(-16).const_value() == 5
+        assert stack.spilled_reg(-8) is None
+
+
+class TestRegions:
+    def test_region_initialized_check(self):
+        stack = StackState()
+        stack.write_misc(-16, 16)
+        assert stack.check_region_initialized(-16, 16) == ""
+        assert stack.check_region_initialized(-24, 16) != ""
+
+    def test_mark_region_written(self):
+        stack = StackState()
+        stack.mark_region_written(-32, 32)
+        assert stack.check_region_initialized(-32, 32) == ""
+
+
+class TestClone:
+    def test_clone_independent(self):
+        stack = StackState()
+        stack.write_reg(-8, RegState.const_scalar(1))
+        copy = stack.clone()
+        copy.write_misc(-8, 8)
+        assert stack.spilled_reg(-8) is not None
+        assert copy.spilled_reg(-8) is None

@@ -1,0 +1,161 @@
+"""Tristate-number soundness properties.
+
+The defining property of every tnum operation: if concrete values x, y
+are contained in tnums A, B, then ``x <op> y`` must be contained in
+``A <op> B``.  Hypothesis drives these over random (tnum, member)
+pairs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.verifier.tnum import TNUM_UNKNOWN, TNUM_ZERO, Tnum, tnum_const, tnum_range
+
+U64 = (1 << 64) - 1
+
+
+@st.composite
+def tnum_with_member(draw):
+    """A random tnum plus a concrete value it contains."""
+    mask = draw(st.integers(min_value=0, max_value=U64))
+    known = draw(st.integers(min_value=0, max_value=U64)) & ~mask
+    member_bits = draw(st.integers(min_value=0, max_value=U64)) & mask
+    return Tnum(known & U64, mask & U64), (known | member_bits) & U64
+
+
+class TestInvariants:
+    def test_invariant_enforced(self):
+        with pytest.raises(ValueError):
+            Tnum(0b11, 0b01)
+
+    def test_const_properties(self):
+        t = tnum_const(42)
+        assert t.is_const()
+        assert t.contains(42)
+        assert not t.contains(43)
+        assert t.min_value() == t.max_value() == 42
+
+    def test_unknown_contains_everything(self):
+        assert TNUM_UNKNOWN.contains(0)
+        assert TNUM_UNKNOWN.contains(U64)
+        assert TNUM_UNKNOWN.is_unknown()
+
+    def test_zero(self):
+        assert TNUM_ZERO.is_const()
+        assert TNUM_ZERO.value == 0
+
+    @given(tnum_with_member())
+    def test_membership_consistent_with_minmax(self, tm):
+        t, x = tm
+        assert t.contains(x)
+        assert t.min_value() <= x <= t.max_value()
+
+
+class TestArithmeticSoundness:
+    @given(tnum_with_member(), tnum_with_member())
+    def test_add(self, a, b):
+        (ta, x), (tb, y) = a, b
+        assert ta.add(tb).contains((x + y) & U64)
+
+    @given(tnum_with_member(), tnum_with_member())
+    def test_sub(self, a, b):
+        (ta, x), (tb, y) = a, b
+        assert ta.sub(tb).contains((x - y) & U64)
+
+    @given(tnum_with_member())
+    def test_neg(self, a):
+        ta, x = a
+        assert ta.neg().contains((-x) & U64)
+
+    @given(tnum_with_member(), tnum_with_member())
+    def test_and(self, a, b):
+        (ta, x), (tb, y) = a, b
+        assert ta.and_(tb).contains(x & y)
+
+    @given(tnum_with_member(), tnum_with_member())
+    def test_or(self, a, b):
+        (ta, x), (tb, y) = a, b
+        assert ta.or_(tb).contains(x | y)
+
+    @given(tnum_with_member(), tnum_with_member())
+    def test_xor(self, a, b):
+        (ta, x), (tb, y) = a, b
+        assert ta.xor(tb).contains(x ^ y)
+
+    @given(tnum_with_member(), tnum_with_member())
+    def test_mul(self, a, b):
+        (ta, x), (tb, y) = a, b
+        assert ta.mul(tb).contains((x * y) & U64)
+
+    @given(tnum_with_member(), st.integers(min_value=0, max_value=63))
+    def test_lshift(self, a, shift):
+        ta, x = a
+        assert ta.lshift(shift).contains((x << shift) & U64)
+
+    @given(tnum_with_member(), st.integers(min_value=0, max_value=63))
+    def test_rshift(self, a, shift):
+        ta, x = a
+        assert ta.rshift(shift).contains(x >> shift)
+
+    @given(tnum_with_member(), st.integers(min_value=0, max_value=63))
+    def test_arshift64(self, a, shift):
+        ta, x = a
+        signed = x - (1 << 64) if x >= (1 << 63) else x
+        assert ta.arshift(shift).contains((signed >> shift) & U64)
+
+
+class TestSetOperations:
+    @given(tnum_with_member(), tnum_with_member())
+    def test_union_contains_both(self, a, b):
+        (ta, x), (tb, y) = a, b
+        u = ta.union(tb)
+        assert u.contains(x)
+        assert u.contains(y)
+
+    @given(tnum_with_member())
+    def test_intersect_with_unknown_is_identity_on_members(self, a):
+        ta, x = a
+        assert ta.intersect(TNUM_UNKNOWN).contains(x)
+
+    @given(
+        st.integers(min_value=0, max_value=U64),
+        st.integers(min_value=0, max_value=U64),
+        st.integers(min_value=0, max_value=U64),
+    )
+    def test_range_contains_interval(self, a, b, probe):
+        lo, hi = min(a, b), max(a, b)
+        t = tnum_range(lo, hi)
+        value = lo + probe % (hi - lo + 1)
+        assert t.contains(value)
+
+
+class TestWidths:
+    @given(tnum_with_member())
+    def test_cast32(self, a):
+        ta, x = a
+        assert ta.cast(4).contains(x & 0xFFFFFFFF)
+
+    @given(tnum_with_member())
+    def test_subreg_roundtrip(self, a):
+        ta, x = a
+        rebuilt = ta.with_subreg(ta.subreg())
+        assert rebuilt.contains(x)
+
+    def test_subreg_const(self):
+        t = tnum_const(0x1234_5678_9ABC_DEF0)
+        assert t.subreg_is_const()
+        assert t.const_subreg_val() == 0x9ABC_DEF0
+
+    def test_clear_subreg(self):
+        t = tnum_const(0x1234_5678_9ABC_DEF0).clear_subreg()
+        assert t.contains(0x1234_5678_0000_0000)
+
+    def test_alignment(self):
+        assert tnum_const(16).is_aligned(8)
+        assert not tnum_const(12).is_aligned(8)
+        assert tnum_const(12).is_aligned(4)
+        # Unknown low bits are not provably aligned.
+        assert not Tnum(0, 0x7).is_aligned(8)
+        assert Tnum(8, ~0xF & U64).is_aligned(8)
