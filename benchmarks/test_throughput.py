@@ -1,0 +1,88 @@
+"""Campaign throughput: serial vs sharded-parallel programs/sec.
+
+The paper's 48-hour campaigns get their throughput from a 40-core
+server (Section 6.1); this benchmark measures how well the sharded
+:class:`~repro.fuzz.parallel.ParallelCampaign` turns extra cores into
+programs/sec, and — because worker count must never change *what* a
+campaign computes — re-checks the serial/parallel equivalence contract
+at benchmark scale.
+
+Results land in ``BENCH_throughput.json`` next to the repo root so CI
+can archive the trajectory across PRs.  Knobs:
+
+- ``BVF_BENCH_BUDGET``   — programs per campaign (default 300);
+- ``BVF_BENCH_WORKERS``  — parallel worker count (default 4);
+- ``BVF_BENCH_MIN_SPEEDUP`` — required parallel speedup; defaults to
+  2.0 on machines with >= 4 CPUs and is skipped (0) on smaller boxes,
+  where fork-per-shard overhead cannot be amortised.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.analysis.stats import ThroughputStats
+from repro.fuzz.campaign import CampaignConfig
+from repro.fuzz.parallel import ParallelCampaign
+
+BUDGET = int(os.environ.get("BVF_BENCH_BUDGET", "300"))
+WORKERS = int(os.environ.get("BVF_BENCH_WORKERS", "4"))
+_CPUS = os.cpu_count() or 1
+MIN_SPEEDUP = float(
+    os.environ.get("BVF_BENCH_MIN_SPEEDUP", "2.0" if _CPUS >= 4 else "0")
+)
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+
+CONFIG = CampaignConfig(
+    tool="bvf", kernel_version="bpf-next", budget=BUDGET, seed=0
+)
+
+
+def test_parallel_throughput():
+    serial = ParallelCampaign(CONFIG, workers=1).run()
+    parallel = ParallelCampaign(CONFIG, workers=WORKERS).run()
+
+    # The equivalence contract, at benchmark scale: worker count is a
+    # throughput knob and must not change the merged science.
+    assert sorted(serial.findings) == sorted(parallel.findings)
+    assert serial.final_coverage == parallel.final_coverage
+    assert serial.accepted == parallel.accepted
+
+    serial_stats = ThroughputStats.from_result(serial)
+    parallel_stats = ThroughputStats.from_result(parallel)
+    speedup = (
+        parallel_stats.programs_per_sec / serial_stats.programs_per_sec
+        if serial_stats.programs_per_sec
+        else 0.0
+    )
+
+    payload = {
+        "budget": BUDGET,
+        "workers": WORKERS,
+        "cpus": _CPUS,
+        "serial": serial_stats.as_dict(),
+        "parallel": parallel_stats.as_dict(),
+        "speedup": round(speedup, 2),
+        "bugs_found": len(parallel.findings),
+        "merged_coverage": parallel.final_coverage,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print("\n=== Throughput (serial vs parallel) ===")
+    print(f"budget {BUDGET}, {WORKERS} workers on {_CPUS} CPU(s)")
+    print(f"serial:   {serial_stats.programs_per_sec:8.1f} programs/sec "
+          f"({serial_stats.wall_seconds:.2f}s wall)")
+    print(f"parallel: {parallel_stats.programs_per_sec:8.1f} programs/sec "
+          f"({parallel_stats.wall_seconds:.2f}s wall, "
+          f"{parallel_stats.parallelism:.1f}x effective parallelism)")
+    print(f"speedup:  {speedup:.2f}x (required: {MIN_SPEEDUP or 'n/a'})")
+    print(f"wrote {OUTPUT.name}")
+
+    assert parallel_stats.programs_per_sec > 0
+    if MIN_SPEEDUP:
+        assert speedup >= MIN_SPEEDUP, (
+            f"parallel speedup {speedup:.2f}x below the {MIN_SPEEDUP:.1f}x "
+            f"floor on a {_CPUS}-CPU machine"
+        )

@@ -4,6 +4,8 @@ Subcommands:
 
 - ``fuzz``      — run a fuzzing campaign and print a Table-2-style
   bug table (optionally with triage reports);
+- ``campaign``  — run a sharded campaign across worker processes and
+  print the merged bug table plus throughput stats;
 - ``selftest``  — run the verifier self-test corpus against a kernel
   profile and report verdict mismatches;
 - ``bench``     — quick acceptance/coverage comparison of the three
@@ -17,9 +19,11 @@ import argparse
 import sys
 
 from repro.analysis.reports import render_bug_table
+from repro.analysis.stats import ThroughputStats
 from repro.analysis.triage import triage_finding
 from repro.errors import BpfError, VerifierReject
 from repro.fuzz.campaign import Campaign, CampaignConfig
+from repro.fuzz.parallel import DEFAULT_SHARDS, ParallelCampaign
 from repro.kernel.config import PROFILES
 from repro.kernel.syscall import Kernel
 from repro.testsuite import all_selftests_extended as all_selftests
@@ -44,6 +48,43 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         f"\naccepted {result.accepted}/{result.generated} "
         f"({result.acceptance_rate:.1%}); verifier coverage "
         f"{result.final_coverage} edges; corpus {result.corpus_size}"
+    )
+    print("\n" + render_bug_table(result.findings))
+    if args.triage and result.findings:
+        kernel_config = PROFILES[args.kernel]()
+        for finding in result.findings.values():
+            print()
+            print(triage_finding(finding, kernel_config).render())
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    config = CampaignConfig(
+        tool=args.tool,
+        kernel_version=args.kernel,
+        budget=args.budget,
+        seed=args.seed,
+        sanitize=not args.no_sanitize,
+    )
+    engine = ParallelCampaign(config, workers=args.workers, shards=args.shards)
+    print(
+        f"campaign on {args.kernel} with {args.tool}: {args.budget} programs "
+        f"over {engine.shards} shards x {engine.workers} workers, "
+        f"seed {args.seed}"
+    )
+    result = engine.run()
+    throughput = ThroughputStats.from_result(result)
+    print(
+        f"\naccepted {result.accepted}/{result.generated} "
+        f"({result.acceptance_rate:.1%}); merged verifier coverage "
+        f"{result.final_coverage} edges; corpus {result.corpus_size}"
+    )
+    print(
+        f"throughput {throughput.programs_per_sec:.1f} programs/sec "
+        f"({throughput.wall_seconds:.1f}s wall, "
+        f"{throughput.parallelism:.1f}x effective parallelism; "
+        f"verify {throughput.verify_fraction:.0%} / "
+        f"execute {throughput.execute_fraction:.0%} of busy time)"
     )
     print("\n" + render_bug_table(result.findings))
     if args.triage and result.findings:
@@ -132,6 +173,28 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--triage", action="store_true",
                       help="print a triage report per finding")
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    campaign = sub.add_parser(
+        "campaign", help="run a sharded campaign across worker processes"
+    )
+    campaign.add_argument("--tool", default="bvf",
+                          choices=["bvf", "bvf-nostructure", "syzkaller",
+                                   "buzzer"])
+    campaign.add_argument("--kernel", default="bpf-next",
+                          choices=list(PROFILES))
+    campaign.add_argument("--budget", type=int, default=1000,
+                          help="programs to generate (split across shards)")
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--workers", type=int, default=None,
+                          help="worker processes (default: CPU count)")
+    campaign.add_argument("--shards", type=int, default=DEFAULT_SHARDS,
+                          help="logical shards; results depend only on "
+                               "(seed, budget, shards), never on --workers")
+    campaign.add_argument("--no-sanitize", action="store_true",
+                          help="disable BVF's memory-access sanitation")
+    campaign.add_argument("--triage", action="store_true",
+                          help="print a triage report per finding")
+    campaign.set_defaults(func=_cmd_campaign)
 
     selftest = sub.add_parser("selftest", help="run the self-test corpus")
     selftest.add_argument("--kernel", default="patched",

@@ -22,6 +22,7 @@ __all__ = [
     "acceptance_summary",
     "OverheadStats",
     "measure_overhead",
+    "ThroughputStats",
 ]
 
 
@@ -64,6 +65,77 @@ def acceptance_summary(results: list[CampaignResult]) -> dict:
         "acceptance_rate": accepted / generated if generated else 0.0,
         "reject_errnos": errnos,
     }
+
+
+@dataclass
+class ThroughputStats:
+    """Campaign throughput and its wall-clock split.
+
+    The campaign loop times its three phases — program generation,
+    verification (the ``prog_load`` path, coverage tracing included),
+    and plan execution — so throughput regressions can be attributed.
+    For parallel campaigns the phase times sum over shards (total CPU
+    work) while ``wall_seconds`` is the parent's clock, so
+    ``parallelism`` ≈ how many cores the campaign actually kept busy.
+    Shard phases are timed with per-process wall clocks, so when
+    workers oversubscribe the CPUs, descheduled time inflates the sum
+    and ``parallelism`` can exceed the core count — read it as "worker
+    concurrency achieved", trustworthy when workers <= cores.
+    """
+
+    programs: int = 0
+    wall_seconds: float = 0.0
+    generate_seconds: float = 0.0
+    verify_seconds: float = 0.0
+    execute_seconds: float = 0.0
+
+    @classmethod
+    def from_result(cls, result: CampaignResult) -> "ThroughputStats":
+        return cls(
+            programs=result.generated,
+            wall_seconds=result.wall_seconds,
+            generate_seconds=result.generate_seconds,
+            verify_seconds=result.verify_seconds,
+            execute_seconds=result.execute_seconds,
+        )
+
+    @property
+    def programs_per_sec(self) -> float:
+        return self.programs / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total attributed CPU time across all phases (and shards)."""
+        return self.generate_seconds + self.verify_seconds + self.execute_seconds
+
+    @property
+    def verify_fraction(self) -> float:
+        busy = self.busy_seconds
+        return self.verify_seconds / busy if busy else 0.0
+
+    @property
+    def execute_fraction(self) -> float:
+        busy = self.busy_seconds
+        return self.execute_seconds / busy if busy else 0.0
+
+    @property
+    def parallelism(self) -> float:
+        """Effective concurrency: attributed CPU time per wall second."""
+        return self.busy_seconds / self.wall_seconds if self.wall_seconds else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (what ``BENCH_throughput.json`` records)."""
+        return {
+            "programs": self.programs,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "programs_per_sec": round(self.programs_per_sec, 2),
+            "generate_seconds": round(self.generate_seconds, 4),
+            "verify_seconds": round(self.verify_seconds, 4),
+            "execute_seconds": round(self.execute_seconds, 4),
+            "verify_fraction": round(self.verify_fraction, 4),
+            "execute_fraction": round(self.execute_fraction, 4),
+            "parallelism": round(self.parallelism, 2),
+        }
 
 
 @dataclass

@@ -44,7 +44,9 @@ class BuzzerGenerator:
         self.rng = rng
         self.mode = mode
 
-    def generate(self) -> GeneratedProgram:
+    def generate(self, kernel=None) -> GeneratedProgram:
+        if kernel is not None:
+            self.kernel = kernel
         mode = self.mode
         if mode == "mixed":
             mode = "random" if self.rng.chance(0.5) else "alu_jmp"

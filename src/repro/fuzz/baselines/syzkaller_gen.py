@@ -139,7 +139,9 @@ class SyzkallerGenerator:
 
     # ------------------------------------------------------------------- api --
 
-    def generate(self) -> GeneratedProgram:
+    def generate(self, kernel=None) -> GeneratedProgram:
+        if kernel is not None:
+            self.kernel = kernel
         rng = self.rng
         prog_type = rng.pick(_PROG_TYPES)
         maps = []

@@ -18,6 +18,7 @@ Buzzer characterisation), and the deduplicated bug table (Table 2).
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -71,10 +72,19 @@ class CampaignResult:
     findings: dict[str, BugFinding] = field(default_factory=dict)
     #: (programs generated, cumulative verifier edges)
     coverage_curve: list[tuple[int, int]] = field(default_factory=list)
+    #: (programs generated, edges newly seen since the previous sample)
+    #: — the incremental form of the curve, which is what lets sharded
+    #: campaigns recompute a correct union curve across processes
+    edge_samples: list[tuple[int, frozenset[int]]] = field(default_factory=list)
     final_coverage: int = 0
     #: instruction-class mix over all generated programs
     insn_classes: Counter = field(default_factory=Counter)
     corpus_size: int = 0
+    #: wall-clock split of the campaign loop (ThroughputStats input)
+    generate_seconds: float = 0.0
+    verify_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    wall_seconds: float = 0.0
 
     @property
     def acceptance_rate(self) -> float:
@@ -102,8 +112,13 @@ class CampaignResult:
         return alu_jmp / total
 
 
-def make_generator(tool: str, kernel: Kernel, rng: FuzzRng):
-    """Instantiate the generator for a tool name."""
+def make_generator(tool: str, kernel: Kernel | None, rng: FuzzRng):
+    """Instantiate the generator for a tool name.
+
+    ``kernel`` may be ``None``: generators accept a kernel on each
+    :meth:`generate` call, so campaign drivers construct the generator
+    once and rebind it to every iteration's fresh kernel.
+    """
     if tool == "bvf":
         return StructuredGenerator(kernel, rng)
     if tool == "bvf-nostructure":
@@ -127,31 +142,45 @@ class Campaign:
         self.corpus = Corpus()
         self.kernel_config: KernelConfig = PROFILES[config.kernel_version]()
         self.oracle = Oracle(self.kernel_config)
+        # One generator for the whole campaign; each iteration rebinds
+        # it to that iteration's fresh Kernel (crash isolation stays
+        # per-iteration, construction cost does not).
+        self.generator = make_generator(config.tool, None, self.rng)
 
     # ------------------------------------------------------------------ run --
 
     def run(self) -> CampaignResult:
+        started = time.perf_counter()
         result = CampaignResult(config=self.config)
+        sampled_edges: set[int] = set()
+
+        def sample() -> None:
+            edges = self.coverage.edges
+            result.coverage_curve.append((result.generated, len(edges)))
+            result.edge_samples.append(
+                (result.generated, frozenset(edges - sampled_edges))
+            )
+            sampled_edges.update(edges)
+
         for iteration in range(self.config.budget):
             self._iteration(result, iteration)
             if (
                 self.config.collect_coverage
                 and iteration % self.config.sample_every == 0
             ):
-                result.coverage_curve.append(
-                    (result.generated, self.coverage.edge_count)
-                )
+                sample()
         if self.config.collect_coverage:
-            result.coverage_curve.append(
-                (result.generated, self.coverage.edge_count)
-            )
+            sample()
         result.final_coverage = self.coverage.edge_count
         result.corpus_size = len(self.corpus)
+        result.wall_seconds = time.perf_counter() - started
         return result
 
     def _iteration(self, result: CampaignResult, iteration: int) -> None:
         kernel = Kernel(self.kernel_config)
+        gen_started = time.perf_counter()
         gp = self._next_program(kernel)
+        result.generate_seconds += time.perf_counter() - gen_started
         result.generated += 1
         for insn in gp.insns:
             if not insn.is_filler():
@@ -164,20 +193,26 @@ class Campaign:
             offload_dev=gp.offload_dev,
         )
 
+        verify_started = time.perf_counter()
         try:
             verified = self._load(kernel, prog)
         except VerifierReject as reject:
+            result.verify_seconds += time.perf_counter() - verify_started
             result.reject_errnos[reject.errno] += 1
             return
         except BpfError as error:
+            result.verify_seconds += time.perf_counter() - verify_started
             result.reject_errnos[error.errno] += 1
             return
+        result.verify_seconds += time.perf_counter() - verify_started
 
         result.accepted += 1
         if self.config.collect_coverage and self.coverage.last_new > 0:
             self.corpus.add(gp, self.coverage.last_new)
 
+        exec_started = time.perf_counter()
         self._execute_plan(kernel, verified, gp, result, iteration)
+        result.execute_seconds += time.perf_counter() - exec_started
 
     def _load(self, kernel: Kernel, prog: BpfProgram):
         sanitize = self.config.sanitize and kernel.config.sanitizer_available
@@ -216,8 +251,7 @@ class Campaign:
                 plan=entry.plan,
                 origin="bvf-mut",
             )
-        generator = make_generator(self.config.tool, kernel, rng)
-        return generator.generate()
+        return self.generator.generate(kernel)
 
     # ------------------------------------------------------------- execution --
 

@@ -130,7 +130,16 @@ class GeneratorConfig:
 
 
 class StructuredGenerator:
-    """Generates one program per :meth:`generate` call."""
+    """Generates one program per :meth:`generate` call.
+
+    The generator itself is campaign-lived: constructing one is cheap
+    but not free, and campaigns generate hundreds of thousands of
+    programs, so the driver builds a single instance and rebinds it to
+    each iteration's fresh :class:`~repro.kernel.syscall.Kernel` via
+    the ``kernel`` argument of :meth:`generate`.  All per-program state
+    (stack cursor, risk knobs) is reset at the top of every call, so a
+    reused generator emits exactly the stream a fresh one would.
+    """
 
     name = "bvf"
 
@@ -144,8 +153,15 @@ class StructuredGenerator:
 
     # ------------------------------------------------------------------ api --
 
-    def generate(self) -> GeneratedProgram:
+    def generate(self, kernel=None) -> GeneratedProgram:
+        if kernel is not None:
+            self.kernel = kernel
+        if self.kernel is None:
+            raise ValueError("generate() needs a kernel (none bound yet)")
         rng = self.rng
+        self._stack_cursor = -8
+        self._p_unsafe = self.config.p_unsafe
+        self._p_null_check = self.config.p_null_check
         prog_type = rng.pick_weighted(
             [p for p, _ in _PROG_TYPE_WEIGHTS], [w for _, w in _PROG_TYPE_WEIGHTS]
         )

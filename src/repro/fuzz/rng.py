@@ -11,9 +11,36 @@ from __future__ import annotations
 import random
 from typing import Sequence, TypeVar
 
-__all__ = ["FuzzRng", "INTERESTING_U64"]
+__all__ = ["FuzzRng", "INTERESTING_U64", "derive_seed"]
 
 T = TypeVar("T")
+
+_U64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    """One SplitMix64 step — a cheap, well-mixed 64-bit permutation."""
+    x = (x + 0x9E3779B97F4A7C15) & _U64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _U64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _U64
+    return x ^ (x >> 31)
+
+
+def derive_seed(seed: int, *lanes: int) -> int:
+    """Derive an independent child seed from ``seed`` and lane indices.
+
+    Used by sharded campaigns: shard *i* of a campaign with seed *s*
+    runs on ``derive_seed(s, i)``, giving every shard a distinct,
+    deterministic :class:`FuzzRng` stream that depends only on the
+    campaign seed and the shard's position — never on how many worker
+    processes execute the shards.  SplitMix64 keys the derivation, so
+    nearby seeds and lanes still produce unrelated streams (plain
+    ``seed + i`` would make campaign seeds 0 and 1 share most shards).
+    """
+    state = _splitmix64(seed & _U64)
+    for lane in lanes:
+        state = _splitmix64(state ^ _splitmix64(lane & _U64))
+    return state
 
 #: Classic boundary values for 64-bit fuzzing.
 INTERESTING_U64 = (
@@ -41,6 +68,11 @@ INTERESTING_U64 = (
 
 class FuzzRng(random.Random):
     """Seedable RNG with fuzzing-flavoured helpers."""
+
+    @classmethod
+    def derived(cls, seed: int, *lanes: int) -> "FuzzRng":
+        """A fresh stream keyed on ``(seed, *lanes)`` — see :func:`derive_seed`."""
+        return cls(derive_seed(seed, *lanes))
 
     def chance(self, probability: float) -> bool:
         """True with the given probability."""

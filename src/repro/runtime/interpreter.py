@@ -46,10 +46,104 @@ from repro.sanitizer.asan_funcs import (
     is_asan_call,
 )
 
-__all__ = ["Interpreter", "ExecStats"]
+__all__ = ["Interpreter", "ExecStats", "exec_metadata"]
 
 _U64 = (1 << 64) - 1
 _U32 = (1 << 32) - 1
+
+# --- precomputed dispatch metadata ------------------------------------------
+#
+# The fetch-decode loop used to re-derive every classification from the
+# opcode byte on every *executed* instruction (enum constructions via
+# Insn properties, is_asan_call table probes, pseudo-call checks).
+# Campaigns execute the same xlated stream thousands of times, so all
+# of it is precomputed once per program into a flat list of
+# (kind, a, b) int triples, cached on the VerifiedProgram.
+#
+# Dispatch kinds (module constants, compared as plain ints):
+_K_ALU64 = 0
+_K_ALU32 = 1
+_K_LDX = 2
+_K_STORE = 3  # ST/STX, a=1 when the value comes from imm (ST)
+_K_ATOMIC = 4
+_K_LD_IMM64 = 5
+_K_FILLER = 6
+_K_JA = 7  # a = off + 1 (precomputed jump delta)
+_K_EXIT = 8
+_K_COND_JMP = 9  # a = jmp op, b = (is64 << 1) | src_is_reg
+_K_CALL_ASAN = 10
+_K_CALL_PSEUDO = 11
+_K_CALL_TAILCALL = 12
+_K_CALL_KFUNC = 13
+_K_CALL_HELPER = 14
+
+
+def _build_exec_meta(insns) -> list[tuple[int, int, int]]:
+    from repro.ebpf.helpers import HelperId
+    from repro.ebpf.opcodes import PseudoCall
+
+    meta: list[tuple[int, int, int]] = []
+    for insn in insns:
+        opcode = insn.opcode
+        cls = opcode & 0x07
+        if cls == InsnClass.ALU64 or cls == InsnClass.ALU:
+            kind = _K_ALU64 if cls == InsnClass.ALU64 else _K_ALU32
+            meta.append((kind, opcode & 0xF0, int(opcode & 0x08 == Src.X)))
+        elif cls == InsnClass.LDX:
+            meta.append(
+                (_K_LDX, SIZE_BYTES[Size(opcode & 0x18)],
+                 int(opcode & 0xE0 == Mode.MEMSX))
+            )
+        elif cls == InsnClass.ST or cls == InsnClass.STX:
+            size = SIZE_BYTES[Size(opcode & 0x18)]
+            if opcode & 0xE0 == Mode.ATOMIC:
+                meta.append((_K_ATOMIC, size, 0))
+            else:
+                meta.append((_K_STORE, size, int(cls == InsnClass.ST)))
+        elif cls == InsnClass.LD:
+            if insn.is_filler():
+                meta.append((_K_FILLER, 0, 0))
+            else:
+                meta.append((_K_LD_IMM64, 0, 0))
+        else:  # JMP / JMP32
+            op = opcode & 0xF0
+            if op == JmpOp.JA:
+                meta.append((_K_JA, insn.off + 1, 0))
+            elif op == JmpOp.EXIT:
+                meta.append((_K_EXIT, 0, 0))
+            elif op == JmpOp.CALL:
+                func_id = insn.imm & _U64
+                is_jmp64 = cls == InsnClass.JMP
+                if is_asan_call(func_id):
+                    meta.append((_K_CALL_ASAN, 0, 0))
+                elif is_jmp64 and insn.src == PseudoCall.CALL:
+                    meta.append((_K_CALL_PSEUDO, insn.imm, 0))
+                elif (
+                    is_jmp64
+                    and insn.src == PseudoCall.HELPER
+                    and func_id == HelperId.TAIL_CALL
+                ):
+                    meta.append((_K_CALL_TAILCALL, 0, 0))
+                elif is_jmp64 and insn.src == PseudoCall.KFUNC:
+                    meta.append((_K_CALL_KFUNC, 0, 0))
+                else:
+                    meta.append((_K_CALL_HELPER, 0, 0))
+            else:
+                meta.append(
+                    (_K_COND_JMP, op,
+                     (int(cls == InsnClass.JMP) << 1)
+                     | int(opcode & 0x08 == Src.X))
+                )
+    return meta
+
+
+def exec_metadata(verified: VerifiedProgram) -> list[tuple[int, int, int]]:
+    """The cached dispatch metadata for a verified program's xlated stream."""
+    meta = getattr(verified, "_exec_meta", None)
+    if meta is None or len(meta) != len(verified.xlated):
+        meta = _build_exec_meta(verified.xlated)
+        verified._exec_meta = meta
+    return meta
 
 #: Hard per-run instruction budget; verified programs terminate (any
 #: executed path is bounded by the verifier's processing budget), but a
@@ -129,6 +223,7 @@ class Interpreter:
         frames: list[_Frame] = []
         idx = 0
         insns = self.insns
+        meta = exec_metadata(self.verified)
         stats = self.stats
 
         while True:
@@ -140,87 +235,85 @@ class Interpreter:
                     context={"prog": self.verified.name},
                 )
             insn = insns[idx]
-            cls = insn.insn_class
+            kind, a, b = meta[idx]
 
-            if cls == InsnClass.ALU64 or cls == InsnClass.ALU:
-                self._alu(regs, insn, cls == InsnClass.ALU64)
+            if kind == _K_ALU64 or kind == _K_ALU32:
+                self._alu(regs, insn, kind == _K_ALU64, a, b)
                 idx += 1
-            elif cls == InsnClass.LDX:
-                self._load(regs, insn, idx)
+            elif kind == _K_LDX:
+                self._load(regs, insn, idx, a, b)
                 idx += 1
-            elif cls == InsnClass.ST or cls == InsnClass.STX:
-                if insn.mode == Mode.ATOMIC:
-                    self._atomic(regs, insn)
-                else:
-                    self._store(regs, insn)
+            elif kind == _K_STORE:
+                self._store(regs, insn, a, b)
                 idx += 1
-            elif cls == InsnClass.LD:
-                if insn.is_filler():
-                    idx += 1
-                    continue
+            elif kind == _K_COND_JMP:
+                idx += self._cond_jmp(regs, insn, a, b)
+            elif kind == _K_ATOMIC:
+                self._atomic(regs, insn, a)
+                idx += 1
+            elif kind == _K_FILLER:
+                idx += 1
+            elif kind == _K_LD_IMM64:
                 regs[insn.dst] = insn.imm64 & _U64
                 idx += 2
-            else:  # JMP / JMP32
-                op = insn.jmp_op
-                if op == JmpOp.JA:
-                    idx += insn.off + 1
-                elif op == JmpOp.EXIT:
-                    if frames:
-                        frame = frames.pop()
-                        for i, regno in enumerate((Reg.R6, Reg.R7, Reg.R8, Reg.R9)):
-                            regs[regno] = frame.saved_regs[i]
-                        regs[Reg.R10] = frame.saved_fp
-                        self.mem.kfree(frame.stack_alloc)
-                        idx = frame.return_idx
-                    else:
-                        return regs[Reg.R0]
-                elif op == JmpOp.CALL:
-                    if insn.is_pseudo_call():
-                        stack = self.mem.kzalloc(512, tag="bpf_stack")
-                        frames.append(
-                            _Frame(
-                                return_idx=idx + 1,
-                                saved_regs=[
-                                    regs[Reg.R6],
-                                    regs[Reg.R7],
-                                    regs[Reg.R8],
-                                    regs[Reg.R9],
-                                ],
-                                saved_fp=regs[Reg.R10],
-                                stack_alloc=stack,
-                            )
-                        )
-                        regs[Reg.R10] = stack.start + 512
-                        idx = idx + insn.imm + 1
-                    else:
-                        self._call(regs, insn, idx)
-                        if self._swapped:
-                            # Successful bpf_tail_call: restart in the
-                            # target program with the same ctx/stack.
-                            self._swapped = False
-                            insns = self.insns
-                            idx = 0
-                        else:
-                            idx += 1
+            elif kind == _K_JA:
+                idx += a
+            elif kind == _K_EXIT:
+                if frames:
+                    frame = frames.pop()
+                    for i, regno in enumerate((Reg.R6, Reg.R7, Reg.R8, Reg.R9)):
+                        regs[regno] = frame.saved_regs[i]
+                    regs[Reg.R10] = frame.saved_fp
+                    self.mem.kfree(frame.stack_alloc)
+                    idx = frame.return_idx
                 else:
-                    idx += self._cond_jmp(regs, insn)
+                    return regs[Reg.R0]
+            elif kind == _K_CALL_PSEUDO:
+                stack = self.mem.kzalloc(512, tag="bpf_stack")
+                frames.append(
+                    _Frame(
+                        return_idx=idx + 1,
+                        saved_regs=[
+                            regs[Reg.R6],
+                            regs[Reg.R7],
+                            regs[Reg.R8],
+                            regs[Reg.R9],
+                        ],
+                        saved_fp=regs[Reg.R10],
+                        stack_alloc=stack,
+                    )
+                )
+                regs[Reg.R10] = stack.start + 512
+                idx = idx + a + 1
+            else:  # asan / tail-call / kfunc / helper calls
+                self._call(regs, insn, idx, kind)
+                if self._swapped:
+                    # Successful bpf_tail_call: restart in the target
+                    # program with the same ctx/stack.
+                    self._swapped = False
+                    insns = self.insns
+                    meta = exec_metadata(self.verified)
+                    idx = 0
+                else:
+                    idx += 1
 
     # --- ALU -------------------------------------------------------------------
 
-    def _alu(self, regs: list[int], insn: Insn, is64: bool) -> None:
-        op = insn.alu_op
+    def _alu(
+        self, regs: list[int], insn: Insn, is64: bool, op: int, src_is_reg: int
+    ) -> None:
         dst = regs[insn.dst]
         if op == AluOp.NEG:
             result = -dst
         elif op == AluOp.END:
-            if insn.src_bit == Src.X:  # to big-endian: byteswap
+            if src_is_reg:  # to big-endian: byteswap
                 result = _bswap(dst, insn.imm)
             else:  # to little-endian on an LE host: truncate
                 result = dst & ((1 << insn.imm) - 1)
             regs[insn.dst] = result & _U64
             return
         else:
-            if insn.src_bit == Src.X:
+            if src_is_reg:
                 src = regs[insn.src]
             else:
                 src = insn.imm & _U64 if is64 else insn.imm & _U32
@@ -259,10 +352,11 @@ class Interpreter:
 
     # --- memory -------------------------------------------------------------------
 
-    def _load(self, regs: list[int], insn: Insn, idx: int) -> None:
+    def _load(
+        self, regs: list[int], insn: Insn, idx: int, size: int, memsx: int
+    ) -> None:
         self.stats.loads += 1
         addr = (regs[insn.src] + insn.off) & _U64
-        size = SIZE_BYTES[insn.size]
 
         # Rewritten ctx fields (packet pointers).
         special = self.rt.special_fields.get(addr)
@@ -279,27 +373,27 @@ class Interpreter:
         else:
             value = self.mem.raw_read(addr, size)
 
-        if insn.mode == Mode.MEMSX:
+        if memsx:
             bits = size * 8
             if value >= 1 << (bits - 1):
                 value -= 1 << bits
         regs[insn.dst] = value & _U64
 
-    def _store(self, regs: list[int], insn: Insn) -> None:
+    def _store(
+        self, regs: list[int], insn: Insn, size: int, from_imm: int
+    ) -> None:
         self.stats.stores += 1
         addr = (regs[insn.dst] + insn.off) & _U64
-        size = SIZE_BYTES[insn.size]
-        if insn.insn_class == InsnClass.ST:
+        if from_imm:
             value = insn.imm & _U64
         else:
             value = regs[insn.src]
         self.mem.raw_write(addr, size, value)
 
-    def _atomic(self, regs: list[int], insn: Insn) -> None:
+    def _atomic(self, regs: list[int], insn: Insn, size: int) -> None:
         self.stats.loads += 1
         self.stats.stores += 1
         addr = (regs[insn.dst] + insn.off) & _U64
-        size = SIZE_BYTES[insn.size]
         mask = (1 << (size * 8)) - 1
         old = self.mem.raw_read(addr, size)
         operand = regs[insn.src] & mask
@@ -335,16 +429,12 @@ class Interpreter:
     #: bpf_tail_call nesting limit (kernel: MAX_TAIL_CALL_CNT).
     MAX_TAIL_CALLS = 33
 
-    def _call(self, regs: list[int], insn: Insn, idx: int) -> None:
-        func_id = insn.imm & _U64
-
-        if is_asan_call(func_id):
-            self._asan_call(regs, insn, idx, func_id)
+    def _call(self, regs: list[int], insn: Insn, idx: int, kind: int) -> None:
+        if kind == _K_CALL_ASAN:
+            self._asan_call(regs, insn, idx, insn.imm & _U64)
             return
 
-        from repro.ebpf.helpers import HelperId
-
-        if insn.is_helper_call() and func_id == HelperId.TAIL_CALL:
+        if kind == _K_CALL_TAILCALL:
             if self._tail_call(regs):
                 self._swapped = True
                 return
@@ -354,7 +444,7 @@ class Interpreter:
                 regs[regno] = (_CLOBBER + i) & _U64
             return
 
-        if insn.is_kfunc_call():
+        if kind == _K_CALL_KFUNC:
             proto = KFUNCS.get(insn.imm)
             if proto is None:
                 raise KernelPanic(f"interpreter: unknown kfunc {insn.imm}")
@@ -425,10 +515,10 @@ class Interpreter:
 
     # --- conditional jumps ------------------------------------------------------------
 
-    def _cond_jmp(self, regs: list[int], insn: Insn) -> int:
-        is64 = insn.insn_class == InsnClass.JMP
+    def _cond_jmp(self, regs: list[int], insn: Insn, op: int, ab: int) -> int:
+        is64 = ab & 2
         dst = regs[insn.dst]
-        if insn.src_bit == Src.X:
+        if ab & 1:
             src = regs[insn.src]
         else:
             src = insn.imm & _U64 if is64 else insn.imm & _U32
@@ -439,7 +529,6 @@ class Interpreter:
         else:
             sdst, ssrc = _s64(dst), _s64(src)
 
-        op = insn.jmp_op
         if op == JmpOp.JEQ:
             taken = dst == src
         elif op == JmpOp.JNE:

@@ -9,6 +9,7 @@ import pytest
 from repro.analysis.reports import CVE_ROW, TABLE2_ROWS, render_bug_table
 from repro.analysis.stats import (
     OverheadStats,
+    ThroughputStats,
     acceptance_summary,
     average_curves,
     coverage_improvement,
@@ -79,6 +80,55 @@ class TestOverheadStats:
         stats = OverheadStats()
         assert stats.footprint_ratio == 0.0
         assert stats.slowdown_percent == 0.0
+
+
+class TestThroughputStats:
+    def test_derived_metrics(self):
+        stats = ThroughputStats(
+            programs=300,
+            wall_seconds=2.0,
+            generate_seconds=0.5,
+            verify_seconds=4.0,
+            execute_seconds=0.5,
+        )
+        assert stats.programs_per_sec == pytest.approx(150.0)
+        assert stats.busy_seconds == pytest.approx(5.0)
+        assert stats.verify_fraction == pytest.approx(0.8)
+        assert stats.execute_fraction == pytest.approx(0.1)
+        assert stats.parallelism == pytest.approx(2.5)
+
+    def test_empty_safe(self):
+        stats = ThroughputStats()
+        assert stats.programs_per_sec == 0.0
+        assert stats.verify_fraction == 0.0
+        assert stats.parallelism == 0.0
+
+    def test_from_result_and_as_dict(self):
+        result = CampaignResult(
+            config=CampaignConfig(budget=10),
+            generated=10,
+            generate_seconds=0.1,
+            verify_seconds=0.7,
+            execute_seconds=0.2,
+            wall_seconds=1.0,
+        )
+        stats = ThroughputStats.from_result(result)
+        assert stats.programs == 10
+        payload = stats.as_dict()
+        assert payload["programs_per_sec"] == pytest.approx(10.0)
+        assert payload["verify_fraction"] == pytest.approx(0.7)
+        import json
+
+        json.dumps(payload)  # BENCH_throughput.json must serialise
+
+    def test_campaign_populates_timing(self):
+        from repro.fuzz.campaign import Campaign
+
+        result = Campaign(CampaignConfig(tool="bvf", budget=15, seed=1)).run()
+        stats = ThroughputStats.from_result(result)
+        assert stats.wall_seconds > 0
+        assert stats.verify_seconds > 0
+        assert stats.busy_seconds <= stats.wall_seconds * 1.05
 
 
 class TestBugTable:

@@ -11,7 +11,7 @@ from repro.ebpf.maps import MapType
 from repro.ebpf.opcodes import Reg
 from repro.ebpf.program import BpfProgram, ProgType
 from repro.fuzz.corpus import Corpus, MapSpec, specs_of
-from repro.fuzz.coverage import VerifierCoverage
+from repro.fuzz.coverage import CoverageReentryError, VerifierCoverage
 from repro.fuzz.rng import FuzzRng
 from repro.fuzz.structure import ExecutionPlan, GeneratedProgram
 
@@ -102,3 +102,102 @@ class TestCoverage:
         with cov.collect():
             sum(range(1000))  # non-verifier code
         assert cov.edge_count == 0
+
+    def test_nested_collect_raises(self):
+        """Re-entry would clobber the active window; it must fail loudly."""
+        cov = VerifierCoverage()
+        with cov.collect():
+            with pytest.raises(CoverageReentryError):
+                with cov.collect():
+                    pass  # pragma: no cover
+
+    def test_collect_usable_after_reentry_error(self):
+        cov = VerifierCoverage()
+        with cov.collect():
+            with pytest.raises(CoverageReentryError):
+                cov.collect().__enter__()
+        self._verify_once(cov)
+        assert cov.edge_count > 0
+
+    def test_backend_selection(self):
+        import sys
+
+        assert VerifierCoverage().backend_name in ("settrace", "monitoring")
+        assert VerifierCoverage(backend="settrace").backend_name == "settrace"
+        if hasattr(sys, "monitoring"):
+            cov = VerifierCoverage(backend="monitoring")
+            assert cov.backend_name == "monitoring"
+            self._verify_once(cov)
+            assert cov.edge_count > 0
+        else:
+            with pytest.raises(ValueError):
+                VerifierCoverage(backend="monitoring")
+        with pytest.raises(ValueError):
+            VerifierCoverage(backend="dtrace")
+
+    def test_snapshot_edges_is_picklable_copy(self):
+        import pickle
+
+        cov = VerifierCoverage()
+        self._verify_once(cov)
+        snap = cov.snapshot_edges()
+        assert snap == frozenset(cov.edges)
+        assert pickle.loads(pickle.dumps(snap)) == snap
+        self._verify_once(
+            cov,
+            insns=[
+                asm.st_mem(asm.Size.DW, Reg.R10, -8, 1),
+                asm.ldx_mem(asm.Size.DW, Reg.R0, Reg.R10, -8),
+                asm.exit_insn(),
+            ],
+        )
+        assert snap < cov.snapshot_edges()  # snapshot didn't alias
+
+    def test_merge_counts_new_edges_only(self):
+        a = VerifierCoverage()
+        b = VerifierCoverage()
+        self._verify_once(a)
+        self._verify_once(b)
+        self._verify_once(
+            b,
+            insns=[
+                asm.st_mem(asm.Size.DW, Reg.R10, -8, 1),
+                asm.ldx_mem(asm.Size.DW, Reg.R0, Reg.R10, -8),
+                asm.exit_insn(),
+            ],
+        )
+        extra = b.edge_count - a.edge_count
+        assert extra > 0
+        assert a.merge(b) == extra
+        assert a.edge_count == b.edge_count
+        assert a.merge(b.snapshot_edges()) == 0  # iterable form, idempotent
+
+    def test_edge_keys_stable_across_processes(self):
+        """Same verification in a child process yields the same edges.
+
+        This is what makes unioning shard edge sets in the parallel
+        campaign meaningful: keys must not depend on per-process hash
+        salting or allocation order.
+        """
+        import multiprocessing
+
+        cov = VerifierCoverage()
+        self._verify_once(cov)
+        ctx = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        with ctx.Pool(1) as pool:
+            child = pool.apply(_collect_edges_in_child)
+        assert child == cov.snapshot_edges()
+
+
+def _collect_edges_in_child():
+    kernel = Kernel(PROFILES["patched"]())
+    cov = VerifierCoverage()
+    with cov.collect():
+        kernel.prog_load(
+            BpfProgram(insns=[asm.mov64_imm(Reg.R0, 0), asm.exit_insn()])
+        )
+    return cov.snapshot_edges()

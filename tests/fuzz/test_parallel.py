@@ -1,0 +1,234 @@
+"""Sharded parallel-campaign tests: invariance, determinism, merging."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.fuzz.campaign import CampaignConfig
+from repro.fuzz.corpus import MapSpec
+from repro.fuzz.oracle import BugFinding
+from repro.fuzz.parallel import (
+    ParallelCampaign,
+    ShardResult,
+    merge_shards,
+    shard_budgets,
+)
+from repro.fuzz.rng import FuzzRng, derive_seed
+
+
+def finding(bug_id: str, iteration: int) -> BugFinding:
+    return BugFinding(
+        bug_id=bug_id,
+        indicator="indicator1",
+        report_kind="test",
+        message=bug_id,
+        iteration=iteration,
+    )
+
+
+class TestShardBudgets:
+    def test_even_split(self):
+        assert shard_budgets(100, 4) == [25, 25, 25, 25]
+
+    def test_remainder_goes_to_leading_shards(self):
+        assert shard_budgets(10, 3) == [4, 3, 3]
+
+    def test_no_empty_shards(self):
+        assert shard_budgets(3, 8) == [1, 1, 1]
+
+    def test_total_preserved(self):
+        for budget in (1, 7, 100, 301):
+            for shards in (1, 3, 8):
+                assert sum(shard_budgets(budget, shards)) == budget
+
+    def test_zero_budget(self):
+        assert shard_budgets(0, 4) == []
+
+
+class TestSeedDerivation:
+    def test_deterministic(self):
+        assert derive_seed(42, 3) == derive_seed(42, 3)
+
+    def test_lanes_distinct(self):
+        seeds = {derive_seed(0, i) for i in range(64)}
+        assert len(seeds) == 64
+
+    def test_seed_distinct(self):
+        assert derive_seed(1, 0) != derive_seed(2, 0)
+
+    def test_derived_rng_streams_diverge(self):
+        a = FuzzRng.derived(9, 0)
+        b = FuzzRng.derived(9, 1)
+        assert [a.randint(0, 10**9) for _ in range(4)] != [
+            b.randint(0, 10**9) for _ in range(4)
+        ]
+
+
+class TestMergeShards:
+    def shard(self, index, start, **kw) -> ShardResult:
+        defaults = dict(
+            index=index,
+            start_iteration=start,
+            seed=derive_seed(0, index),
+            generated=10,
+            accepted=5,
+        )
+        defaults.update(kw)
+        return ShardResult(**defaults)
+
+    def test_counters_sum(self):
+        merged = merge_shards(
+            CampaignConfig(budget=20),
+            [
+                self.shard(0, 0, reject_errnos=Counter({22: 3}),
+                           insn_classes=Counter({"alu": 7}), corpus_size=2),
+                self.shard(1, 10, reject_errnos=Counter({22: 1, 13: 2}),
+                           insn_classes=Counter({"alu": 1}), corpus_size=3),
+            ],
+        )
+        assert merged.generated == 20
+        assert merged.accepted == 10
+        assert merged.reject_errnos == Counter({22: 4, 13: 2})
+        assert merged.insn_classes == Counter({"alu": 8})
+        assert merged.corpus_size == 5
+
+    def test_findings_dedup_keeps_earliest_global_iteration(self):
+        merged = merge_shards(
+            CampaignConfig(budget=20),
+            [
+                self.shard(0, 0, findings={"bug-5": finding("bug-5", 8)}),
+                self.shard(1, 10, findings={"bug-5": finding("bug-5", 12),
+                                            "bug-7": finding("bug-7", 14)}),
+            ],
+        )
+        assert set(merged.findings) == {"bug-5", "bug-7"}
+        assert merged.findings["bug-5"].iteration == 8
+
+    def test_dedup_order_independent(self):
+        shards = [
+            self.shard(0, 0, findings={"bug-5": finding("bug-5", 9)}),
+            self.shard(1, 10, findings={"bug-5": finding("bug-5", 11)}),
+        ]
+        a = merge_shards(CampaignConfig(budget=20), shards)
+        b = merge_shards(CampaignConfig(budget=20), list(reversed(shards)))
+        assert a.findings["bug-5"].iteration == b.findings["bug-5"].iteration == 9
+
+    def test_coverage_union_no_double_count(self):
+        merged = merge_shards(
+            CampaignConfig(budget=20),
+            [
+                self.shard(0, 0, edges=frozenset({1, 2, 3}),
+                           edge_samples=[(5, frozenset({1, 2})),
+                                         (10, frozenset({3}))]),
+                self.shard(1, 10, edges=frozenset({2, 3, 4}),
+                           edge_samples=[(5, frozenset({2, 4})),
+                                         (10, frozenset({3}))]),
+            ],
+        )
+        assert merged.final_coverage == 4  # union of {1,2,3} and {2,3,4}
+        # Curve x axis is cumulative programs across the fleet and the
+        # y axis reaches the merged total without double-counting.
+        assert merged.coverage_curve[-1] == (20, 4)
+        xs = [x for x, _ in merged.coverage_curve]
+        ys = [y for _, y in merged.coverage_curve]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        # Incremental samples re-union to the same edge set.
+        union = set().union(*(s for _, s in merged.edge_samples))
+        assert len(union) == 4
+
+    def test_timing_sums_over_shards(self):
+        merged = merge_shards(
+            CampaignConfig(budget=20),
+            [
+                self.shard(0, 0, generate_seconds=1.0, verify_seconds=2.0,
+                           execute_seconds=0.5),
+                self.shard(1, 10, generate_seconds=0.5, verify_seconds=1.0,
+                           execute_seconds=0.25),
+            ],
+        )
+        assert merged.generate_seconds == pytest.approx(1.5)
+        assert merged.verify_seconds == pytest.approx(3.0)
+        assert merged.execute_seconds == pytest.approx(0.75)
+
+
+class TestParallelCampaign:
+    CONFIG = CampaignConfig(
+        tool="bvf", kernel_version="bpf-next", budget=120, seed=4
+    )
+
+    def run(self, workers):
+        return ParallelCampaign(self.CONFIG, workers=workers).run()
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return self.run(workers=1)
+
+    @pytest.fixture(scope="class")
+    def parallel(self):
+        return self.run(workers=4)
+
+    def test_worker_count_invariance(self, serial, parallel):
+        """workers is a throughput knob: merged results are identical."""
+        assert serial.generated == parallel.generated == self.CONFIG.budget
+        assert serial.accepted == parallel.accepted
+        assert sorted(serial.findings) == sorted(parallel.findings)
+        assert serial.final_coverage == parallel.final_coverage
+        assert serial.coverage_curve == parallel.coverage_curve
+        assert serial.edge_samples == parallel.edge_samples
+        assert serial.reject_errnos == parallel.reject_errnos
+        assert serial.insn_classes == parallel.insn_classes
+        for bug_id in serial.findings:
+            assert (serial.findings[bug_id].iteration
+                    == parallel.findings[bug_id].iteration)
+
+    def test_parallel_determinism(self, parallel):
+        """Two identical parallel runs merge to identical results."""
+        again = self.run(workers=4)
+        assert again.accepted == parallel.accepted
+        assert sorted(again.findings) == sorted(parallel.findings)
+        assert again.final_coverage == parallel.final_coverage
+        assert again.coverage_curve == parallel.coverage_curve
+
+    def test_finds_bugs_on_flawed_kernel(self, parallel):
+        assert len(parallel.findings) >= 3
+
+    def test_shard_metadata(self, parallel):
+        assert parallel.shards == len(parallel.shard_results)
+        assert [s.index for s in parallel.shard_results] == list(
+            range(parallel.shards)
+        )
+        starts = [s.start_iteration for s in parallel.shard_results]
+        assert starts == sorted(starts)
+        assert sum(s.generated for s in parallel.shard_results) == (
+            self.CONFIG.budget
+        )
+        seeds = {s.seed for s in parallel.shard_results}
+        assert len(seeds) == parallel.shards
+
+    def test_findings_are_stripped_for_pickling(self, parallel):
+        for finding_ in parallel.findings.values():
+            if finding_.prog is not None:
+                for spec in finding_.prog.maps:
+                    assert isinstance(spec, MapSpec)
+
+    def test_timing_populated(self, parallel):
+        assert parallel.wall_seconds > 0
+        assert parallel.verify_seconds > 0
+        assert parallel.generate_seconds > 0
+
+    def test_single_shard_inline(self):
+        result = ParallelCampaign(
+            CampaignConfig(tool="bvf", budget=20, seed=1),
+            workers=4,
+            shards=1,
+        ).run()
+        assert result.generated == 20
+        assert result.shards == 1
+
+    def test_shard_plan_independent_of_workers(self):
+        few = ParallelCampaign(self.CONFIG, workers=1).shard_plan()
+        many = ParallelCampaign(self.CONFIG, workers=16).shard_plan()
+        assert few == many
