@@ -1,0 +1,83 @@
+"""Compare two BENCH_throughput.json artifacts across CI runs.
+
+Usage::
+
+    python benchmarks/check_throughput_trajectory.py \
+        --previous prev/BENCH_throughput.json \
+        --current BENCH_throughput.json \
+        [--max-regression 0.30]
+
+Exits non-zero when the current run's parallel programs/sec dropped by
+more than ``--max-regression`` relative to the previous run.  A missing
+or unreadable previous artifact is not a failure — the first run on a
+branch, an expired artifact, or a previous run that never uploaded one
+must not block CI — but the reason is printed so a silently-skipped
+comparison is visible in the log.
+
+CI runner hardware varies run to run, which is why the threshold is a
+loose 30%: the gate catches algorithmic regressions (accidental
+quadratic work in the campaign loop, instrumentation left enabled on
+the hot path), not scheduler noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_programs_per_sec(path: str) -> tuple[float, dict]:
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    # BENCH_throughput.json carries serial and parallel sections; the
+    # parallel one is the deployment configuration, so it is the gate.
+    section = payload.get("parallel", payload)
+    value = section.get("programs_per_sec")
+    if value is None:
+        raise KeyError(f"{path}: no programs_per_sec in {sorted(section)}")
+    return float(value), payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--previous", required=True,
+                        help="previous run's BENCH_throughput.json")
+    parser.add_argument("--current", required=True,
+                        help="this run's BENCH_throughput.json")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="maximum tolerated fractional drop "
+                             "(default 0.30)")
+    args = parser.parse_args(argv)
+
+    try:
+        current, _ = load_programs_per_sec(args.current)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"trajectory: current artifact unreadable: {exc}")
+        return 1
+
+    try:
+        previous, _ = load_programs_per_sec(args.previous)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"trajectory: no previous artifact to compare against "
+              f"({exc}); skipping")
+        return 0
+
+    if previous <= 0:
+        print(f"trajectory: previous throughput {previous} not positive; "
+              f"skipping")
+        return 0
+
+    delta = (current - previous) / previous
+    print(f"trajectory: previous {previous:.1f} programs/sec, "
+          f"current {current:.1f} programs/sec ({delta:+.1%})")
+    if delta < -args.max_regression:
+        print(f"trajectory: FAIL - throughput dropped more than "
+              f"{args.max_regression:.0%}")
+        return 1
+    print("trajectory: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,15 +10,23 @@ Subcommands:
   profile and report verdict mismatches;
 - ``bench``     — quick acceptance/coverage comparison of the three
   generators;
+- ``report``    — render the telemetry dashboard from a ``--metrics``
+  artifact (acceptance by reason/frame kind, phase-time histograms,
+  per-shard throughput, bug indicators);
 - ``profiles``  — list the kernel profiles and their injected flaws.
+
+``fuzz`` and ``campaign`` both accept ``--trace PATH`` (JSONL trace
+events; sharded campaigns write ``PATH.shardNN`` per shard) and
+``--metrics PATH`` (the JSON artifact ``report`` consumes).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro.analysis.reports import render_bug_table
+from repro.analysis.reports import render_bug_table, render_dashboard
 from repro.analysis.stats import ThroughputStats
 from repro.analysis.triage import triage_finding
 from repro.errors import BpfError, VerifierReject
@@ -26,9 +34,18 @@ from repro.fuzz.campaign import Campaign, CampaignConfig
 from repro.fuzz.parallel import DEFAULT_SHARDS, ParallelCampaign
 from repro.kernel.config import PROFILES
 from repro.kernel.syscall import Kernel
+from repro.obs.artifact import build_artifact, write_artifact
 from repro.testsuite import all_selftests_extended as all_selftests
 
 __all__ = ["main"]
+
+
+def _emit_metrics(result, args: argparse.Namespace) -> None:
+    if args.metrics:
+        write_artifact(build_artifact(result), args.metrics)
+        print(f"metrics artifact written to {args.metrics}")
+    if args.trace:
+        print(f"trace written to {args.trace}*")
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -38,6 +55,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         budget=args.budget,
         seed=args.seed,
         sanitize=not args.no_sanitize,
+        trace_path=args.trace,
     )
     print(
         f"fuzzing {args.kernel} with {args.tool}: {args.budget} programs, "
@@ -55,6 +73,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         for finding in result.findings.values():
             print()
             print(triage_finding(finding, kernel_config).render())
+    _emit_metrics(result, args)
     return 0
 
 
@@ -65,6 +84,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         budget=args.budget,
         seed=args.seed,
         sanitize=not args.no_sanitize,
+        trace_path=args.trace,
     )
     engine = ParallelCampaign(config, workers=args.workers, shards=args.shards)
     print(
@@ -92,6 +112,19 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         for finding in result.findings.values():
             print()
             print(triage_finding(finding, kernel_config).render())
+    _emit_metrics(result, args)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    with open(args.artifact, encoding="utf-8") as fh:
+        artifact = json.load(fh)
+    schema = artifact.get("schema")
+    if schema != "repro-metrics-v1":
+        print(f"unsupported metrics artifact schema: {schema!r}",
+              file=sys.stderr)
+        return 1
+    print(render_dashboard(artifact))
     return 0
 
 
@@ -172,6 +205,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="disable BVF's memory-access sanitation")
     fuzz.add_argument("--triage", action="store_true",
                       help="print a triage report per finding")
+    fuzz.add_argument("--trace", metavar="PATH", default=None,
+                      help="write a JSONL trace of the run to PATH")
+    fuzz.add_argument("--metrics", metavar="PATH", default=None,
+                      help="write the metrics artifact (JSON) to PATH")
     fuzz.set_defaults(func=_cmd_fuzz)
 
     campaign = sub.add_parser(
@@ -194,7 +231,21 @@ def build_parser() -> argparse.ArgumentParser:
                           help="disable BVF's memory-access sanitation")
     campaign.add_argument("--triage", action="store_true",
                           help="print a triage report per finding")
+    campaign.add_argument("--trace", metavar="PATH", default=None,
+                          help="write JSONL traces (one PATH.shardNN "
+                               "file per shard)")
+    campaign.add_argument("--metrics", metavar="PATH", default=None,
+                          help="write the merged metrics artifact "
+                               "(JSON) to PATH")
     campaign.set_defaults(func=_cmd_campaign)
+
+    report = sub.add_parser(
+        "report", help="render the telemetry dashboard from a "
+                       "--metrics artifact"
+    )
+    report.add_argument("artifact", help="metrics artifact written by "
+                                         "fuzz/campaign --metrics")
+    report.set_defaults(func=_cmd_report)
 
     selftest = sub.add_parser("selftest", help="run the self-test corpus")
     selftest.add_argument("--kernel", default="patched",

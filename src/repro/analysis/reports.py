@@ -1,8 +1,10 @@
-"""Bug-table rendering (the reproduction of Table 2).
+"""Bug-table and telemetry-dashboard rendering.
 
-Maps discovered :class:`~repro.fuzz.oracle.BugFinding` records onto the
-paper's Table-2 rows so the benchmark output can be compared line by
-line with the published table.
+Two text reports live here: the reproduction of the paper's Table 2
+(found/missed per published bug) and the ``python -m repro report``
+dashboard, which renders a :mod:`repro.obs` metrics artifact —
+acceptance by rejection reason and frame kind, phase-time histograms,
+per-shard coverage/throughput, and bug-indicator counts.
 """
 
 from __future__ import annotations
@@ -12,7 +14,7 @@ from dataclasses import dataclass
 from repro.kernel.config import Flaw
 from repro.fuzz.oracle import BugFinding
 
-__all__ = ["BugRow", "TABLE2_ROWS", "render_bug_table"]
+__all__ = ["BugRow", "TABLE2_ROWS", "render_bug_table", "render_dashboard"]
 
 
 @dataclass(frozen=True)
@@ -86,4 +88,117 @@ def render_bug_table(findings: dict[str, BugFinding]) -> str:
     ]
     for bug_id in sorted(extras):
         lines.append(f" +  {'(other)':<10} {'yes':<6} {bug_id}")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------- dashboard --
+
+
+def _bar(fraction: float, width: int = 24) -> str:
+    filled = round(max(0.0, min(1.0, fraction)) * width)
+    return "#" * filled + "." * (width - filled)
+
+
+def _render_histogram(name: str, hist: dict, lines: list[str]) -> None:
+    total = hist["count"]
+    if not total:
+        return
+    mean = hist["sum"] / total
+    lines.append(f"  {name}  (n={total}, mean={mean:.4g})")
+    bounds = hist["bounds"]
+    peak = max(hist["counts"])
+    for i, count in enumerate(hist["counts"]):
+        if not count:
+            continue
+        label = f"<= {bounds[i]:g}" if i < len(bounds) else f"> {bounds[-1]:g}"
+        lines.append(
+            f"    {label:>12} {count:>8} {_bar(count / peak, 20)}"
+        )
+
+
+def render_dashboard(artifact: dict) -> str:
+    """Render the telemetry dashboard for one metrics artifact."""
+    config = artifact["config"]
+    summary = artifact["summary"]
+    taxonomy = artifact["taxonomy"]
+    lines = [
+        f"campaign: tool={config['tool']} kernel={config['kernel']} "
+        f"budget={config['budget']} seed={config['seed']} "
+        f"shards={config['shards']} workers={config.get('workers', 1)}",
+        "",
+        f"accepted {summary['accepted']}/{summary['generated']} "
+        f"({summary['acceptance_rate']:.1%}); "
+        f"coverage {summary['final_coverage']} edges; "
+        f"corpus {summary['corpus_size']}",
+    ]
+
+    lines += ["", "acceptance by rejection reason:"]
+    by_reason = taxonomy.get("by_reason", {})
+    generated = summary["generated"] or 1
+    for reason, count in sorted(
+        by_reason.items(), key=lambda kv: (-kv[1], kv[0])
+    ):
+        lines.append(
+            f"  {reason:<26} {count:>7} ({count / generated:.1%}) "
+            f"{_bar(count / generated)}"
+        )
+    if not by_reason:
+        lines.append("  (no rejections)")
+
+    frames = taxonomy.get("frames", {})
+    if frames.get("generated"):
+        lines += ["", "acceptance by frame kind:"]
+        for kind in sorted(frames["generated"]):
+            gen = frames["generated"][kind]
+            acc = frames.get("accepted", {}).get(kind, 0)
+            rate = acc / gen if gen else 0.0
+            lines.append(
+                f"  {kind:<14} {acc:>7}/{gen:<7} ({rate:.1%}) {_bar(rate)}"
+            )
+
+    metrics = artifact.get("metrics", {})
+    wall_hists = metrics.get("wall", {}).get("histograms", {})
+    phase_hists = {
+        name: hist
+        for name, hist in wall_hists.items()
+        if name.startswith("phase.")
+    }
+    if phase_hists:
+        lines += ["", "phase-time histograms (seconds):"]
+        for name, hist in sorted(phase_hists.items()):
+            _render_histogram(name, hist, lines)
+
+    shards = artifact.get("shards", [])
+    if shards:
+        lines += [
+            "",
+            "per-shard coverage / throughput:",
+            f"  {'shard':>5} {'generated':>9} {'accepted':>8} "
+            f"{'edges':>7} {'wall s':>8} {'prog/s':>8}",
+        ]
+        for shard in shards:
+            wall = shard.get("wall", {})
+            lines.append(
+                f"  {shard['index']:>5} {shard['generated']:>9} "
+                f"{shard['accepted']:>8} {shard['coverage_edges']:>7} "
+                f"{wall.get('wall_seconds', 0.0):>8.2f} "
+                f"{wall.get('programs_per_sec', 0.0):>8.1f}"
+            )
+
+    indicators = artifact.get("indicators", {})
+    lines += [
+        "",
+        "bug indicators: "
+        + "  ".join(
+            f"{name}={indicators.get(name, 0)}"
+            for name in ("indicator1", "indicator2", "component")
+        ),
+    ]
+    findings = artifact.get("findings", {})
+    for bug_id in sorted(findings):
+        info = findings[bug_id]
+        lines.append(
+            f"  {bug_id:<34} {info['indicator']:<10} "
+            f"iteration {info['iteration']}"
+        )
     return "\n".join(lines)

@@ -8,6 +8,7 @@ RQ3: ~90% execution slowdown, ~3.0x instruction footprint).
 
 from __future__ import annotations
 
+import logging
 import time
 from collections import Counter
 from dataclasses import dataclass
@@ -26,23 +27,53 @@ __all__ = [
 ]
 
 
+_log = logging.getLogger("repro.analysis")
+
+
 def average_curves(
     curves: list[list[tuple[int, int]]]
 ) -> list[tuple[int, float]]:
     """Average several (x, coverage) curves point-wise.
 
-    Repeated campaigns with the same budget produce aligned x values;
-    shorter curves are truncated to the common prefix.
+    Repeated campaigns with the same budget produce aligned x grids,
+    and those average index-by-index.  Curves whose grids disagree —
+    different budgets, different sample cadences — are **realigned
+    onto the intersection of their x values** rather than silently
+    averaged index-by-index (which would pair up unrelated x
+    positions); every dropped point is logged.  Raises ``ValueError``
+    when the curves share no x values at all, since averaging then has
+    no meaningful result.
     """
     if not curves:
         return []
-    n = min(len(c) for c in curves)
-    result = []
-    for i in range(n):
-        x = curves[0][i][0]
-        y = sum(c[i][1] for c in curves) / len(curves)
-        result.append((x, y))
-    return result
+
+    common = set(x for x, _ in curves[0])
+    for curve in curves[1:]:
+        common &= {x for x, _ in curve}
+    if not common:
+        raise ValueError(
+            "average_curves: curves share no x values "
+            f"(grids: {[[x for x, _ in c[:4]] for c in curves]}...)"
+        )
+
+    # Duplicate x values (shard-merged curves repeat x=0 once per
+    # shard) collapse to their last sample; only genuinely mismatched
+    # grid points count as dropped.
+    dropped = (
+        sum(len({x for x, _ in c}) for c in curves)
+        - len(common) * len(curves)
+    )
+    if dropped:
+        _log.warning(
+            "average_curves: realigned %d curves onto %d common x values, "
+            "dropping %d points with mismatched grids",
+            len(curves), len(common), dropped,
+        )
+
+    by_x = [dict(curve) for curve in curves]
+    return [
+        (x, sum(d[x] for d in by_x) / len(by_x)) for x in sorted(common)
+    ]
 
 
 def coverage_improvement(ours: float, theirs: float) -> float:

@@ -22,7 +22,10 @@ import time
 from collections import Counter
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.errors import BpfError, KernelReport, MapError, VerifierReject
+from repro.obs.taxonomy import classify
+from repro.verifier.log import final_message
 from repro.ebpf.opcodes import InsnClass
 from repro.ebpf.program import BpfProgram
 from repro.kernel.config import PROFILES, KernelConfig
@@ -57,6 +60,9 @@ class CampaignConfig:
     sample_every: int = 10
     #: probability of mutating a corpus seed instead of generating
     mutate_rate: float = 0.3
+    #: write a JSONL trace of the run here (None = tracing disabled;
+    #: sharded campaigns append a per-shard suffix)
+    trace_path: str | None = None
 
 
 @dataclass
@@ -68,6 +74,15 @@ class CampaignResult:
     accepted: int = 0
     #: errno value -> count, over rejected programs
     reject_errnos: Counter = field(default_factory=Counter)
+    #: taxonomy reason code -> count, over rejected programs
+    #: (:mod:`repro.obs.taxonomy`)
+    reject_reasons: Counter = field(default_factory=Counter)
+    #: frame kind -> programs generated containing that kind
+    frame_generated: Counter = field(default_factory=Counter)
+    #: frame kind -> programs accepted containing that kind
+    frame_accepted: Counter = field(default_factory=Counter)
+    #: metrics-registry snapshot (:meth:`MetricsRegistry.snapshot`)
+    metrics: dict = field(default_factory=dict)
     #: bug id -> first finding
     findings: dict[str, BugFinding] = field(default_factory=dict)
     #: (programs generated, cumulative verifier edges)
@@ -146,6 +161,10 @@ class Campaign:
         # it to that iteration's fresh Kernel (crash isolation stays
         # per-iteration, construction cost does not).
         self.generator = make_generator(config.tool, None, self.rng)
+        # Replaced by run() with a clock wired to that run's metrics
+        # registry and recorder; a bare default keeps _iteration usable
+        # standalone (tests drive it directly).
+        self._clock = obs.PhaseClock()
 
     # ------------------------------------------------------------------ run --
 
@@ -153,6 +172,22 @@ class Campaign:
         started = time.perf_counter()
         result = CampaignResult(config=self.config)
         sampled_edges: set[int] = set()
+
+        # Per-shard observability sinks: this campaign's registry and
+        # recorder become the process-current ones for the duration of
+        # the run, so the verifier/generator/oracle instrumentation
+        # lands in *this* shard's snapshot.  The clock is the single
+        # phase timer — every phase duration is accumulated exactly
+        # once, in its context manager's exit.
+        registry = obs.MetricsRegistry()
+        recorder = (
+            obs.JsonlTraceRecorder(self.config.trace_path)
+            if self.config.trace_path
+            else obs.NULL_RECORDER
+        )
+        clock = obs.PhaseClock(metrics=registry, recorder=recorder)
+        self._clock = clock
+        token = obs.install(registry, recorder)
 
         def sample() -> None:
             edges = self.coverage.edges
@@ -162,29 +197,49 @@ class Campaign:
             )
             sampled_edges.update(edges)
 
-        for iteration in range(self.config.budget):
-            self._iteration(result, iteration)
-            if (
-                self.config.collect_coverage
-                and iteration % self.config.sample_every == 0
-            ):
+        try:
+            for iteration in range(self.config.budget):
+                self._iteration(result, iteration)
+                if (
+                    self.config.collect_coverage
+                    and iteration % self.config.sample_every == 0
+                ):
+                    sample()
+            if self.config.collect_coverage:
                 sample()
-        if self.config.collect_coverage:
-            sample()
+        finally:
+            obs.restore(token)
+            recorder.close()
         result.final_coverage = self.coverage.edge_count
         result.corpus_size = len(self.corpus)
+        result.generate_seconds = clock.seconds["generate"]
+        result.verify_seconds = clock.seconds["verify"]
+        result.execute_seconds = clock.seconds["execute"]
         result.wall_seconds = time.perf_counter() - started
+        result.metrics = registry.snapshot()
         return result
+
+    @staticmethod
+    def _frame_kinds(gp: GeneratedProgram) -> frozenset[str]:
+        """Taxonomy bucket keys for one program's acceptance breakdown."""
+        if gp.frame_kinds:
+            return frozenset(gp.frame_kinds)
+        if gp.origin == "bvf-mut":
+            return frozenset(("mutated",))
+        return frozenset(("unstructured",))
 
     def _iteration(self, result: CampaignResult, iteration: int) -> None:
         kernel = Kernel(self.kernel_config)
-        gen_started = time.perf_counter()
-        gp = self._next_program(kernel)
-        result.generate_seconds += time.perf_counter() - gen_started
+        with self._clock.phase("generate"):
+            gp = self._next_program(kernel)
         result.generated += 1
+        obs.metrics().counter("campaign.generated")
         for insn in gp.insns:
             if not insn.is_filler():
                 result.insn_classes[insn.insn_class] += 1
+        kinds = self._frame_kinds(gp)
+        for kind in kinds:
+            result.frame_generated[kind] += 1
 
         prog = BpfProgram(
             insns=list(gp.insns),
@@ -193,26 +248,36 @@ class Campaign:
             offload_dev=gp.offload_dev,
         )
 
-        verify_started = time.perf_counter()
-        try:
-            verified = self._load(kernel, prog)
-        except VerifierReject as reject:
-            result.verify_seconds += time.perf_counter() - verify_started
-            result.reject_errnos[reject.errno] += 1
-            return
-        except BpfError as error:
-            result.verify_seconds += time.perf_counter() - verify_started
-            result.reject_errnos[error.errno] += 1
-            return
-        result.verify_seconds += time.perf_counter() - verify_started
+        with self._clock.phase("verify"):
+            try:
+                verified = self._load(kernel, prog)
+            except VerifierReject as reject:
+                self._reject(result, reject.errno,
+                             final_message(reject.log) or reject.message)
+                return
+            except BpfError as error:
+                self._reject(result, error.errno, error.message)
+                return
 
         result.accepted += 1
+        obs.metrics().counter("campaign.accepted")
+        for kind in kinds:
+            result.frame_accepted[kind] += 1
         if self.config.collect_coverage and self.coverage.last_new > 0:
             self.corpus.add(gp, self.coverage.last_new)
 
-        exec_started = time.perf_counter()
-        self._execute_plan(kernel, verified, gp, result, iteration)
-        result.execute_seconds += time.perf_counter() - exec_started
+        with self._clock.phase("execute"):
+            self._execute_plan(kernel, verified, gp, result, iteration)
+
+    def _reject(self, result: CampaignResult, errno: int, message: str) -> None:
+        result.reject_errnos[errno] += 1
+        reason = classify(message)
+        result.reject_reasons[reason] += 1
+        obs.metrics().counter("campaign.rejected")
+        rec = obs.recorder()
+        if rec.enabled:
+            rec.event("campaign.reject", errno=errno, reason=reason,
+                      message=message)
 
     def _load(self, kernel: Kernel, prog: BpfProgram):
         sanitize = self.config.sanitize and kernel.config.sanitizer_available

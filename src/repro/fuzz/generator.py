@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.ebpf import asm
 from repro.ebpf.helpers import ArgType, HelperId, HelperProto, RetType
 from repro.ebpf.kfuncs import KFUNC_GET_TASK, KFUNC_RAND, KFUNC_TASK_PID
@@ -186,8 +187,10 @@ class StructuredGenerator:
                 )
                 self._p_unsafe = self.config.p_unsafe
                 self._p_null_check = self.config.p_null_check
+            frame_kinds: list[str] = []
             for _ in range(n_frames):
                 kind = rng.pick(("basic", "jump", "call"))
+                frame_kinds.append(kind)
                 if kind == "basic":
                     self._basic_frame(st)
                 elif kind == "call":
@@ -197,6 +200,7 @@ class StructuredGenerator:
             self._end_section(st)
             self._emit_subprogs(st)
         else:
+            frame_kinds = ["flat"]
             self._flat_body(st)
 
         plan = self._make_plan(st)
@@ -205,6 +209,18 @@ class StructuredGenerator:
         offload = None
         if prog_type == ProgType.XDP and rng.chance(self.config.p_offload):
             offload = "netdev0"
+        rec = obs.recorder()
+        if rec.enabled:
+            rec.event(
+                "generator.program",
+                origin=self.name,
+                prog_type=prog_type.value,
+                insns=len(st.insns),
+                frames=len(frame_kinds),
+            )
+        m = obs.metrics()
+        m.counter("generator.programs")
+        m.observe("generator.program_insns", len(st.insns))
         return GeneratedProgram(
             insns=st.insns,
             prog_type=prog_type,
@@ -212,6 +228,7 @@ class StructuredGenerator:
             plan=plan,
             origin=self.name,
             offload_dev=offload,
+            frame_kinds=tuple(frame_kinds),
         )
 
     # -------------------------------------------------------------- resources --

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.errors import (
     AluLimitViolation,
     BpfError,
@@ -94,6 +95,19 @@ class Oracle:
         self, report: KernelReport, gp: GeneratedProgram | None
     ) -> BugFinding:
         """Map a kernel self-check report to a finding."""
+        finding = self._classify_report(report, gp)
+        m = obs.metrics()
+        m.counter("oracle.reports")
+        m.counter("oracle." + finding.indicator)
+        rec = obs.recorder()
+        if rec.enabled:
+            rec.event("oracle.finding", bug_id=finding.bug_id,
+                      indicator=finding.indicator, report=report.kind)
+        return finding
+
+    def _classify_report(
+        self, report: KernelReport, gp: GeneratedProgram | None
+    ) -> BugFinding:
         message = str(report)
 
         if isinstance(report, (SanitizerReport, AluLimitViolation)):
@@ -195,6 +209,13 @@ class Oracle:
     ) -> BugFinding | None:
         """Component bugs that surface as wrong syscall failures."""
         if "kmemdup" in (error.message or ""):
+            m = obs.metrics()
+            m.counter("oracle.reports")
+            m.counter("oracle.component")
+            rec = obs.recorder()
+            if rec.enabled:
+                rec.event("oracle.finding", bug_id=Flaw.KMEMDUP_LIMIT.value,
+                          indicator="component", report="syscall-error")
             return BugFinding(
                 bug_id=Flaw.KMEMDUP_LIMIT.value,
                 indicator="component",
@@ -223,6 +244,7 @@ class Oracle:
         if not remaining:
             return "indicator1-duplicate"
         for flaw in remaining + [f for f in candidates if f in self._attributed]:
+            obs.metrics().counter("oracle.triage_replays")
             fixed = self.config.without_flaw(flaw)
             kernel = replay_kernel(fixed, gp)
             prog = BpfProgram(insns=list(gp.insns), prog_type=gp.prog_type)

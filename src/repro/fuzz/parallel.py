@@ -33,7 +33,11 @@ Merge rules:
 - findings — deduplicated by bug id, keeping the finding with the
   earliest **global** iteration (shard-local iterations are offset by
   the shard's start position);
-- counters — errno and instruction-class counters sum;
+- counters — errno, rejection-reason, frame-kind, and
+  instruction-class counters sum;
+- metrics — per-shard :mod:`repro.obs` registry snapshots merge via
+  :func:`repro.obs.metrics.merge_snapshots` (counters/histogram
+  buckets sum, gauges max, wall-clock section kept segregated);
 - timing — generate/verify/execute seconds sum over shards (total CPU
   work); ``wall_seconds`` is the parent's measured wall clock, which
   is what shrinks as workers are added.
@@ -51,6 +55,7 @@ from repro.fuzz.campaign import Campaign, CampaignConfig, CampaignResult
 from repro.fuzz.corpus import specs_of
 from repro.fuzz.oracle import BugFinding
 from repro.fuzz.rng import derive_seed
+from repro.obs.metrics import merge_snapshots
 
 __all__ = [
     "ShardResult",
@@ -78,6 +83,13 @@ class ShardResult:
     generated: int = 0
     accepted: int = 0
     reject_errnos: Counter = field(default_factory=Counter)
+    #: taxonomy reason code -> count (:mod:`repro.obs.taxonomy`)
+    reject_reasons: Counter = field(default_factory=Counter)
+    #: frame kind -> programs generated / accepted containing it
+    frame_generated: Counter = field(default_factory=Counter)
+    frame_accepted: Counter = field(default_factory=Counter)
+    #: the shard's metrics-registry snapshot (plain dicts, picklable)
+    metrics: dict = field(default_factory=dict)
     #: bug id -> finding, iterations already remapped to global
     findings: dict[str, BugFinding] = field(default_factory=dict)
     #: the shard's cumulative verifier edge set
@@ -130,7 +142,12 @@ def _run_shard(payload) -> ShardResult:
     multiprocessing start method.
     """
     config, index, start_iteration, shard_budget, shard_seed = payload
-    shard_config = replace(config, budget=shard_budget, seed=shard_seed)
+    trace_path = config.trace_path
+    if trace_path is not None:
+        trace_path = f"{trace_path}.shard{index:02d}"
+    shard_config = replace(
+        config, budget=shard_budget, seed=shard_seed, trace_path=trace_path
+    )
     campaign = Campaign(shard_config)
     result = campaign.run()
 
@@ -146,6 +163,10 @@ def _run_shard(payload) -> ShardResult:
         generated=result.generated,
         accepted=result.accepted,
         reject_errnos=result.reject_errnos,
+        reject_reasons=result.reject_reasons,
+        frame_generated=result.frame_generated,
+        frame_accepted=result.frame_accepted,
+        metrics=result.metrics,
         findings=findings,
         edges=campaign.coverage.snapshot_edges(),
         edge_samples=result.edge_samples,
@@ -177,6 +198,9 @@ def merge_shards(
         merged.generated += shard.generated
         merged.accepted += shard.accepted
         merged.reject_errnos.update(shard.reject_errnos)
+        merged.reject_reasons.update(shard.reject_reasons)
+        merged.frame_generated.update(shard.frame_generated)
+        merged.frame_accepted.update(shard.frame_accepted)
         merged.insn_classes.update(shard.insn_classes)
         merged.corpus_size += shard.corpus_size
         merged.generate_seconds += shard.generate_seconds
@@ -190,6 +214,7 @@ def merge_shards(
                 merged.findings[bug_id] = finding
 
     merged.final_coverage = len(all_edges)
+    merged.metrics = merge_snapshots([s.metrics for s in ordered if s.metrics])
 
     # Interleaved union curve: order every shard's samples by local
     # progress (ties broken by shard index), so the x axis becomes

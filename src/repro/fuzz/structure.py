@@ -156,3 +156,8 @@ class GeneratedProgram:
     origin: str = "bvf"
     #: request device offload at load time (Bug #11 surface)
     offload_dev: str | None = None
+    #: Figure-4 frame kinds emitted, in order ("basic"/"jump"/"call";
+    #: "flat" for unstructured emission).  Empty for generators that
+    #: do not use the structure — the rejection taxonomy buckets those
+    #: by origin instead.
+    frame_kinds: tuple[str, ...] = ()

@@ -1,0 +1,93 @@
+"""``repro.obs`` — campaign observability: metrics, traces, taxonomy.
+
+The subsystem has three layers (see DESIGN.md "Observability"):
+
+- :mod:`repro.obs.metrics` — a deterministic metrics registry
+  (counters / gauges / fixed-bucket histograms, wall-clock values
+  segregated) whose snapshots merge worker-count-invariantly;
+- :mod:`repro.obs.trace` — JSONL trace events and spans with a no-op
+  recorder as the disabled default, plus :class:`PhaseClock`, the
+  single phase timer the campaign loop runs on;
+- :mod:`repro.obs.taxonomy` — stable reason codes for every verifier
+  rejection.
+
+Instrumented components (verifier, generator, sanitizer, interpreter,
+oracle) do not take recorder arguments — they read the
+**process-current sinks** held here.  A :class:`~repro.fuzz.campaign.
+Campaign` installs its per-shard registry/recorder at the top of
+``run()`` and restores the previous sinks on exit.  Shards either run
+sequentially in-process or one-per-fork, so a process-global holder is
+race-free and keeps the per-shard attribution exact.  Outside a
+campaign the sinks are no-ops: the disabled cost on a hot path is one
+module-attribute read and an empty method call.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    NullMetrics,
+    merge_snapshots,
+    strip_wall_fields,
+)
+from repro.obs.taxonomy import UNCLASSIFIED, classify
+from repro.obs.trace import (
+    NULL_RECORDER,
+    JsonlTraceRecorder,
+    NullRecorder,
+    PhaseClock,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NullMetrics",
+    "NullRecorder",
+    "JsonlTraceRecorder",
+    "PhaseClock",
+    "NULL_RECORDER",
+    "UNCLASSIFIED",
+    "classify",
+    "merge_snapshots",
+    "strip_wall_fields",
+    "metrics",
+    "recorder",
+    "install",
+    "restore",
+]
+
+_NULL_METRICS = NullMetrics()
+
+_current_metrics = _NULL_METRICS
+_current_recorder = NULL_RECORDER
+
+
+def metrics():
+    """The process-current metrics sink (a no-op outside campaigns)."""
+    return _current_metrics
+
+
+def recorder():
+    """The process-current trace recorder (``enabled`` is the gate)."""
+    return _current_recorder
+
+
+def install(registry=None, trace_recorder=None) -> tuple:
+    """Make ``registry``/``trace_recorder`` current; returns the old pair.
+
+    Pass the returned token to :func:`restore` (in a ``finally``) so
+    nested campaigns — e.g. the oracle's differential replay spinning
+    up inner kernels — compose instead of clobbering each other.
+    """
+    global _current_metrics, _current_recorder
+    token = (_current_metrics, _current_recorder)
+    _current_metrics = registry if registry is not None else _NULL_METRICS
+    _current_recorder = (
+        trace_recorder if trace_recorder is not None else NULL_RECORDER
+    )
+    return token
+
+
+def restore(token: tuple) -> None:
+    """Reinstate the sinks that were current before :func:`install`."""
+    global _current_metrics, _current_recorder
+    _current_metrics, _current_recorder = token

@@ -1,0 +1,132 @@
+"""Metrics artifact: the JSON document ``--metrics PATH`` emits.
+
+One artifact captures everything ``python -m repro report`` renders:
+the campaign summary, the rejection taxonomy with its per-frame-kind
+acceptance breakdown, the merged metrics snapshot, per-shard
+coverage/throughput rows, and bug-indicator counts.
+
+Wall-clock data is **structurally segregated**: the top-level
+``"wall"`` key, the ``"wall"`` key inside the metrics snapshot, and
+the ``"wall"`` sub-dict of every shard row hold every field that
+depends on how fast the host ran.  :func:`strip_wall` removes all
+three, and the remainder is the worker-count-invariance contract: for
+fixed ``(seed, budget, shards)``, ``strip_wall(artifact)`` is
+bit-identical whether the campaign ran on 1 worker or 16.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+from repro.analysis.stats import ThroughputStats
+from repro.obs.metrics import empty_snapshot
+
+__all__ = ["SCHEMA", "build_artifact", "strip_wall", "write_artifact"]
+
+SCHEMA = "repro-metrics-v1"
+
+
+def _frame_breakdown(result) -> dict:
+    generated = dict(sorted(result.frame_generated.items()))
+    accepted = dict(sorted(result.frame_accepted.items()))
+    acceptance = {
+        kind: (accepted.get(kind, 0) / count if count else 0.0)
+        for kind, count in generated.items()
+    }
+    return {
+        "generated": generated,
+        "accepted": accepted,
+        "acceptance": acceptance,
+    }
+
+
+def build_artifact(result) -> dict:
+    """Build the artifact dict from a (possibly merged) campaign result."""
+    config = result.config
+    throughput = ThroughputStats.from_result(result)
+
+    shards = []
+    for shard in getattr(result, "shard_results", []):
+        busy = (shard.generate_seconds + shard.verify_seconds
+                + shard.execute_seconds)
+        shards.append(
+            {
+                "index": shard.index,
+                "start_iteration": shard.start_iteration,
+                "generated": shard.generated,
+                "accepted": shard.accepted,
+                "coverage_edges": len(shard.edges),
+                "corpus_size": shard.corpus_size,
+                "wall": {
+                    "wall_seconds": shard.wall_seconds,
+                    "busy_seconds": busy,
+                    "programs_per_sec": (
+                        shard.generated / shard.wall_seconds
+                        if shard.wall_seconds else 0.0
+                    ),
+                },
+            }
+        )
+
+    indicators = {"indicator1": 0, "indicator2": 0, "component": 0}
+    findings = {}
+    for bug_id in sorted(result.findings):
+        finding = result.findings[bug_id]
+        indicators[finding.indicator] = indicators.get(finding.indicator, 0) + 1
+        findings[bug_id] = {
+            "indicator": finding.indicator,
+            "report_kind": finding.report_kind,
+            "iteration": finding.iteration,
+        }
+
+    return {
+        "schema": SCHEMA,
+        "config": {
+            "tool": config.tool,
+            "kernel": config.kernel_version,
+            "budget": config.budget,
+            "seed": config.seed,
+            "sanitize": config.sanitize,
+            "shards": getattr(result, "shards", 1),
+            "workers": getattr(result, "workers", 1),
+        },
+        "summary": {
+            "generated": result.generated,
+            "accepted": result.accepted,
+            "acceptance_rate": result.acceptance_rate,
+            "final_coverage": result.final_coverage,
+            "corpus_size": result.corpus_size,
+        },
+        "indicators": indicators,
+        "findings": findings,
+        "taxonomy": {
+            "by_reason": dict(sorted(result.reject_reasons.items())),
+            "by_errno": {
+                str(errno): count
+                for errno, count in sorted(result.reject_errnos.items())
+            },
+            "frames": _frame_breakdown(result),
+        },
+        "metrics": result.metrics or empty_snapshot(),
+        "shards": shards,
+        "wall": {"throughput": throughput.as_dict()},
+    }
+
+
+def strip_wall(artifact: dict) -> dict:
+    """The artifact minus every wall-clock field (invariance form)."""
+    stripped = copy.deepcopy(artifact)
+    stripped.pop("wall", None)
+    stripped.get("metrics", {}).pop("wall", None)
+    # The workers knob itself is a throughput setting, not an outcome.
+    stripped.get("config", {}).pop("workers", None)
+    for shard in stripped.get("shards", []):
+        shard.pop("wall", None)
+    return stripped
+
+
+def write_artifact(artifact: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+        fh.write("\n")

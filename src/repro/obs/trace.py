@@ -1,0 +1,164 @@
+"""Structured trace events: JSONL spans with monotonic timestamps.
+
+Tracing answers the *where did the time go* questions the metrics
+registry's aggregates cannot: one line per event or span, written as it
+happens, with timestamps from :func:`time.monotonic` relative to the
+recorder's creation (so traces from different shards are each
+internally ordered, and never pretend to share a clock).
+
+Two recorders implement the same duck-typed interface:
+
+- :class:`NullRecorder` — the default.  ``enabled`` is ``False``,
+  ``event`` is a no-op, ``span`` hands back a shared do-nothing context
+  manager.  Hot paths either skip work behind ``if rec.enabled`` or
+  just call through; the disabled cost is one method call.
+- :class:`JsonlTraceRecorder` — appends one JSON object per line:
+  ``{"ts": ..., "kind": "event"|"span", "name": ..., ...attrs}`` with
+  ``"dur"`` added on spans.  Keys are sorted so the output is stable.
+
+:class:`PhaseClock` is the single phase timer the campaign loop runs
+on.  Each ``with clock.phase("verify"):`` block accumulates its
+duration exactly once — in the ``finally`` of the context manager — no
+matter how the block exits (return, ``VerifierReject``, any other
+exception), which fixes the triple-increment paths the old inline
+timers had.  The same exit point feeds the wall-clock histogram in the
+metrics registry and, when tracing is on, emits the phase as a span.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import Counter
+from contextlib import contextmanager
+
+__all__ = [
+    "NullRecorder",
+    "JsonlTraceRecorder",
+    "PhaseClock",
+    "NULL_RECORDER",
+]
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """Recording disabled: every operation is a no-op."""
+
+    enabled = False
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def span(self, name: str, **attrs):
+        return _NULL_SPAN
+
+    def close(self) -> None:
+        pass
+
+
+NULL_RECORDER = NullRecorder()
+
+
+class _Span:
+    """Times a block and writes it as one line on exit."""
+
+    __slots__ = ("recorder", "name", "attrs", "started")
+
+    def __init__(self, recorder: "JsonlTraceRecorder", name: str, attrs: dict):
+        self.recorder = recorder
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self):
+        self.started = time.monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        now = time.monotonic()
+        record = dict(self.attrs)
+        record.update(
+            ts=self.started - self.recorder._t0,
+            kind="span",
+            name=self.name,
+            dur=now - self.started,
+            error=exc_type.__name__ if exc_type is not None else None,
+        )
+        self.recorder._write(record)
+        return False
+
+
+class JsonlTraceRecorder:
+    """Writes trace events to a JSONL file (or any text stream)."""
+
+    enabled = True
+
+    def __init__(self, path_or_stream) -> None:
+        if hasattr(path_or_stream, "write"):
+            self._stream = path_or_stream
+            self._owns = False
+        else:
+            self._stream = open(path_or_stream, "w", encoding="utf-8")
+            self._owns = True
+        self._t0 = time.monotonic()
+
+    def _write(self, fields: dict) -> None:
+        # Reserved keys (ts/kind/name/dur) are merged over attrs, so a
+        # colliding attribute never shadows the record structure.
+        record = {k: v for k, v in fields.items() if v is not None}
+        record["ts"] = round(record["ts"], 6)
+        if "dur" in record:
+            record["dur"] = round(record["dur"], 6)
+        self._stream.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def event(self, name: str, **attrs) -> None:
+        record = dict(attrs)
+        record.update(ts=time.monotonic() - self._t0, kind="event", name=name)
+        self._write(record)
+
+    def span(self, name: str, **attrs) -> _Span:
+        return _Span(self, name, attrs)
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._owns:
+            self._stream.close()
+
+
+class PhaseClock:
+    """Accumulates named phase durations, once per phase exit.
+
+    ``seconds`` maps phase name to total accumulated time.  A metrics
+    registry (or anything with ``observe_time``) and a recorder can be
+    attached; both are fed from the same single exit point.
+    """
+
+    def __init__(self, metrics=None, recorder: NullRecorder | None = None):
+        self.seconds: Counter = Counter()
+        self.metrics = metrics
+        self.recorder = recorder or NULL_RECORDER
+
+    @contextmanager
+    def phase(self, name: str, **attrs):
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.seconds[name] += elapsed
+            if self.metrics is not None:
+                self.metrics.observe_time(f"phase.{name}.seconds", elapsed)
+            if self.recorder.enabled:
+                self.recorder.event(f"phase.{name}", dur=round(elapsed, 6),
+                                    **attrs)

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.errors import KernelPanic
 from repro.ebpf.helpers import HelperContext
 from repro.ebpf.insn import Insn
@@ -216,7 +217,27 @@ class Interpreter:
     # --- entry point ---------------------------------------------------------
 
     def run(self) -> int:
-        """Execute to completion; returns R0."""
+        """Execute to completion; returns R0.
+
+        Observability is per-run only — one span and a handful of
+        counter updates around :meth:`_run_loop` — never per
+        instruction, which keeps the disabled overhead within the
+        trace layer's budget (DESIGN.md "Observability").
+        """
+        rec = obs.recorder()
+        try:
+            if rec.enabled:
+                with rec.span("interp.run", prog=self.verified.name):
+                    return self._run_loop()
+            return self._run_loop()
+        finally:
+            m = obs.metrics()
+            m.counter("interp.runs")
+            m.counter("interp.insns_executed", self.stats.insns_executed)
+            m.counter("interp.helper_calls", self.stats.helper_calls)
+            m.counter("interp.sanitizer_checks", self.stats.sanitizer_checks)
+
+    def _run_loop(self) -> int:
         regs = [0] * 12
         regs[Reg.R1] = self.rt.ctx_addr
         regs[Reg.R10] = self.rt.fp

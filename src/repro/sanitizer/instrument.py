@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.ebpf import asm
 from repro.ebpf.insn import Insn
 from repro.ebpf.opcodes import Reg, SIZE_BYTES
@@ -65,6 +66,7 @@ def build_insertions(
     """
     insertions: dict[int, list[Insn]] = {}
     sites: dict[int, SanitizeSite] = {}
+    skipped_r10 = 0
 
     for idx, insn in enumerate(insns):
         if insn.is_filler():
@@ -88,6 +90,7 @@ def build_insertions(
         # Reduction rule 1: R10-based accesses have constant, fully
         # verified target addresses.
         if base == Reg.R10:
+            skipped_r10 += 1
             continue
 
         insertions[idx] = _dispatch_sequence(base, insn.off, table[size])
@@ -98,4 +101,11 @@ def build_insertions(
             probe_mem=idx in probe_mem,
         )
 
+    m = obs.metrics()
+    m.counter("sanitizer.sites", len(sites))
+    m.counter("sanitizer.skipped_r10", skipped_r10)
+    rec = obs.recorder()
+    if rec.enabled:
+        rec.event("sanitizer.instrument", sites=len(sites),
+                  skipped_r10=skipped_r10, insns=len(insns))
     return insertions, sites

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import errno
 
+from repro import obs
 from repro.errors import VerifierReject
 from repro.ebpf.insn import Insn
 from repro.ebpf.opcodes import (
@@ -107,6 +108,13 @@ class Verifier:
 
     def reject(self, err: int, message: str) -> None:
         self.log.write(message)
+        m = obs.metrics()
+        m.counter("verifier.rejected")
+        m.observe("verifier.insns_processed", self.env.insns_processed)
+        rec = obs.recorder()
+        if rec.enabled:
+            rec.event("verifier.reject", errno=err, insn=self.cur_insn_idx,
+                      message=message)
         raise VerifierReject(err, message, log=self.log.text())
 
     def has_flaw(self, flaw: Flaw) -> bool:
@@ -297,10 +305,31 @@ class Verifier:
 
     def verify(self) -> VerifiedProgram:
         """Run the verifier; returns the rewritten program or raises."""
-        self._check_structure()
-        self._resolve_pseudo()
-        self._do_check()
-        return self._fixup()
+        m = obs.metrics()
+        m.counter("verifier.programs")
+        rec = obs.recorder()
+        if not rec.enabled:
+            # Hot path: no spans, just the pipeline.
+            self._check_structure()
+            self._resolve_pseudo()
+            self._do_check()
+            verified = self._fixup()
+        else:
+            with rec.span("verifier.verify", insns=len(self.insns),
+                          prog=self.prog.name):
+                with rec.span("verifier.check_structure"):
+                    self._check_structure()
+                with rec.span("verifier.resolve_pseudo"):
+                    self._resolve_pseudo()
+                with rec.span("verifier.do_check"):
+                    self._do_check()
+                with rec.span("verifier.fixup"):
+                    verified = self._fixup()
+        m.counter("verifier.accepted")
+        m.observe("verifier.insns_processed", self.env.insns_processed)
+        m.observe("verifier.max_stack_depth", self.max_stack_depth)
+        m.gauge_max("verifier.peak_insns_processed", self.env.insns_processed)
+        return verified
 
     def _initial_state(self) -> VerifierState:
         ctx = RegState.pointer(RegType.PTR_TO_CTX)

@@ -9,7 +9,7 @@ locate the guilty instruction.
 
 from __future__ import annotations
 
-__all__ = ["VerifierLog"]
+__all__ = ["VerifierLog", "final_message"]
 
 
 class VerifierLog:
@@ -39,5 +39,32 @@ class VerifierLog:
     def text(self) -> str:
         return "\n".join(self._parts)
 
+    def last_message(self) -> str:
+        """The final non-instruction line — on rejection, the reason.
+
+        :meth:`~repro.verifier.core.Verifier.reject` always writes its
+        message last, so this is what the rejection taxonomy
+        (:mod:`repro.obs.taxonomy`) classifies.
+        """
+        return final_message(self.text())
+
     def __str__(self) -> str:
         return self.text()
+
+
+def final_message(log_text: str) -> str:
+    """Extract the rejection reason from a verifier log's tail.
+
+    Skips trailing blank lines and strips the ``"{idx}: "`` prefix
+    level-2 instruction traces carry, returning ``""`` for an empty
+    log (callers then fall back to the exception's own message).
+    """
+    for line in reversed(log_text.splitlines()):
+        line = line.strip()
+        if not line:
+            continue
+        prefix, sep, rest = line.partition(": ")
+        if sep and prefix.isdigit():
+            return rest
+        return line
+    return ""

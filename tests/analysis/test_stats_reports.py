@@ -34,6 +34,29 @@ class TestCurves:
     def test_empty(self):
         assert average_curves([]) == []
 
+    def test_realigns_mismatched_grids(self, caplog):
+        # Shards sampled on different x grids: average over the shared
+        # x values instead of silently zipping mismatched points.
+        curves = [
+            [(0, 0), (5, 50), (10, 100), (20, 200)],
+            [(0, 10), (10, 110), (15, 160), (20, 210)],
+        ]
+        with caplog.at_level("WARNING", logger="repro.analysis"):
+            averaged = average_curves(curves)
+        assert averaged == [(0, 5.0), (10, 105.0), (20, 205.0)]
+        # The drop is logged, never silent.
+        assert any("dropping" in rec.getMessage() for rec in caplog.records)
+
+    def test_disjoint_grids_raise(self):
+        with pytest.raises(ValueError, match="share no x values"):
+            average_curves([[(0, 1)], [(5, 2)]])
+
+    def test_duplicate_x_collapses_to_last_sample(self):
+        # Shard-merged curves repeat x=0 once per shard; the last
+        # sample wins and no spurious drop warning fires.
+        curves = [[(0, 1), (0, 3), (10, 5)], [(0, 7), (10, 9)]]
+        assert average_curves(curves) == [(0, 5.0), (10, 7.0)]
+
 
 class TestImprovement:
     def test_positive(self):

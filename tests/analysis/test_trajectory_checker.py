@@ -1,0 +1,60 @@
+"""CI bench-trajectory gate: regression detection and skip paths."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_CHECKER = (Path(__file__).resolve().parents[2] / "benchmarks"
+            / "check_throughput_trajectory.py")
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location("trajectory", _CHECKER)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def write_bench(path: Path, programs_per_sec: float) -> str:
+    path.write_text(json.dumps(
+        {"parallel": {"programs_per_sec": programs_per_sec},
+         "serial": {"programs_per_sec": programs_per_sec / 2}}
+    ))
+    return str(path)
+
+
+def test_within_tolerance_passes(checker, tmp_path):
+    prev = write_bench(tmp_path / "prev.json", 100.0)
+    cur = write_bench(tmp_path / "cur.json", 80.0)
+    assert checker.main(["--previous", prev, "--current", cur]) == 0
+
+
+def test_large_regression_fails(checker, tmp_path):
+    prev = write_bench(tmp_path / "prev.json", 100.0)
+    cur = write_bench(tmp_path / "cur.json", 60.0)
+    assert checker.main(["--previous", prev, "--current", cur]) == 1
+
+
+def test_missing_previous_skips(checker, tmp_path):
+    cur = write_bench(tmp_path / "cur.json", 60.0)
+    missing = str(tmp_path / "nope.json")
+    assert checker.main(["--previous", missing, "--current", cur]) == 0
+
+
+def test_missing_current_fails(checker, tmp_path):
+    prev = write_bench(tmp_path / "prev.json", 100.0)
+    missing = str(tmp_path / "nope.json")
+    assert checker.main(["--previous", prev, "--current", missing]) == 1
+
+
+def test_flat_payload_accepted(checker, tmp_path):
+    # Older artifacts without the parallel/serial split still load.
+    flat = tmp_path / "flat.json"
+    flat.write_text(json.dumps({"programs_per_sec": 42.0}))
+    value, _ = checker.load_programs_per_sec(str(flat))
+    assert value == 42.0

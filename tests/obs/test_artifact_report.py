@@ -1,0 +1,144 @@
+"""Artifact + dashboard tests, and the worker-invariance contract.
+
+Satellite requirements covered here:
+
+- phase accounting: ``generate + verify + execute <= wall`` on a real
+  campaign run;
+- worker invariance: a parallel campaign merged from 4 workers yields
+  byte-identical non-wall-clock artifact content to the same campaign
+  on 1 worker;
+- ``repro report`` renders acceptance-by-reason and per-shard
+  throughput from a metrics artifact.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis.reports import render_dashboard
+from repro.fuzz.campaign import Campaign, CampaignConfig
+from repro.fuzz.parallel import ParallelCampaign
+from repro.obs.artifact import (
+    SCHEMA,
+    build_artifact,
+    strip_wall,
+    write_artifact,
+)
+from repro.obs.metrics import strip_wall_fields
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    config = CampaignConfig(tool="bvf", budget=150, seed=7)
+    return Campaign(config).run()
+
+
+@pytest.fixture(scope="module")
+def sharded_results():
+    config = CampaignConfig(tool="bvf", budget=120, seed=7)
+    one = ParallelCampaign(config, workers=1, shards=4).run()
+    four = ParallelCampaign(config, workers=4, shards=4).run()
+    return one, four
+
+
+class TestPhaseAccounting:
+    def test_phase_times_bounded_by_wall(self, serial_result):
+        r = serial_result
+        busy = r.generate_seconds + r.verify_seconds + r.execute_seconds
+        assert busy > 0
+        assert busy <= r.wall_seconds
+
+    def test_phase_histograms_recorded(self, serial_result):
+        hists = serial_result.metrics["wall"]["histograms"]
+        for phase in ("generate", "verify", "execute"):
+            assert hists[f"phase.{phase}.seconds"]["count"] > 0
+
+
+class TestWorkerInvariance:
+    def test_counters_identical_across_worker_counts(self, sharded_results):
+        one, four = sharded_results
+        assert one.generated == four.generated
+        assert one.accepted == four.accepted
+        assert one.reject_errnos == four.reject_errnos
+        assert one.reject_reasons == four.reject_reasons
+        assert one.frame_generated == four.frame_generated
+        assert one.frame_accepted == four.frame_accepted
+        assert strip_wall_fields(one.metrics) == strip_wall_fields(
+            four.metrics
+        )
+
+    def test_artifacts_identical_modulo_wall(self, sharded_results):
+        one, four = sharded_results
+        a = strip_wall(build_artifact(one))
+        b = strip_wall(build_artifact(four))
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_strip_wall_removes_all_wall_fields(self, sharded_results):
+        one, _ = sharded_results
+        artifact = strip_wall(build_artifact(one))
+        payload = json.dumps(artifact)
+        assert '"wall"' not in payload
+        assert "wall_seconds" not in payload
+
+
+class TestArtifact:
+    def test_schema_and_sections(self, serial_result):
+        artifact = build_artifact(serial_result)
+        assert artifact["schema"] == SCHEMA
+        for section in ("config", "summary", "taxonomy", "metrics",
+                        "shards", "wall"):
+            assert section in artifact
+        assert artifact["summary"]["generated"] == serial_result.generated
+
+    def test_round_trips_through_json(self, serial_result, tmp_path):
+        path = tmp_path / "metrics.json"
+        write_artifact(build_artifact(serial_result), str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == SCHEMA
+
+
+class TestDashboard:
+    def test_renders_required_sections(self, sharded_results):
+        one, _ = sharded_results
+        text = render_dashboard(build_artifact(one))
+        assert "acceptance by rejection reason" in text
+        assert "acceptance by frame kind" in text
+        assert "per-shard coverage / throughput" in text
+        assert "phase-time histograms" in text
+        # 4 shards -> 4 per-shard table rows (index, generated, ...)
+        import re
+
+        rows = [line for line in text.splitlines()
+                if re.match(r"^\s+\d+\s+\d+\s+\d+\s+\d+", line)]
+        assert len(rows) == 4
+
+    def test_report_cli(self, serial_result, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        write_artifact(build_artifact(serial_result), str(path))
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "acceptance by rejection reason" in out
+
+    def test_report_cli_rejects_bad_schema(self, tmp_path, capsys):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"schema": "something-else"}))
+        assert main(["report", str(path)]) == 1
+
+    def test_campaign_cli_writes_artifacts(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        trace = tmp_path / "t.jsonl"
+        rc = main([
+            "campaign", "--tool", "bvf", "--budget", "40", "--seed", "5",
+            "--workers", "1", "--shards", "2",
+            "--metrics", str(metrics), "--trace", str(trace),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        assert json.loads(metrics.read_text())["schema"] == SCHEMA
+        shard_traces = sorted(tmp_path.glob("t.jsonl.shard*"))
+        assert len(shard_traces) == 2
+        first_line = shard_traces[0].read_text().splitlines()[0]
+        assert "ts" in json.loads(first_line)

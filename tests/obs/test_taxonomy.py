@@ -1,0 +1,114 @@
+"""Rejection-taxonomy tests.
+
+Satellite requirement: every ``VerifierReject`` message produced by the
+tier-1 corpus must map to a known reason code — ``UNCLASSIFIED`` must
+not leak for any rejection the seed corpus can produce.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BpfError, VerifierReject
+from repro.fuzz.campaign import Campaign, CampaignConfig
+from repro.kernel.config import PROFILES
+from repro.kernel.syscall import Kernel
+from repro.obs.taxonomy import (
+    REASON_CODES,
+    UNCLASSIFIED,
+    classify,
+    classify_counter,
+)
+from repro.testsuite import all_selftests_extended
+from repro.verifier.log import final_message
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "message, code",
+        [
+            ("R3 !read_ok", "UNINIT_REGISTER"),
+            ("frame pointer is read only", "FRAME_POINTER_WRITE"),
+            ("jump out of range from 3 to 99", "STRUCT_BAD_JUMP"),
+            ("BPF program is too large. Processed 1000001 insn",
+             "COMPLEXITY_LIMIT"),
+            ("invalid access to map value, value_size=8 off=12 size=4",
+             "MAP_VALUE_ACCESS"),
+            ("Unreleased reference id=2", "REFERENCE_LEAK"),
+        ],
+    )
+    def test_known_messages(self, message, code):
+        assert classify(message) == code
+
+    def test_unknown_message_is_unclassified(self):
+        assert classify("the moon is made of cheese") == UNCLASSIFIED
+
+    def test_all_codes_are_stable_identifiers(self):
+        for code in REASON_CODES:
+            assert code == code.upper()
+            assert " " not in code
+
+    def test_classify_counter(self):
+        counts = classify_counter(["R3 !read_ok", "R1 !read_ok", "???"])
+        assert counts["UNINIT_REGISTER"] == 2
+        assert counts[UNCLASSIFIED] == 1
+
+
+def collect_selftest_rejections():
+    """Load every extended selftest on every profile, both sanitize
+    modes, and collect each rejection's classified message."""
+    rejections = []
+    for profile_name, profile in PROFILES.items():
+        for sanitize in (False, True):
+            for selftest in all_selftests_extended():
+                kernel = Kernel(profile())
+                try:
+                    prog = selftest.build(kernel)
+                    kernel.prog_load(prog, sanitize=sanitize)
+                except VerifierReject as exc:
+                    message = final_message(exc.log) or exc.message
+                    rejections.append(
+                        (profile_name, selftest.name, message,
+                         classify(message))
+                    )
+                except BpfError as exc:
+                    rejections.append(
+                        (profile_name, selftest.name, exc.message,
+                         classify(exc.message))
+                    )
+    return rejections
+
+
+class TestSelftestCorpusCoverage:
+    def test_no_unclassified_rejections(self):
+        rejections = collect_selftest_rejections()
+        assert rejections, "expected the corpus to produce rejections"
+        leaks = [r for r in rejections if r[3] == UNCLASSIFIED]
+        assert not leaks, (
+            "UNCLASSIFIED rejection messages leaked from the seed "
+            f"corpus: {[(name, msg) for _, name, msg, _ in leaks]}"
+        )
+
+    def test_rejections_span_multiple_reasons(self):
+        codes = {r[3] for r in collect_selftest_rejections()}
+        assert len(codes) >= 3
+
+
+class TestCampaignTaxonomy:
+    @pytest.mark.parametrize(
+        "tool", ["bvf", "bvf-nostructure", "syzkaller", "buzzer"]
+    )
+    def test_no_unclassified_in_campaign(self, tool):
+        config = CampaignConfig(
+            tool=tool, kernel_version="bpf-next", budget=150, seed=11
+        )
+        result = Campaign(config).run()
+        assert UNCLASSIFIED not in result.reject_reasons
+        assert set(result.reject_reasons) <= set(REASON_CODES)
+
+    def test_reason_totals_match_errno_totals(self):
+        config = CampaignConfig(tool="bvf", kernel_version="bpf-next", budget=200,
+                                seed=3)
+        result = Campaign(config).run()
+        assert (sum(result.reject_reasons.values())
+                == sum(result.reject_errnos.values()))
