@@ -1,0 +1,103 @@
+"""Compare rejection-taxonomy distributions across CI runs.
+
+Usage::
+
+    python benchmarks/check_taxonomy_drift.py \
+        --previous prev/BENCH_throughput.json \
+        --current BENCH_throughput.json \
+        [--max-share-shift 0.05]
+
+The throughput benchmark records the rejection-reason distribution of a
+fixed (seed, budget, shards) campaign under ``"taxonomy"`` in
+``BENCH_throughput.json``.  That campaign is deterministic, so unlike
+programs/sec the distribution carries no hardware noise: any shift
+between two CI runs is a genuine behaviour change — a verifier check
+tightened or loosened, a generator producing different programs, or a
+taxonomy rule reordered.
+
+Two gates:
+
+- any reason whose share of generated programs moved by more than
+  ``--max-share-shift`` (appearing or vanishing included) fails the
+  run; intentional changes ride along with a refreshed baseline once
+  merged, since the comparison is always against the latest successful
+  run on the default branch;
+- an ``UNCLASSIFIED`` count above zero in the *current* run always
+  fails, even with no previous artifact: every rejection message must
+  map to a taxonomy rule.
+
+A missing or unreadable previous artifact skips the comparison (first
+run on a branch, expired artifact) but says so in the log.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_taxonomy(path: str) -> tuple[dict[str, int], int]:
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    section = payload.get("taxonomy")
+    if section is None:
+        raise KeyError(f"{path}: no taxonomy section in {sorted(payload)}")
+    generated = int(section.get("generated", 0))
+    if generated <= 0:
+        raise ValueError(f"{path}: taxonomy.generated not positive")
+    return dict(section.get("by_reason", {})), generated
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--previous", required=True,
+                        help="previous run's BENCH_throughput.json")
+    parser.add_argument("--current", required=True,
+                        help="this run's BENCH_throughput.json")
+    parser.add_argument("--max-share-shift", type=float, default=0.05,
+                        help="maximum tolerated per-reason share change "
+                             "(fraction of generated, default 0.05)")
+    args = parser.parse_args(argv)
+
+    try:
+        current, cur_total = load_taxonomy(args.current)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"taxonomy: current artifact unreadable: {exc}")
+        return 1
+
+    unclassified = current.get("UNCLASSIFIED", 0)
+    if unclassified:
+        print(f"taxonomy: FAIL - {unclassified} UNCLASSIFIED rejections "
+              f"in the current run; add rules to repro/obs/taxonomy.py")
+        return 1
+
+    try:
+        previous, prev_total = load_taxonomy(args.previous)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"taxonomy: no previous artifact to compare against "
+              f"({exc}); skipping drift check")
+        return 0
+
+    drifted = []
+    for reason in sorted(set(previous) | set(current)):
+        prev_share = previous.get(reason, 0) / prev_total
+        cur_share = current.get(reason, 0) / cur_total
+        shift = cur_share - prev_share
+        marker = ""
+        if abs(shift) > args.max_share_shift:
+            drifted.append(reason)
+            marker = "  <-- drift"
+        print(f"taxonomy: {reason:<28} {prev_share:7.1%} -> "
+              f"{cur_share:7.1%} ({shift:+.1%}){marker}")
+
+    if drifted:
+        print(f"taxonomy: FAIL - {len(drifted)} reason(s) shifted more "
+              f"than {args.max_share_shift:.0%}: {', '.join(drifted)}")
+        return 1
+    print("taxonomy: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,6 +39,21 @@ CONFIG = CampaignConfig(
     tool="bvf", kernel_version="bpf-next", budget=BUDGET, seed=0
 )
 
+#: Disabled-mode budget for the VStateChecker: leaving the flag off may
+#: cost at most this fraction of throughput versus an identical run.
+INVARIANT_OVERHEAD_BUDGET = float(
+    os.environ.get("BVF_BENCH_INVARIANT_BUDGET", "0.05")
+)
+
+
+def _load_payload() -> dict:
+    if OUTPUT.exists():
+        try:
+            return json.loads(OUTPUT.read_text())
+        except ValueError:
+            pass
+    return {}
+
 
 def test_parallel_throughput():
     serial = ParallelCampaign(CONFIG, workers=1).run()
@@ -58,7 +73,8 @@ def test_parallel_throughput():
         else 0.0
     )
 
-    payload = {
+    payload = _load_payload()
+    payload.update({
         "budget": BUDGET,
         "workers": WORKERS,
         "cpus": _CPUS,
@@ -67,7 +83,15 @@ def test_parallel_throughput():
         "speedup": round(speedup, 2),
         "bugs_found": len(parallel.findings),
         "merged_coverage": parallel.final_coverage,
-    }
+        # Rejection-reason distribution for the drift gate
+        # (benchmarks/check_taxonomy_drift.py).  Deterministic for a
+        # fixed (seed, budget, shards), so any change between CI runs
+        # is a real behaviour change, not noise.
+        "taxonomy": {
+            "generated": serial.generated,
+            "by_reason": dict(sorted(serial.reject_reasons.items())),
+        },
+    })
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
 
     print("\n=== Throughput (serial vs parallel) ===")
@@ -86,3 +110,70 @@ def test_parallel_throughput():
             f"parallel speedup {speedup:.2f}x below the {MIN_SPEEDUP:.1f}x "
             f"floor on a {_CPUS}-CPU machine"
         )
+
+
+def test_invariant_checker_overhead():
+    """VStateChecker cost: disabled mode must be free, enabled is
+    reported.
+
+    Disabled is the default; the verifier hot path pays one
+    ``is not None`` test per checkpoint.  Measured as best-of-N
+    interleaved serial campaigns so scheduler noise hits both sides
+    equally: a baseline run (flags defaulted) and an explicit
+    ``check_invariants=False`` run must agree within
+    ``INVARIANT_OVERHEAD_BUDGET``; the ``check_invariants=True``
+    overhead is recorded in ``BENCH_throughput.json`` for trend
+    tracking but not gated (opt-in diagnostics may cost what they
+    cost).
+    """
+    from repro.analysis.stats import ThroughputStats
+    from repro.fuzz.campaign import Campaign
+
+    def best_pps(**flags) -> float:
+        best = 0.0
+        for _ in range(2):
+            config = CampaignConfig(
+                tool="bvf", kernel_version="bpf-next", budget=BUDGET,
+                seed=0, **flags
+            )
+            stats = ThroughputStats.from_result(Campaign(config).run())
+            best = max(best, stats.programs_per_sec)
+        return best
+
+    # Interleave so a slow stretch of the host penalises all modes.
+    samples = {"baseline": 0.0, "disabled": 0.0, "enabled": 0.0}
+    for _ in range(2):
+        samples["baseline"] = max(samples["baseline"], best_pps())
+        samples["disabled"] = max(
+            samples["disabled"], best_pps(check_invariants=False)
+        )
+        samples["enabled"] = max(
+            samples["enabled"], best_pps(check_invariants=True)
+        )
+
+    disabled_overhead = 1.0 - samples["disabled"] / samples["baseline"]
+    enabled_overhead = 1.0 - samples["enabled"] / samples["baseline"]
+
+    payload = _load_payload()
+    payload["invariant_checker"] = {
+        "budget": BUDGET,
+        "baseline_programs_per_sec": round(samples["baseline"], 2),
+        "disabled_programs_per_sec": round(samples["disabled"], 2),
+        "enabled_programs_per_sec": round(samples["enabled"], 2),
+        "disabled_overhead": round(disabled_overhead, 4),
+        "enabled_overhead": round(enabled_overhead, 4),
+        "disabled_overhead_budget": INVARIANT_OVERHEAD_BUDGET,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print("\n=== VStateChecker overhead (serial) ===")
+    for mode in ("baseline", "disabled", "enabled"):
+        print(f"{mode:>9}: {samples[mode]:8.1f} programs/sec")
+    print(f"disabled overhead: {disabled_overhead:+.1%} "
+          f"(budget {INVARIANT_OVERHEAD_BUDGET:.0%}); "
+          f"enabled overhead: {enabled_overhead:+.1%}")
+
+    assert disabled_overhead <= INVARIANT_OVERHEAD_BUDGET, (
+        f"disabled-mode VStateChecker overhead {disabled_overhead:.1%} "
+        f"exceeds the {INVARIANT_OVERHEAD_BUDGET:.0%} budget"
+    )

@@ -48,6 +48,23 @@ def _emit_metrics(result, args: argparse.Namespace) -> None:
         print(f"trace written to {args.trace}*")
 
 
+def _print_divergences(result) -> None:
+    divergences = getattr(result, "divergences", {})
+    if not getattr(result.config, "differential", False):
+        return
+    by_cls: dict[str, int] = {}
+    for div in divergences.values():
+        cls = div.get("classification", "unexplained")
+        by_cls[cls] = by_cls.get(cls, 0) + 1
+    breakdown = " ".join(f"{c}={n}" for c, n in sorted(by_cls.items()))
+    print(f"\ncross-version divergences: {len(divergences)}"
+          + (f" ({breakdown})" if breakdown else ""))
+    for div in divergences.values():
+        print(f"  {div['kind']:<8} {div['profile_a']} vs {div['profile_b']}: "
+              f"{div['classification']} [{div['explanation']}] "
+              f"iteration {div['iteration']}")
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     config = CampaignConfig(
         tool=args.tool,
@@ -56,6 +73,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         seed=args.seed,
         sanitize=not args.no_sanitize,
         trace_path=args.trace,
+        differential=args.differential,
+        check_invariants=args.check_invariants,
     )
     print(
         f"fuzzing {args.kernel} with {args.tool}: {args.budget} programs, "
@@ -68,6 +87,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         f"{result.final_coverage} edges; corpus {result.corpus_size}"
     )
     print("\n" + render_bug_table(result.findings))
+    _print_divergences(result)
     if args.triage and result.findings:
         kernel_config = PROFILES[args.kernel]()
         for finding in result.findings.values():
@@ -85,6 +105,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         seed=args.seed,
         sanitize=not args.no_sanitize,
         trace_path=args.trace,
+        differential=args.differential,
+        check_invariants=args.check_invariants,
     )
     engine = ParallelCampaign(config, workers=args.workers, shards=args.shards)
     print(
@@ -107,6 +129,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         f"execute {throughput.execute_fraction:.0%} of busy time)"
     )
     print("\n" + render_bug_table(result.findings))
+    _print_divergences(result)
     if args.triage and result.findings:
         kernel_config = PROFILES[args.kernel]()
         for finding in result.findings.values():
@@ -203,6 +226,12 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--seed", type=int, default=0)
     fuzz.add_argument("--no-sanitize", action="store_true",
                       help="disable BVF's memory-access sanitation")
+    fuzz.add_argument("--differential", action="store_true",
+                      help="run every program through the cross-version "
+                           "differential oracle (v5.15/v6.1/bpf-next)")
+    fuzz.add_argument("--check-invariants", action="store_true",
+                      help="validate verifier abstract-state invariants "
+                           "at checkpoints (VStateChecker)")
     fuzz.add_argument("--triage", action="store_true",
                       help="print a triage report per finding")
     fuzz.add_argument("--trace", metavar="PATH", default=None,
@@ -229,6 +258,12 @@ def build_parser() -> argparse.ArgumentParser:
                                "(seed, budget, shards), never on --workers")
     campaign.add_argument("--no-sanitize", action="store_true",
                           help="disable BVF's memory-access sanitation")
+    campaign.add_argument("--differential", action="store_true",
+                          help="run every program through the cross-version "
+                               "differential oracle (v5.15/v6.1/bpf-next)")
+    campaign.add_argument("--check-invariants", action="store_true",
+                          help="validate verifier abstract-state invariants "
+                               "at checkpoints (VStateChecker)")
     campaign.add_argument("--triage", action="store_true",
                           help="print a triage report per finding")
     campaign.add_argument("--trace", metavar="PATH", default=None,

@@ -191,7 +191,13 @@ def render_dashboard(artifact: dict) -> str:
         "bug indicators: "
         + "  ".join(
             f"{name}={indicators.get(name, 0)}"
-            for name in ("indicator1", "indicator2", "component")
+            for name in (
+                "indicator1",
+                "indicator2",
+                "component",
+                "differential",
+                "invariant",
+            )
         ),
     ]
     findings = artifact.get("findings", {})
@@ -201,4 +207,31 @@ def render_dashboard(artifact: dict) -> str:
             f"  {bug_id:<34} {info['indicator']:<10} "
             f"iteration {info['iteration']}"
         )
+
+    differential = artifact.get("differential", {})
+    if differential.get("enabled") or differential.get("total"):
+        by_cls = differential.get("by_classification", {})
+        lines += [
+            "",
+            "cross-version divergences: "
+            f"{differential.get('total', 0)} "
+            + " ".join(
+                f"{cls}={count}" for cls, count in sorted(by_cls.items())
+            ),
+        ]
+        rows = differential.get("divergences", [])
+        if rows:
+            lines.append(
+                f"  {'kind':<8} {'profiles':<20} {'class':<12} "
+                f"{'iter':>5}  explanation"
+            )
+            for div in rows:
+                profiles = f"{div['profile_a']} vs {div['profile_b']}"
+                lines.append(
+                    f"  {div['kind']:<8} {profiles:<20} "
+                    f"{div['classification']:<12} "
+                    f"{div['iteration']:>5}  {div['explanation']}"
+                )
+        else:
+            lines.append("  (no divergences)")
     return "\n".join(lines)

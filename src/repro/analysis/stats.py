@@ -119,6 +119,8 @@ class ThroughputStats:
     generate_seconds: float = 0.0
     verify_seconds: float = 0.0
     execute_seconds: float = 0.0
+    #: cross-version differential oracle time (0.0 unless enabled)
+    differential_seconds: float = 0.0
 
     @classmethod
     def from_result(cls, result: CampaignResult) -> "ThroughputStats":
@@ -128,6 +130,7 @@ class ThroughputStats:
             generate_seconds=result.generate_seconds,
             verify_seconds=result.verify_seconds,
             execute_seconds=result.execute_seconds,
+            differential_seconds=getattr(result, "differential_seconds", 0.0),
         )
 
     @property
@@ -137,7 +140,8 @@ class ThroughputStats:
     @property
     def busy_seconds(self) -> float:
         """Total attributed CPU time across all phases (and shards)."""
-        return self.generate_seconds + self.verify_seconds + self.execute_seconds
+        return (self.generate_seconds + self.verify_seconds
+                + self.execute_seconds + self.differential_seconds)
 
     @property
     def verify_fraction(self) -> float:
@@ -163,6 +167,7 @@ class ThroughputStats:
             "generate_seconds": round(self.generate_seconds, 4),
             "verify_seconds": round(self.verify_seconds, 4),
             "execute_seconds": round(self.execute_seconds, 4),
+            "differential_seconds": round(self.differential_seconds, 4),
             "verify_fraction": round(self.verify_fraction, 4),
             "execute_fraction": round(self.execute_fraction, 4),
             "parallelism": round(self.parallelism, 2),

@@ -19,6 +19,7 @@ __all__ = [
     "EncodingError",
     "MapError",
     "HelperError",
+    "InvariantViolation",
     "KernelReport",
     "KasanReport",
     "LockdepReport",
@@ -67,6 +68,47 @@ class VerifierReject(BpfError):
 
 class EncodingError(ReproError):
     """An instruction could not be encoded or decoded."""
+
+
+class InvariantViolation(ReproError):
+    """The verifier's own abstract state broke a domain invariant.
+
+    Raised by :class:`repro.verifier.sanity.VStateChecker` when a
+    register state observed at a verifier checkpoint violates one of
+    the tnum/range domain's representation invariants.  Unlike
+    :class:`VerifierReject` this is not a verdict about the program —
+    it is direct evidence of a bug in the verifier itself, the static
+    analogue of a KASAN report (see DESIGN.md "Abstract-state
+    sanitizer").
+    """
+
+    def __init__(
+        self,
+        code: str,
+        detail: str,
+        *,
+        checkpoint: str = "",
+        insn_idx: int = -1,
+        frameno: int = -1,
+        regno: int = -1,
+    ) -> None:
+        where = f"frame{frameno} " if frameno >= 0 else ""
+        who = f"R{regno}" if regno >= 0 else "stack"
+        super().__init__(
+            f"verifier state invariant {code} broken at "
+            f"{checkpoint or 'checkpoint'} insn {insn_idx}: "
+            f"{where}{who} {detail}"
+        )
+        self.code = code
+        self.detail = detail
+        self.checkpoint = checkpoint
+        self.insn_idx = insn_idx
+        self.frameno = frameno
+        self.regno = regno
+
+    @property
+    def message(self) -> str:
+        return str(self)
 
 
 class MapError(BpfError):

@@ -18,12 +18,19 @@ Buzzer characterisation), and the deduplicated bug table (Table 2).
 
 from __future__ import annotations
 
+import errno as _errno
 import time
 from collections import Counter
 from dataclasses import dataclass, field
 
 from repro import obs
-from repro.errors import BpfError, KernelReport, MapError, VerifierReject
+from repro.errors import (
+    BpfError,
+    InvariantViolation,
+    KernelReport,
+    MapError,
+    VerifierReject,
+)
 from repro.obs.taxonomy import classify
 from repro.verifier.log import final_message
 from repro.ebpf.opcodes import InsnClass
@@ -63,6 +70,12 @@ class CampaignConfig:
     #: write a JSONL trace of the run here (None = tracing disabled;
     #: sharded campaigns append a per-shard suffix)
     trace_path: str | None = None
+    #: run every generated program through the cross-version
+    #: differential oracle (:mod:`repro.analysis.differential`)
+    differential: bool = False
+    #: run the :class:`~repro.verifier.sanity.VStateChecker` at
+    #: verifier checkpoints (off = zero-cost hot path)
+    check_invariants: bool = False
 
 
 @dataclass
@@ -95,10 +108,14 @@ class CampaignResult:
     #: instruction-class mix over all generated programs
     insn_classes: Counter = field(default_factory=Counter)
     corpus_size: int = 0
+    #: divergence key -> divergence dict (cross-version differential
+    #: oracle; :meth:`Divergence.to_dict` form, deduplicated)
+    divergences: dict[str, dict] = field(default_factory=dict)
     #: wall-clock split of the campaign loop (ThroughputStats input)
     generate_seconds: float = 0.0
     verify_seconds: float = 0.0
     execute_seconds: float = 0.0
+    differential_seconds: float = 0.0
     wall_seconds: float = 0.0
 
     @property
@@ -157,6 +174,14 @@ class Campaign:
         self.corpus = Corpus()
         self.kernel_config: KernelConfig = PROFILES[config.kernel_version]()
         self.oracle = Oracle(self.kernel_config)
+        if config.differential:
+            # Imported lazily: analysis.stats imports CampaignResult
+            # from this module, so a top-level import would be circular.
+            from repro.analysis.differential import DifferentialOracle
+
+            self.differential = DifferentialOracle()
+        else:
+            self.differential = None
         # One generator for the whole campaign; each iteration rebinds
         # it to that iteration's fresh Kernel (crash isolation stays
         # per-iteration, construction cost does not).
@@ -215,6 +240,7 @@ class Campaign:
         result.generate_seconds = clock.seconds["generate"]
         result.verify_seconds = clock.seconds["verify"]
         result.execute_seconds = clock.seconds["execute"]
+        result.differential_seconds = clock.seconds["differential"]
         result.wall_seconds = time.perf_counter() - started
         result.metrics = registry.snapshot()
         return result
@@ -241,6 +267,11 @@ class Campaign:
         for kind in kinds:
             result.frame_generated[kind] += 1
 
+        if self.differential is not None:
+            with self._clock.phase("differential"):
+                for div in self.differential.run(gp, iteration):
+                    self._record_divergence(result, div, iteration)
+
         prog = BpfProgram(
             insns=list(gp.insns),
             prog_type=gp.prog_type,
@@ -251,6 +282,15 @@ class Campaign:
         with self._clock.phase("verify"):
             try:
                 verified = self._load(kernel, prog)
+            except InvariantViolation as violation:
+                # Not a verdict: the verifier's own abstract state broke.
+                self._reject(result, _errno.EFAULT, str(violation))
+                self._record(
+                    result,
+                    self.oracle.classify_invariant(violation, gp),
+                    iteration,
+                )
+                return
             except VerifierReject as reject:
                 self._reject(result, reject.errno,
                              final_message(reject.log) or reject.message)
@@ -279,12 +319,30 @@ class Campaign:
             rec.event("campaign.reject", errno=errno, reason=reason,
                       message=message)
 
+    def _record_divergence(
+        self, result: CampaignResult, div, iteration: int
+    ) -> None:
+        """Fold one :class:`~repro.analysis.differential.Divergence` in."""
+        entry = div.to_dict()
+        kept = result.divergences.get(entry["key"])
+        if kept is None:
+            result.divergences[entry["key"]] = entry
+        obs.metrics().counter("campaign.divergences")
+        rec = obs.recorder()
+        if rec.enabled:
+            rec.event("campaign.divergence", key=entry["key"],
+                      kind=entry["kind"],
+                      classification=entry["classification"])
+        self._record(result, self.oracle.classify_divergence(div), iteration)
+
     def _load(self, kernel: Kernel, prog: BpfProgram):
         sanitize = self.config.sanitize and kernel.config.sanitizer_available
+        check = self.config.check_invariants
         if self.config.collect_coverage:
             with self.coverage.collect():
-                return kernel.prog_load(prog, sanitize=sanitize)
-        return kernel.prog_load(prog, sanitize=sanitize)
+                return kernel.prog_load(prog, sanitize=sanitize,
+                                        check_invariants=check)
+        return kernel.prog_load(prog, sanitize=sanitize, check_invariants=check)
 
     # ----------------------------------------------------------- generation --
 

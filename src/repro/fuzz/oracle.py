@@ -16,6 +16,7 @@ is the root cause.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 from repro import obs
@@ -49,10 +50,18 @@ _INDICATOR1_FLAWS = (
 
 @dataclass
 class BugFinding:
-    """One deduplicated vulnerability discovered by a campaign."""
+    """One deduplicated vulnerability discovered by a campaign.
+
+    ``indicator`` values: ``indicator1`` / ``indicator2`` are the
+    paper's two runtime signals; ``component`` marks non-verifier eBPF
+    bugs (Table 2, #7-#11); ``differential`` marks verdict/range
+    divergences from the cross-version oracle (static, no execution);
+    ``invariant`` marks the verifier's own abstract state breaking a
+    domain invariant (:class:`~repro.verifier.sanity.VStateChecker`).
+    """
 
     bug_id: str
-    indicator: str  # 'indicator1' | 'indicator2' | 'component'
+    indicator: str  # indicator1 | indicator2 | component | differential | invariant
     report_kind: str
     message: str
     iteration: int = -1
@@ -60,7 +69,9 @@ class BugFinding:
 
     @property
     def is_verifier_bug(self) -> bool:
-        return self.indicator in ("indicator1", "indicator2")
+        return self.indicator in (
+            "indicator1", "indicator2", "differential", "invariant"
+        )
 
 
 def replay_kernel(config: KernelConfig, gp: GeneratedProgram) -> Kernel:
@@ -224,6 +235,78 @@ class Oracle:
                 prog=gp,
             )
         return None
+
+    def classify_divergence(self, div) -> BugFinding | None:
+        """Map one cross-version divergence to a finding (indicator #3).
+
+        ``div`` is a :class:`repro.analysis.differential.Divergence`
+        (duck-typed here so ``fuzz`` need not import ``analysis``).
+        Known-flaw divergences re-discover a registry bug statically —
+        the regression-oracle half; unexplained (and joint-delta-only)
+        divergences are new bug reports.  Feature gaps are expected
+        version skew: they stay in the divergence table but produce no
+        finding.
+        """
+        if div.classification == "feature-gap":
+            return None
+        if div.classification == "known-flaw":
+            bug_id = div.explanation
+            message = (
+                f"{div.kind} divergence {div.profile_a} vs {div.profile_b} "
+                f"explained by {div.explanation}"
+            )
+        else:
+            # A short stable digest keeps the bug table readable while
+            # still deduplicating per distinct divergence signature.
+            digest = hashlib.sha1(div.key.encode()).hexdigest()[:10]
+            bug_id = (
+                f"differential:{div.classification}:"
+                f"{div.profile_a}-vs-{div.profile_b}:{digest}"
+            )
+            message = (
+                f"{div.kind} divergence {div.profile_a} vs {div.profile_b} "
+                f"({div.classification}): "
+                f"{div.outcome_a.verdict}/{div.outcome_a.reason or '-'} vs "
+                f"{div.outcome_b.verdict}/{div.outcome_b.reason or '-'}"
+            )
+        m = obs.metrics()
+        m.counter("oracle.reports")
+        m.counter("oracle.differential")
+        rec = obs.recorder()
+        if rec.enabled:
+            rec.event("oracle.finding", bug_id=bug_id,
+                      indicator="differential", report="divergence")
+        return BugFinding(
+            bug_id=bug_id,
+            indicator="differential",
+            report_kind="divergence",
+            message=message,
+        )
+
+    def classify_invariant(
+        self, violation, gp: GeneratedProgram | None
+    ) -> BugFinding:
+        """Map a broken verifier abstract state to a finding.
+
+        ``violation`` is a :class:`repro.errors.InvariantViolation`.
+        Like indicator #1 this is direct evidence of a verifier bug,
+        but caught statically by the VStateChecker rather than at
+        runtime by the sanitizer.
+        """
+        m = obs.metrics()
+        m.counter("oracle.reports")
+        m.counter("oracle.invariant")
+        rec = obs.recorder()
+        if rec.enabled:
+            rec.event("oracle.finding", bug_id=f"invariant:{violation.code}",
+                      indicator="invariant", report="invariant-violation")
+        return BugFinding(
+            bug_id=f"invariant:{violation.code}",
+            indicator="invariant",
+            report_kind="invariant-violation",
+            message=str(violation),
+            prog=gp,
+        )
 
     # --- triage --------------------------------------------------------------------
 

@@ -51,6 +51,7 @@ import time
 from collections import Counter
 from dataclasses import dataclass, field, replace
 
+from repro.analysis.differential import merge_divergences
 from repro.fuzz.campaign import Campaign, CampaignConfig, CampaignResult
 from repro.fuzz.corpus import specs_of
 from repro.fuzz.oracle import BugFinding
@@ -92,6 +93,9 @@ class ShardResult:
     metrics: dict = field(default_factory=dict)
     #: bug id -> finding, iterations already remapped to global
     findings: dict[str, BugFinding] = field(default_factory=dict)
+    #: divergence key -> divergence dict, iterations remapped to global
+    #: (:meth:`repro.analysis.differential.Divergence.to_dict` form)
+    divergences: dict[str, dict] = field(default_factory=dict)
     #: the shard's cumulative verifier edge set
     edges: frozenset[int] = frozenset()
     #: (local programs generated, new edges since previous sample)
@@ -101,6 +105,7 @@ class ShardResult:
     generate_seconds: float = 0.0
     verify_seconds: float = 0.0
     execute_seconds: float = 0.0
+    differential_seconds: float = 0.0
     wall_seconds: float = 0.0
 
 
@@ -156,6 +161,13 @@ def _run_shard(payload) -> ShardResult:
         finding.iteration += start_iteration
         findings[bug_id] = _strip_finding(finding)
 
+    divergences = {}
+    for key, div in result.divergences.items():
+        div = dict(div)
+        if div.get("iteration", -1) >= 0:
+            div["iteration"] += start_iteration
+        divergences[key] = div
+
     return ShardResult(
         index=index,
         start_iteration=start_iteration,
@@ -168,6 +180,7 @@ def _run_shard(payload) -> ShardResult:
         frame_accepted=result.frame_accepted,
         metrics=result.metrics,
         findings=findings,
+        divergences=divergences,
         edges=campaign.coverage.snapshot_edges(),
         edge_samples=result.edge_samples,
         insn_classes=result.insn_classes,
@@ -175,6 +188,7 @@ def _run_shard(payload) -> ShardResult:
         generate_seconds=result.generate_seconds,
         verify_seconds=result.verify_seconds,
         execute_seconds=result.execute_seconds,
+        differential_seconds=result.differential_seconds,
         wall_seconds=result.wall_seconds,
     )
 
@@ -206,12 +220,17 @@ def merge_shards(
         merged.generate_seconds += shard.generate_seconds
         merged.verify_seconds += shard.verify_seconds
         merged.execute_seconds += shard.execute_seconds
+        merged.differential_seconds += shard.differential_seconds
         all_edges |= shard.edges
 
         for bug_id, finding in shard.findings.items():
             kept = merged.findings.get(bug_id)
             if kept is None or finding.iteration < kept.iteration:
                 merged.findings[bug_id] = finding
+
+    merged.divergences = merge_divergences(
+        [shard.divergences for shard in ordered]
+    )
 
     merged.final_coverage = len(all_edges)
     merged.metrics = merge_snapshots([s.metrics for s in ordered if s.metrics])

@@ -137,18 +137,26 @@ class Kernel:
         prog: BpfProgram,
         log_level: int = 1,
         sanitize: bool = False,
+        check_invariants: bool = False,
     ) -> VerifiedProgram:
         """``BPF_PROG_LOAD``: run the verifier; raises VerifierReject.
 
         ``sanitize=True`` enables BVF's instrumentation (the Kconfig
-        gate from the paper's patches).
+        gate from the paper's patches).  ``check_invariants=True``
+        additionally runs the :class:`~repro.verifier.sanity.
+        VStateChecker` at verifier checkpoints; a broken abstract state
+        raises :class:`~repro.errors.InvariantViolation`.
         """
         from repro.verifier.core import Verifier
 
         if sanitize and not self.config.sanitizer_available:
             raise BpfError(errno.EINVAL, "sanitizer not available in this kernel")
         verified = Verifier(
-            self, prog, log_level=log_level, sanitize=sanitize
+            self,
+            prog,
+            log_level=log_level,
+            sanitize=sanitize,
+            check_invariants=check_invariants,
         ).verify()
         verified.fd = self._install_fd(verified)
         self.loaded_programs.append(verified)

@@ -69,7 +69,13 @@ def build_artifact(result) -> dict:
             }
         )
 
-    indicators = {"indicator1": 0, "indicator2": 0, "component": 0}
+    indicators = {
+        "indicator1": 0,
+        "indicator2": 0,
+        "component": 0,
+        "differential": 0,
+        "invariant": 0,
+    }
     findings = {}
     for bug_id in sorted(result.findings):
         finding = result.findings[bug_id]
@@ -80,6 +86,12 @@ def build_artifact(result) -> dict:
             "iteration": finding.iteration,
         }
 
+    divergences = dict(sorted(getattr(result, "divergences", {}).items()))
+    by_classification: dict[str, int] = {}
+    for div in divergences.values():
+        cls = div.get("classification", "unexplained")
+        by_classification[cls] = by_classification.get(cls, 0) + 1
+
     return {
         "schema": SCHEMA,
         "config": {
@@ -88,6 +100,8 @@ def build_artifact(result) -> dict:
             "budget": config.budget,
             "seed": config.seed,
             "sanitize": config.sanitize,
+            "differential": getattr(config, "differential", False),
+            "check_invariants": getattr(config, "check_invariants", False),
             "shards": getattr(result, "shards", 1),
             "workers": getattr(result, "workers", 1),
         },
@@ -100,6 +114,12 @@ def build_artifact(result) -> dict:
         },
         "indicators": indicators,
         "findings": findings,
+        "differential": {
+            "enabled": getattr(config, "differential", False),
+            "total": len(divergences),
+            "by_classification": dict(sorted(by_classification.items())),
+            "divergences": list(divergences.values()),
+        },
         "taxonomy": {
             "by_reason": dict(sorted(result.reject_reasons.items())),
             "by_errno": {

@@ -145,6 +145,16 @@ _RAW_RULES: tuple[tuple[str, str], ...] = (
      r"is not allowed in NMI context|cannot pass map_type \d+ into"
      r"|calling kernel functions is not supported"
      r"|kernel function btf_id \d+ is not allowed"),
+    # --- verifier abstract-state invariant violations --------------------
+    # (repro.verifier.sanity.VStateChecker; the message embeds the
+    # invariant code, so each code owns its reason bucket)
+    ("INV_TNUM_WELLFORMED", r"invariant INV_TNUM_WELLFORMED"),
+    ("INV_BOUNDS_DOMAIN", r"invariant INV_BOUNDS_DOMAIN"),
+    ("INV_BOUNDS_ORDER", r"invariant INV_BOUNDS_ORDER"),
+    ("INV_BOUNDS_EMPTY", r"invariant INV_BOUNDS_EMPTY"),
+    ("INV_TNUM_RANGE_SYNC", r"invariant INV_TNUM_RANGE_SYNC"),
+    ("INV_U32_BOUNDS", r"invariant INV_U32_BOUNDS"),
+    ("INV_POINTER_OFFSET", r"invariant INV_POINTER_OFFSET"),
     # --- kernel-level load errors (BpfError, not VerifierReject) ---------
     ("KERNEL_SANITIZER_UNAVAILABLE", r"sanitizer not available"),
     ("KERNEL_LOAD_ERROR",

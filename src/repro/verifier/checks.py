@@ -187,18 +187,45 @@ def _scalar_rsh(dst: RegState, shift: int) -> None:
     dst.umin >>= shift
     dst.umax >>= shift
     dst.var_off = dst.var_off.rshift(shift)
-    dst.smin = dst.umin
-    dst.smax = dst.umax
+    if dst.umax <= S64_MAX:
+        # The result cannot have the sign bit set, so the unsigned
+        # bounds are also valid signed bounds.  A zero shift leaves
+        # umax possibly above S64_MAX; copying it into smax would put
+        # the signed bound outside its domain and sync_bounds would
+        # then "repair" the state by unsoundly halving umax.
+        dst.smin = dst.umin
+        dst.smax = dst.umax
+    else:
+        dst.smin, dst.smax = S64_MIN, S64_MAX
 
 
 def _scalar_arsh(dst: RegState, shift: int, bits: int) -> None:
-    dst.smin >>= shift
-    dst.smax >>= shift
     dst.var_off = dst.var_off.arshift(shift, bits)
-    if dst.smin >= 0:
-        dst.umin, dst.umax = dst.smin, dst.smax
+    if bits == 64:
+        dst.smin >>= shift
+        dst.smax >>= shift
+        if dst.smin >= 0:
+            dst.umin, dst.umax = dst.smin, dst.smax
+        else:
+            dst.umin, dst.umax = 0, U64_MAX
+        return
+    # 32-bit: ``dst`` is the zero-extended low-32 view, so its bounds
+    # must be reinterpreted as s32 before an arithmetic shift — bit 31
+    # is the sign bit, not bit 63.
+    sign = 1 << 31
+    if dst.umax < sign:
+        # Sign bit clear everywhere: arithmetic == logical shift.
+        dst.umin >>= shift
+        dst.umax >>= shift
+    elif dst.umin >= sign:
+        # Sign bit set everywhere; shift in s32 space (order-preserving)
+        # and wrap the (still negative) results back to u32.
+        dst.umin = ((dst.umin - (1 << 32)) >> shift) & U32_MAX
+        dst.umax = ((dst.umax - (1 << 32)) >> shift) & U32_MAX
     else:
-        dst.umin, dst.umax = 0, U64_MAX
+        # Sign unknown: the shifted range wraps around zero.
+        dst.umin, dst.umax = 0, U32_MAX
+    dst.smin, dst.smax = dst.umin, dst.umax
 
 
 def scalar_alu(v, dst: RegState, src: RegState, op: AluOp, is64: bool) -> None:

@@ -82,12 +82,27 @@ class Verifier:
         prog: BpfProgram,
         log_level: int = 1,
         sanitize: bool = False,
+        check_invariants: bool = False,
+        collect_exit_states: bool = False,
     ) -> None:
         self.kernel = kernel
         self.config = kernel.config
         self.prog = prog
         self.insns = prog.insns
         self.sanitize = sanitize
+        #: abstract-state sanitizer (None = disabled, the hot-path
+        #: default: each checkpoint then costs one ``is not None`` test)
+        if check_invariants:
+            from repro.verifier.sanity import VStateChecker
+
+            self.sanity: object | None = VStateChecker()
+        else:
+            self.sanity = None
+        #: per-exit R0 range summaries for the differential oracle
+        #: (None = disabled)
+        self.exit_r0_summaries: list[tuple] | None = (
+            [] if collect_exit_states else None
+        )
         self.log = VerifierLog(log_level)
         self.env = VerifierEnv(self.log, self.config.complexity_limit)
         #: pseudo LD_IMM64 resolutions: slot index -> (kind, payload)
@@ -364,6 +379,9 @@ class Verifier:
                 )
                 self.log.write(f"{idx}: {format_insn(insn)} ; {regs_text}")
 
+            if self.sanity is not None and idx in self._prune_points:
+                self.sanity.check_state(state, "prune", idx)
+
             if idx in self._loop_headers:
                 # Kernel behaviour: reaching a back-edge target with a
                 # state subsumed by one already verified there means the
@@ -538,6 +556,19 @@ class Verifier:
             self.reject(
                 errno.EINVAL, "bpf_spin_lock is held but program exits"
             )
+        if self.exit_r0_summaries is not None:
+            # Final-range fingerprint material for the differential
+            # oracle: the abstract R0 this path exits with.
+            self.exit_r0_summaries.append(
+                (
+                    r0.umin,
+                    r0.umax,
+                    r0.smin,
+                    r0.smax,
+                    r0.var_off.value,
+                    r0.var_off.mask,
+                )
+            )
         return None  # path complete
 
     def _do_call(self, state: VerifierState, insn: Insn) -> VerifierState | None:
@@ -571,9 +602,13 @@ class Verifier:
             return state
         if insn.is_kfunc_call():
             check_kfunc_call(self, state, insn)
+            if self.sanity is not None:
+                self.sanity.check_state(state, "kfunc-return", idx)
             state.insn_idx = idx + 1
             return state
         check_helper_call(self, state, insn)
+        if self.sanity is not None:
+            self.sanity.check_state(state, "helper-return", idx)
         state.insn_idx = idx + 1
         return state
 
@@ -633,6 +668,14 @@ class Verifier:
         # Drop impossible branches (contradictory refined bounds).
         push_taken = not (t_dst.is_bounds_broken() or t_src.is_bounds_broken())
         keep_false = not (f_dst.is_bounds_broken() or f_src.is_bounds_broken())
+        if self.sanity is not None:
+            # Branch-merge checkpoint: only surviving states must hold
+            # the invariants (dropped sides are contradictory by
+            # construction).
+            if push_taken:
+                self.sanity.check_state(taken_state, "branch", idx)
+            if keep_false:
+                self.sanity.check_state(state, "branch", idx)
         if push_taken:
             self.env.push_state(taken_state)
         if keep_false:
@@ -714,7 +757,17 @@ _SWAP_OP = {
 
 
 def verify_program(
-    kernel, prog: BpfProgram, log_level: int = 1, sanitize: bool = False
+    kernel,
+    prog: BpfProgram,
+    log_level: int = 1,
+    sanitize: bool = False,
+    check_invariants: bool = False,
 ) -> VerifiedProgram:
     """Convenience wrapper: run the verifier over ``prog``."""
-    return Verifier(kernel, prog, log_level=log_level, sanitize=sanitize).verify()
+    return Verifier(
+        kernel,
+        prog,
+        log_level=log_level,
+        sanitize=sanitize,
+        check_invariants=check_invariants,
+    ).verify()

@@ -215,13 +215,19 @@ class RegState:
             self.smax = s64(self.umax)
             return
         if s64(self.umax) >= 0:
-            # Whole unsigned range is non-negative as signed.
+            # Whole unsigned range is non-negative as signed; the old
+            # smax (>= 0 here) is still a valid upper bound, so keep
+            # whichever is tighter (kernel: min_t(u64, smax, umax)).
             self.smin = max(self.smin, self.umin)
-            self.smax = s64(self.umax)
-        elif s64(self.umin) < 0:
-            # Whole unsigned range is negative as signed.
-            self.smin = s64(self.umin)
             self.smax = min(self.smax, s64(self.umax))
+            self.umax = u64(self.smax)
+        elif s64(self.umin) < 0:
+            # Whole unsigned range is negative as signed; the old smin
+            # (< 0 here) still bounds from below (kernel: max_t(u64,
+            # smin, umin) — comparing as u64 picks the tighter one).
+            self.smin = max(self.smin, s64(self.umin))
+            self.smax = min(self.smax, s64(self.umax))
+            self.umin = u64(self.smin)
 
     def _bound_offset(self) -> None:
         """interval bounds -> tnum (``__reg_bound_offset``)."""

@@ -1,0 +1,89 @@
+"""CI taxonomy-drift gate: drift detection, UNCLASSIFIED, skip paths."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_CHECKER = (Path(__file__).resolve().parents[2] / "benchmarks"
+            / "check_taxonomy_drift.py")
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location("taxonomy_drift", _CHECKER)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def write_bench(path: Path, by_reason: dict[str, int],
+                generated: int = 100) -> str:
+    path.write_text(json.dumps(
+        {"taxonomy": {"generated": generated, "by_reason": by_reason}}
+    ))
+    return str(path)
+
+
+def test_identical_distributions_pass(checker, tmp_path):
+    prev = write_bench(tmp_path / "prev.json", {"STACK_ACCESS": 20})
+    cur = write_bench(tmp_path / "cur.json", {"STACK_ACCESS": 20})
+    assert checker.main(["--previous", prev, "--current", cur]) == 0
+
+
+def test_small_shift_passes(checker, tmp_path):
+    prev = write_bench(tmp_path / "prev.json", {"STACK_ACCESS": 20})
+    cur = write_bench(tmp_path / "cur.json", {"STACK_ACCESS": 23})
+    assert checker.main(["--previous", prev, "--current", cur]) == 0
+
+
+def test_large_shift_fails(checker, tmp_path):
+    prev = write_bench(tmp_path / "prev.json", {"STACK_ACCESS": 20})
+    cur = write_bench(tmp_path / "cur.json", {"STACK_ACCESS": 40})
+    assert checker.main(["--previous", prev, "--current", cur]) == 1
+
+
+def test_vanished_reason_fails(checker, tmp_path):
+    prev = write_bench(tmp_path / "prev.json", {"STACK_ACCESS": 10})
+    cur = write_bench(tmp_path / "cur.json", {})
+    assert checker.main(["--previous", prev, "--current", cur]) == 1
+
+
+def test_new_reason_above_threshold_fails(checker, tmp_path):
+    prev = write_bench(tmp_path / "prev.json", {})
+    cur = write_bench(tmp_path / "cur.json", {"NEW_REASON": 10})
+    assert checker.main(["--previous", prev, "--current", cur]) == 1
+
+
+def test_threshold_is_configurable(checker, tmp_path):
+    prev = write_bench(tmp_path / "prev.json", {"STACK_ACCESS": 20})
+    cur = write_bench(tmp_path / "cur.json", {"STACK_ACCESS": 40})
+    assert checker.main(["--previous", prev, "--current", cur,
+                         "--max-share-shift", "0.5"]) == 0
+
+
+def test_unclassified_fails_even_without_previous(checker, tmp_path):
+    cur = write_bench(tmp_path / "cur.json", {"UNCLASSIFIED": 1})
+    assert checker.main(["--previous", str(tmp_path / "none.json"),
+                         "--current", cur]) == 1
+
+
+def test_missing_previous_skips(checker, tmp_path):
+    cur = write_bench(tmp_path / "cur.json", {"STACK_ACCESS": 5})
+    assert checker.main(["--previous", str(tmp_path / "none.json"),
+                         "--current", cur]) == 0
+
+
+def test_previous_without_taxonomy_section_skips(checker, tmp_path):
+    prev = tmp_path / "prev.json"
+    prev.write_text(json.dumps({"parallel": {}}))
+    cur = write_bench(tmp_path / "cur.json", {"STACK_ACCESS": 5})
+    assert checker.main(["--previous", str(prev), "--current", cur]) == 0
+
+
+def test_missing_current_fails(checker, tmp_path):
+    assert checker.main(["--previous", str(tmp_path / "p.json"),
+                         "--current", str(tmp_path / "c.json")]) == 1

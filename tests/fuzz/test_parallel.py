@@ -232,3 +232,57 @@ class TestParallelCampaign:
         few = ParallelCampaign(self.CONFIG, workers=1).shard_plan()
         many = ParallelCampaign(self.CONFIG, workers=16).shard_plan()
         assert few == many
+
+
+class TestDifferentialInvariance:
+    """Issue 6 satellite: the cross-version divergence artifacts are part
+    of the worker-count-invariance contract — workers=1 and workers=4
+    produce bit-identical ``strip_wall(artifact)``, differential section
+    included."""
+
+    CONFIG = CampaignConfig(
+        tool="bvf",
+        kernel_version="bpf-next",
+        budget=60,
+        seed=0,
+        differential=True,
+        check_invariants=True,
+    )
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return ParallelCampaign(self.CONFIG, workers=1).run()
+
+    @pytest.fixture(scope="class")
+    def parallel(self):
+        return ParallelCampaign(self.CONFIG, workers=4).run()
+
+    def test_campaign_produces_divergences(self, serial):
+        assert serial.divergences
+        for key, div in serial.divergences.items():
+            assert div["key"] == key
+
+    def test_divergences_identical_across_workers(self, serial, parallel):
+        assert serial.divergences == parallel.divergences
+
+    def test_stripped_artifacts_identical(self, serial, parallel):
+        from repro.obs.artifact import build_artifact, strip_wall
+
+        a = strip_wall(build_artifact(serial))
+        b = strip_wall(build_artifact(parallel))
+        assert a == b
+        assert a["differential"]["enabled"]
+        assert a["differential"]["total"] == len(serial.divergences)
+
+    def test_differential_findings_merged(self, serial):
+        # Non-feature-gap divergences become findings with the
+        # 'differential' indicator (or a registry bug_id).
+        diff_findings = [
+            f for f in serial.findings.values()
+            if f.indicator == "differential"
+        ]
+        interesting = [
+            d for d in serial.divergences.values()
+            if d["classification"] != "feature-gap"
+        ]
+        assert len(diff_findings) == len(interesting)

@@ -159,3 +159,126 @@ class TestWidths:
         # Unknown low bits are not provably aligned.
         assert not Tnum(0, 0x7).is_aligned(8)
         assert Tnum(8, ~0xF & U64).is_aligned(8)
+
+
+# ---------------------------------------------------------------------------
+# Well-formedness preservation (Issue 6): every operation must return a
+# tnum satisfying the representation invariant — value & mask == 0 and
+# both fields within u64 — while still containing the concrete result.
+# ``__post_init__`` hard-fails on broken construction, so a violation
+# here would surface as ValueError; asserting the fields directly keeps
+# the property explicit and catches any future bypass of the
+# constructor.
+# ---------------------------------------------------------------------------
+
+
+def assert_wellformed(t: Tnum) -> None:
+    assert t.value & t.mask == 0
+    assert 0 <= t.value <= U64
+    assert 0 <= t.mask <= U64
+
+
+@st.composite
+def tnum_pair_sharing_member(draw):
+    """Two tnums that both contain the same concrete value (the
+    precondition for ``intersect``)."""
+    x = draw(st.integers(min_value=0, max_value=U64))
+    mask_a = draw(st.integers(min_value=0, max_value=U64))
+    mask_b = draw(st.integers(min_value=0, max_value=U64))
+    return Tnum(x & ~mask_a & U64, mask_a), Tnum(x & ~mask_b & U64, mask_b), x
+
+
+_BINARY_OPS = {
+    "add": (Tnum.add, lambda x, y: (x + y) & U64),
+    "sub": (Tnum.sub, lambda x, y: (x - y) & U64),
+    "mul": (Tnum.mul, lambda x, y: (x * y) & U64),
+    "and": (Tnum.and_, lambda x, y: x & y),
+    "or": (Tnum.or_, lambda x, y: x | y),
+    "xor": (Tnum.xor, lambda x, y: x ^ y),
+}
+
+
+class TestWellFormednessPreservation:
+    @pytest.mark.parametrize("opname", sorted(_BINARY_OPS))
+    @given(tnum_with_member(), tnum_with_member())
+    def test_binary_ops(self, opname, a, b):
+        op, concrete = _BINARY_OPS[opname]
+        (ta, x), (tb, y) = a, b
+        result = op(ta, tb)
+        assert_wellformed(result)
+        assert result.contains(concrete(x, y))
+
+    @given(tnum_with_member())
+    def test_neg(self, a):
+        ta, x = a
+        result = ta.neg()
+        assert_wellformed(result)
+        assert result.contains((-x) & U64)
+
+    @pytest.mark.parametrize("shift", [0, 1, 31, 32, 63])
+    @given(tnum_with_member())
+    def test_shifts(self, shift, a):
+        ta, x = a
+        for result, concrete in (
+            (ta.lshift(shift), (x << shift) & U64),
+            (ta.rshift(shift), x >> shift),
+        ):
+            assert_wellformed(result)
+            assert result.contains(concrete)
+
+    @pytest.mark.parametrize("shift", [0, 1, 31, 63])
+    @given(tnum_with_member())
+    def test_arshift64(self, shift, a):
+        ta, x = a
+        signed = x - (1 << 64) if x >= (1 << 63) else x
+        result = ta.arshift(shift, 64)
+        assert_wellformed(result)
+        assert result.contains((signed >> shift) & U64)
+
+    @pytest.mark.parametrize("shift", [0, 1, 15, 31])
+    @given(tnum_with_member())
+    def test_arshift32(self, shift, a):
+        ta, x = a
+        x32 = x & 0xFFFFFFFF
+        signed = x32 - (1 << 32) if x32 >= (1 << 31) else x32
+        result = ta.arshift(shift, 32)
+        assert_wellformed(result)
+        assert result.contains((signed >> shift) & 0xFFFFFFFF)
+
+    @given(tnum_with_member(), tnum_with_member())
+    def test_union(self, a, b):
+        (ta, x), (tb, y) = a, b
+        result = ta.union(tb)
+        assert_wellformed(result)
+        assert result.contains(x)
+        assert result.contains(y)
+
+    @given(tnum_pair_sharing_member())
+    def test_intersect(self, shared):
+        ta, tb, x = shared
+        result = ta.intersect(tb)
+        assert_wellformed(result)
+        assert result.contains(x)
+
+    @given(tnum_with_member())
+    def test_width_ops(self, a):
+        ta, x = a
+        for result, member in (
+            (ta.cast(4), x & 0xFFFFFFFF),
+            (ta.cast(2), x & 0xFFFF),
+            (ta.cast(1), x & 0xFF),
+            (ta.subreg(), x & 0xFFFFFFFF),
+            (ta.clear_subreg(), x & ~0xFFFFFFFF & U64),
+            (ta.with_subreg(ta.subreg()), x),
+        ):
+            assert_wellformed(result)
+            assert result.contains(member)
+
+    @given(tnum_with_member(), tnum_with_member())
+    def test_range_from_minmax_wellformed(self, a, b):
+        (ta, x), (tb, y) = a, b
+        lo, hi = min(x, y), max(x, y)
+        result = tnum_range(lo, hi)
+        assert_wellformed(result)
+        assert result.contains(lo)
+        assert result.contains(hi)
