@@ -18,6 +18,20 @@ CI runner hardware varies run to run, which is why the threshold is a
 loose 30%: the gate catches algorithmic regressions (accidental
 quadratic work in the campaign loop, instrumentation left enabled on
 the hot path), not scheduler noise.
+
+Two further trajectories ride on the same artifact, gated in absolute
+percentage points because both are CPU-ratio measurements and so
+largely hardware-independent:
+
+- the serial ``verify_fraction`` (share of attributed CPU the verify
+  phase consumes) may not *rise* by more than
+  ``--max-verify-fraction-rise`` — the verifier fast path is the thing
+  this repo optimises, and a creeping verify share is the earliest
+  symptom of losing it;
+- each cache hit rate under ``caches`` (verdict cache, tnum memo,
+  prune index) may not *drop* by more than ``--max-hit-rate-drop`` —
+  campaigns are seed-deterministic, so a falling hit rate means a
+  cache key or lookup path regressed, not that the workload changed.
 """
 
 from __future__ import annotations
@@ -39,6 +53,53 @@ def load_programs_per_sec(path: str) -> tuple[float, dict]:
     return float(value), payload
 
 
+def check_verify_fraction(previous: dict, current: dict,
+                          max_rise: float) -> bool:
+    """Gate the serial verify-phase CPU share; True = pass."""
+    prev = previous.get("serial", {}).get("verify_fraction")
+    cur = current.get("serial", {}).get("verify_fraction")
+    if prev is None or cur is None:
+        print("trajectory: verify_fraction missing from an artifact; "
+              "skipping that gate")
+        return True
+    rise = cur - prev
+    print(f"trajectory: verify_fraction {prev:.3f} -> {cur:.3f} "
+          f"({rise:+.3f}, allowed rise {max_rise:.2f})")
+    if rise > max_rise:
+        print("trajectory: FAIL - verify phase share of CPU rose more "
+              f"than {max_rise:.2f}")
+        return False
+    return True
+
+
+def check_cache_rates(previous: dict, current: dict,
+                      max_drop: float) -> bool:
+    """Gate every recorded cache hit rate; True = pass."""
+    prev_rates = previous.get("caches")
+    cur_rates = current.get("caches")
+    if not prev_rates or not cur_rates:
+        print("trajectory: cache rates missing from an artifact; "
+              "skipping that gate")
+        return True
+    ok = True
+    for name in sorted(prev_rates):
+        prev = prev_rates[name]
+        cur = cur_rates.get(name)
+        if cur is None:
+            print(f"trajectory: FAIL - cache rate {name} disappeared "
+                  f"from the current artifact")
+            ok = False
+            continue
+        drop = prev - cur
+        print(f"trajectory: {name} {prev:.3f} -> {cur:.3f} "
+              f"({-drop:+.3f}, allowed drop {max_drop:.2f})")
+        if drop > max_drop:
+            print(f"trajectory: FAIL - {name} dropped more than "
+                  f"{max_drop:.2f}")
+            ok = False
+    return ok
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--previous", required=True,
@@ -48,16 +109,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-regression", type=float, default=0.30,
                         help="maximum tolerated fractional drop "
                              "(default 0.30)")
+    parser.add_argument("--max-verify-fraction-rise", type=float,
+                        default=0.15,
+                        help="maximum tolerated rise of the serial "
+                             "verify_fraction, in absolute points "
+                             "(default 0.15)")
+    parser.add_argument("--max-hit-rate-drop", type=float, default=0.25,
+                        help="maximum tolerated drop of any cache hit "
+                             "rate, in absolute points (default 0.25)")
     args = parser.parse_args(argv)
 
     try:
-        current, _ = load_programs_per_sec(args.current)
+        current, current_payload = load_programs_per_sec(args.current)
     except (OSError, ValueError, KeyError) as exc:
         print(f"trajectory: current artifact unreadable: {exc}")
         return 1
 
     try:
-        previous, _ = load_programs_per_sec(args.previous)
+        previous, previous_payload = load_programs_per_sec(args.previous)
     except (OSError, ValueError, KeyError) as exc:
         print(f"trajectory: no previous artifact to compare against "
               f"({exc}); skipping")
@@ -68,12 +137,19 @@ def main(argv: list[str] | None = None) -> int:
               f"skipping")
         return 0
 
+    ok = True
     delta = (current - previous) / previous
     print(f"trajectory: previous {previous:.1f} programs/sec, "
           f"current {current:.1f} programs/sec ({delta:+.1%})")
     if delta < -args.max_regression:
         print(f"trajectory: FAIL - throughput dropped more than "
               f"{args.max_regression:.0%}")
+        ok = False
+    ok &= check_verify_fraction(previous_payload, current_payload,
+                                args.max_verify_fraction_rise)
+    ok &= check_cache_rates(previous_payload, current_payload,
+                            args.max_hit_rate_drop)
+    if not ok:
         return 1
     print("trajectory: OK")
     return 0

@@ -59,6 +59,42 @@ _STRUCT = struct.Struct("<BBhi")
 _U64 = (1 << 64) - 1
 _U32 = (1 << 32) - 1
 
+# Per-opcode-byte classification tables.  Every field enum is total
+# over its bit range (reserved encodings are explicit UNDEF members),
+# so each property is a plain tuple index — an order of magnitude
+# cheaper than constructing the enum member through ``EnumType.__call__``
+# on every access, and these are among the hottest calls in a campaign.
+_CLASS_TABLE = tuple(insn_class(op) for op in range(256))
+_ALU_OP_TABLE = tuple(AluOp(op & 0xF0) for op in range(256))
+_JMP_OP_TABLE = tuple(JmpOp(op & 0xF0) for op in range(256))
+_SIZE_TABLE = tuple(Size(op & 0x18) for op in range(256))
+_MODE_TABLE = tuple(Mode(op & 0xE0) for op in range(256))
+_SRC_TABLE = tuple(Src(op & 0x08) for op in range(256))
+
+_IS_ALU_TABLE = tuple(is_alu_class(c) for c in _CLASS_TABLE)
+_IS_JMP_TABLE = tuple(is_jmp_class(c) for c in _CLASS_TABLE)
+_IS_LDST_TABLE = tuple(is_ldst_class(c) for c in _CLASS_TABLE)
+_IS_LD_IMM64_TABLE = tuple(
+    op != 0
+    and _CLASS_TABLE[op] is InsnClass.LD
+    and _MODE_TABLE[op] is Mode.IMM
+    and _SIZE_TABLE[op] is Size.DW
+    for op in range(256)
+)
+_IS_CALL_TABLE = tuple(
+    _CLASS_TABLE[op] is InsnClass.JMP and _JMP_OP_TABLE[op] is JmpOp.CALL
+    for op in range(256)
+)
+_IS_EXIT_TABLE = tuple(
+    _CLASS_TABLE[op] is InsnClass.JMP and _JMP_OP_TABLE[op] is JmpOp.EXIT
+    for op in range(256)
+)
+_IS_COND_JMP_TABLE = tuple(
+    _IS_JMP_TABLE[op]
+    and _JMP_OP_TABLE[op] not in (JmpOp.JA, JmpOp.CALL, JmpOp.EXIT)
+    for op in range(256)
+)
+
 
 def _s32(value: int) -> int:
     """Reduce an integer to a signed 32-bit value (two's complement)."""
@@ -94,57 +130,52 @@ class Insn:
     @property
     def insn_class(self) -> InsnClass:
         """Instruction class extracted from the opcode byte."""
-        return insn_class(self.opcode)
+        return _CLASS_TABLE[self.opcode & 0xFF]
 
     @property
     def alu_op(self) -> AluOp:
         """ALU operation (only meaningful for ALU/ALU64 classes)."""
-        return AluOp(self.opcode & 0xF0)
+        return _ALU_OP_TABLE[self.opcode & 0xFF]
 
     @property
     def jmp_op(self) -> JmpOp:
         """Jump operation (only meaningful for JMP/JMP32 classes)."""
-        return JmpOp(self.opcode & 0xF0)
+        return _JMP_OP_TABLE[self.opcode & 0xFF]
 
     @property
     def size(self) -> Size:
         """Memory access size (only meaningful for load/store classes)."""
-        return Size(self.opcode & 0x18)
+        return _SIZE_TABLE[self.opcode & 0xFF]
 
     @property
     def mode(self) -> Mode:
         """Addressing mode (only meaningful for load/store classes)."""
-        return Mode(self.opcode & 0xE0)
+        return _MODE_TABLE[self.opcode & 0xFF]
 
     @property
     def src_bit(self) -> Src:
         """Operand source selector (register vs. immediate)."""
-        return Src(self.opcode & 0x08)
+        return _SRC_TABLE[self.opcode & 0xFF]
 
     def is_alu(self) -> bool:
-        return is_alu_class(self.insn_class)
+        return _IS_ALU_TABLE[self.opcode & 0xFF]
 
     def is_jmp(self) -> bool:
-        return is_jmp_class(self.insn_class)
+        return _IS_JMP_TABLE[self.opcode & 0xFF]
 
     def is_ldst(self) -> bool:
-        return is_ldst_class(self.insn_class)
+        return _IS_LDST_TABLE[self.opcode & 0xFF]
 
     def is_ld_imm64(self) -> bool:
         """True for the *first* slot of the 64-bit immediate load."""
-        return (
-            self.opcode != 0
-            and self.insn_class == InsnClass.LD
-            and self.mode == Mode.IMM
-            and self.size == Size.DW
-        )
+        return _IS_LD_IMM64_TABLE[self.opcode & 0xFF]
 
     def is_filler(self) -> bool:
         """True for the zero-opcode second slot of an LD_IMM64."""
         return self.opcode == 0
 
     def is_call(self) -> bool:
-        return self.insn_class == InsnClass.JMP and self.jmp_op == JmpOp.CALL
+        return _IS_CALL_TABLE[self.opcode & 0xFF]
 
     def is_helper_call(self) -> bool:
         return self.is_call() and self.src == PseudoCall.HELPER
@@ -154,16 +185,14 @@ class Insn:
 
     def is_pseudo_call(self) -> bool:
         """True for bpf-to-bpf subprogram calls."""
-        return self.is_call() and self.src == PseudoCall.CALL
+        return _IS_CALL_TABLE[self.opcode & 0xFF] and self.src == PseudoCall.CALL
 
     def is_exit(self) -> bool:
-        return self.insn_class == InsnClass.JMP and self.jmp_op == JmpOp.EXIT
+        return _IS_EXIT_TABLE[self.opcode & 0xFF]
 
     def is_cond_jmp(self) -> bool:
         """True for conditional jumps (excludes JA, CALL, EXIT)."""
-        if not self.is_jmp():
-            return False
-        return self.jmp_op not in (JmpOp.JA, JmpOp.CALL, JmpOp.EXIT)
+        return _IS_COND_JMP_TABLE[self.opcode & 0xFF]
 
     def is_uncond_jmp(self) -> bool:
         return (

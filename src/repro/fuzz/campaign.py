@@ -39,14 +39,16 @@ from repro.kernel.config import PROFILES, KernelConfig
 from repro.kernel.syscall import Kernel
 from repro.fuzz.baselines.buzzer_gen import BuzzerGenerator
 from repro.fuzz.baselines.syzkaller_gen import SyzkallerGenerator
-from repro.fuzz.corpus import Corpus
+from repro.fuzz.corpus import Corpus, specs_of
 from repro.fuzz.coverage import VerifierCoverage
 from repro.fuzz.generator import GeneratorConfig, StructuredGenerator
 from repro.fuzz.mutator import mutate
 from repro.fuzz.oracle import BugFinding, Oracle
 from repro.fuzz.rng import FuzzRng
 from repro.fuzz.structure import GeneratedProgram
+from repro.fuzz.verdict import VerdictCache
 from repro.runtime.executor import Executor
+from repro.verifier.tnum import tnum_memo_stats
 
 __all__ = ["CampaignConfig", "CampaignResult", "Campaign", "make_generator"]
 
@@ -186,6 +188,13 @@ class Campaign:
         # it to that iteration's fresh Kernel (crash isolation stays
         # per-iteration, construction cost does not).
         self.generator = make_generator(config.tool, None, self.rng)
+        # Frame-level verdict cache; off when invariant checking or
+        # tracing needs to observe do_check from the inside.
+        self.verdicts = (
+            VerdictCache()
+            if not config.check_invariants and not config.trace_path
+            else None
+        )
         # Replaced by run() with a clock wired to that run's metrics
         # registry and recorder; a bare default keeps _iteration usable
         # standalone (tests drive it directly).
@@ -213,6 +222,9 @@ class Campaign:
         clock = obs.PhaseClock(metrics=registry, recorder=recorder)
         self._clock = clock
         token = obs.install(registry, recorder)
+        # The tnum memo LRUs are process-global (shards in one process
+        # share warm entries), so this shard's contribution is a delta.
+        tnum_before = tnum_memo_stats()
 
         def sample() -> None:
             edges = self.coverage.edges
@@ -235,6 +247,12 @@ class Campaign:
         finally:
             obs.restore(token)
             recorder.close()
+        tnum_after = tnum_memo_stats()
+        registry.counter("cache.tnum.hits",
+                         tnum_after["hits"] - tnum_before["hits"])
+        registry.counter("cache.tnum.misses",
+                         tnum_after["misses"] - tnum_before["misses"])
+        registry.gauge_max("cache.tnum.entries", tnum_after["entries"])
         result.final_coverage = self.coverage.edge_count
         result.corpus_size = len(self.corpus)
         result.generate_seconds = clock.seconds["generate"]
@@ -281,7 +299,7 @@ class Campaign:
 
         with self._clock.phase("verify"):
             try:
-                verified = self._load(kernel, prog)
+                verified = self._load(kernel, prog, gp)
             except InvariantViolation as violation:
                 # Not a verdict: the verifier's own abstract state broke.
                 self._reject(result, _errno.EFAULT, str(violation))
@@ -335,9 +353,18 @@ class Campaign:
                       classification=entry["classification"])
         self._record(result, self.oracle.classify_divergence(div), iteration)
 
-    def _load(self, kernel: Kernel, prog: BpfProgram):
+    def _load(self, kernel: Kernel, prog: BpfProgram, gp: GeneratedProgram):
         sanitize = self.config.sanitize and kernel.config.sanitizer_available
         check = self.config.check_invariants
+        if self.verdicts is not None:
+            coverage = self.coverage if self.config.collect_coverage else None
+            return self.verdicts.load(
+                kernel, prog,
+                sanitize=sanitize,
+                coverage=coverage,
+                map_specs=specs_of(gp),
+                kinds=self._frame_kinds(gp),
+            )
         if self.config.collect_coverage:
             with self.coverage.collect():
                 return kernel.prog_load(prog, sanitize=sanitize,

@@ -8,16 +8,23 @@ verifier runs, records line-to-line edges within the modules under
 ``repro/verifier``.  Unique ``(code object, prev line, line)`` edges
 are the branch-coverage analogue.
 
-Two tracing backends are available:
+Three tracing backends are available:
 
+- ``ctrace`` — a C trace callback (:mod:`_bvf_ctrace`, compiled on
+  demand from ``_native/ctrace.c`` via :func:`PyEval_SetTrace`), which
+  replaces the interpreter-level per-line dispatch with a C call and a
+  hash-set insert; it produces bit-identical edge keys to the Python
+  backends and is preferred whenever a C compiler or a prebuilt
+  extension is available;
 - ``monitoring`` — the PEP 669 :mod:`sys.monitoring` API (Python
   3.12+), which dispatches per-line events without the per-call
   closure allocation ``sys.settrace`` needs and lets out-of-scope code
   disable its own events after the first hit;
-- ``settrace`` — the classic :func:`sys.settrace` hook, used as the
-  fallback on interpreters without ``sys.monitoring``.
+- ``settrace`` — the classic :func:`sys.settrace` hook, the portable
+  fallback that works on every interpreter.
 
-``backend="auto"`` (the default) picks ``monitoring`` when available.
+``backend="auto"`` (the default) picks the fastest available one in
+the order above.
 
 Edge keys are **stable across processes**: they are composed from a
 CRC32 of the code object's file/qualname/first-line identity plus the
@@ -31,7 +38,16 @@ once.
 The tracer is deliberately scoped: helper implementations, maps, and
 the interpreter are not traced, mirroring the paper's setup where only
 the eBPF subsystem is instrumented so all tools compete on the same
-measurement range.
+measurement range.  Within ``repro/verifier`` the scope is narrowed
+further to the *decision* modules (:data:`_SCOPE_BASENAMES` — the
+instruction walker, ALU/memory checks, branch reasoning, and call
+checking), where control flow corresponds to verifier verdicts.  The
+data-structure modules (``tnum``/``state``/``stack``/``env``) are
+arithmetic and book-keeping plumbing whose edges carry no feedback
+signal — and keeping them out of scope is also what makes the pruning
+index, tnum memoization, and copy-on-write clone machinery they host
+*coverage-transparent*: a cache hit or miss can never change which
+edges a program contributes.
 """
 
 from __future__ import annotations
@@ -76,8 +92,17 @@ _LINE_BITS = 15
 _LINE_MASK = (1 << _LINE_BITS) - 1
 
 
+#: Decision modules inside ``repro/verifier`` that contribute edges.
+_SCOPE_BASENAMES = frozenset(
+    {"core.py", "checks.py", "branches.py", "calls.py"}
+)
+
+
 def _in_scope(filename: str) -> bool:
-    return filename.startswith(_VERIFIER_DIR)
+    return (
+        filename.startswith(_VERIFIER_DIR)
+        and os.path.basename(filename) in _SCOPE_BASENAMES
+    )
 
 
 def _stable_code_id(code) -> int:
@@ -107,6 +132,93 @@ class CoverageReentryError(RuntimeError):
     silently corrupt ``last_new`` (the corpus feedback signal), so
     re-entry is rejected loudly instead.
     """
+
+
+#: Cached ``_bvf_ctrace`` module, or ``False`` after a failed attempt
+#: (so a missing compiler is probed exactly once per process).
+_CTRACE_MODULE: object = None
+
+
+def _load_ctrace():
+    """Import the C tracer, compiling it on first use if possible.
+
+    Returns the module or ``None``.  Failures (no compiler, no
+    ``Python.h``, exotic platform) are cached and silent: the Python
+    backends are always available as fallbacks, so a build problem
+    must never break a campaign, only slow it down.
+    """
+    global _CTRACE_MODULE
+    if _CTRACE_MODULE is not None:
+        return _CTRACE_MODULE or None
+
+    import importlib.util
+    import shutil
+    import subprocess
+    import sysconfig
+
+    native_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                              "_native")
+    source = os.path.join(native_dir, "ctrace.c")
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    target = os.path.join(native_dir, f"_bvf_ctrace{suffix}")
+
+    def _import_built():
+        spec = importlib.util.spec_from_file_location("_bvf_ctrace", target)
+        if spec is None or spec.loader is None:
+            return None
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    try:
+        if (not os.path.exists(target)
+                or os.path.getmtime(target) < os.path.getmtime(source)):
+            compiler = shutil.which("cc") or shutil.which("gcc")
+            include = sysconfig.get_path("include")
+            if compiler is None or include is None:
+                raise OSError("no C compiler or Python headers")
+            subprocess.run(
+                [compiler, "-O2", "-shared", "-fPIC", f"-I{include}",
+                 source, "-o", target],
+                check=True, capture_output=True, timeout=120,
+            )
+        _CTRACE_MODULE = _import_built()
+    except Exception:
+        _CTRACE_MODULE = False
+        return None
+    if _CTRACE_MODULE is None:
+        _CTRACE_MODULE = False
+        return None
+    return _CTRACE_MODULE
+
+
+class _CtraceBackend:
+    """Line-edge tracing via the :mod:`_bvf_ctrace` C extension.
+
+    The extension keeps the hot path — one trace callback per line —
+    entirely in C: scope classification is cached per code object, the
+    edge key is assembled from a per-frame shadow stack, and edges land
+    in a C hash set that is only materialised as Python ints when the
+    window closes.
+    """
+
+    name = "ctrace"
+
+    def __init__(self, module) -> None:
+        self._module = module
+        self._window: set[int] | None = None
+
+    @staticmethod
+    def load():
+        return _load_ctrace()
+
+    def start(self, window: set[int]) -> None:
+        self._window = window
+        self._module.start(_VERIFIER_DIR, _SCOPE_BASENAMES)
+
+    def stop(self) -> None:
+        window, self._window = self._window, None
+        window |= self._module.stop()
 
 
 class _SettraceBackend:
@@ -245,7 +357,18 @@ class _MonitoringBackend:
 
 def _make_backend(backend: str):
     if backend == "auto":
+        module = _CtraceBackend.load()
+        if module is not None:
+            return _CtraceBackend(module)
         backend = "monitoring" if _MonitoringBackend.available() else "settrace"
+    if backend == "ctrace":
+        module = _CtraceBackend.load()
+        if module is None:
+            raise ValueError(
+                "ctrace backend requested but the _bvf_ctrace extension "
+                "could not be built or imported"
+            )
+        return _CtraceBackend(module)
     if backend == "monitoring":
         if not _MonitoringBackend.available():
             raise ValueError(
@@ -301,6 +424,25 @@ class VerifierCoverage:
             self.last_new = len(self._window - self.edges)
             self.edges |= self._window
             self._collecting = False
+
+    def replay(self, window: Iterable[int]) -> None:
+        """Apply a previously recorded collection window without tracing.
+
+        The frame-level verdict cache records the edge window of the
+        first (miss) verification of a program and replays it on every
+        hit, so ``last_new`` — the corpus feedback signal — and the
+        cumulative edge set evolve exactly as they would have had the
+        verifier actually run.  Semantically equivalent to a
+        :meth:`collect` block that traced the recorded edges.
+        """
+        if self._collecting:
+            raise CoverageReentryError(
+                "VerifierCoverage.replay() inside an active collection "
+                "window would corrupt the window's last_new accounting"
+            )
+        window = set(window)
+        self.last_new = len(window - self.edges)
+        self.edges |= window
 
     # --- accumulation / merge API ------------------------------------------------
 

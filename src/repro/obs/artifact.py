@@ -20,7 +20,7 @@ import copy
 import json
 
 from repro.analysis.stats import ThroughputStats
-from repro.obs.metrics import empty_snapshot
+from repro.obs.metrics import empty_snapshot, strip_wall_fields
 
 __all__ = ["SCHEMA", "build_artifact", "strip_wall", "write_artifact"]
 
@@ -135,10 +135,17 @@ def build_artifact(result) -> dict:
 
 
 def strip_wall(artifact: dict) -> dict:
-    """The artifact minus every wall-clock field (invariance form)."""
+    """The artifact minus every non-invariant field (invariance form).
+
+    Removes the three wall-clock sections, the ``workers`` knob, and
+    the ``cache.`` metric family (see
+    :func:`~repro.obs.metrics.strip_wall_fields` for why cache
+    telemetry is excluded from the invariance contract).
+    """
     stripped = copy.deepcopy(artifact)
     stripped.pop("wall", None)
-    stripped.get("metrics", {}).pop("wall", None)
+    if "metrics" in stripped:
+        stripped["metrics"] = strip_wall_fields(stripped["metrics"])
     # The workers knob itself is a throughput setting, not an outcome.
     stripped.get("config", {}).pop("workers", None)
     for shard in stripped.get("shards", []):

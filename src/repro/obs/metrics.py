@@ -229,13 +229,33 @@ def merge_snapshots(snapshots: list[dict]) -> dict:
 
 
 def strip_wall_fields(snapshot: dict) -> dict:
-    """A snapshot with its wall-clock section removed.
+    """A snapshot with its non-invariant sections removed.
 
     This is the comparison form for the worker-invariance contract:
     two campaigns with the same ``(seed, budget, shards)`` must produce
-    equal stripped snapshots regardless of ``workers``.
+    equal stripped snapshots regardless of ``workers``.  Two families
+    are excluded:
+
+    - the ``wall`` section (wall-clock time is run-to-run noise);
+    - ``cache.``-prefixed metrics: the tnum memo LRUs are
+      process-global, so their hit/miss split depends on how shards
+      were packed into worker processes.  Cache effectiveness is
+      telemetry about the run, not about the campaign's semantics —
+      the semantic contract is precisely that everything *outside*
+      this family is unchanged by caching.
     """
-    return {k: v for k, v in snapshot.items() if k != "wall"}
+    stripped = {}
+    for section, value in snapshot.items():
+        if section == "wall":
+            continue
+        if isinstance(value, dict):
+            value = {
+                name: v
+                for name, v in value.items()
+                if not name.startswith("cache.")
+            }
+        stripped[section] = value
+    return stripped
 
 
 def histogram_quantile(hist: dict, q: float) -> float:

@@ -264,14 +264,22 @@ def refine_branch(
 # ---------------------------------------------------------------------------
 
 
-def _for_all_regs(state, fn) -> None:
-    """Apply ``fn`` to every register and spilled register in a state."""
+def _cow_update_regs(state, match, apply) -> None:
+    """Apply ``apply`` to every register and spilled register in the
+    state that satisfies ``match``.
+
+    The copy-on-write version of "iterate everything and mutate in
+    place": matching is read-only, and only matched records are
+    unshared (through :meth:`FuncFrame.wreg` and the stack's
+    ``cow_update_spills``), so a whole-state sweep leaves records it
+    does not change shared with sibling states.
+    """
     for frame in state.frames:
-        for reg in frame.regs:
-            fn(reg)
-        for _, slot in frame.stack.iter_slots():
-            if slot.spilled is not None:
-                fn(slot.spilled)
+        regs = frame.regs
+        for index in range(len(regs)):
+            if match(regs[index]):
+                apply(frame.wreg(index))
+        frame.stack.cow_update_spills(match, apply)
 
 
 def mark_ptr_or_null(state, target_id: int, is_null: bool) -> None:
@@ -283,9 +291,10 @@ def mark_ptr_or_null(state, target_id: int, is_null: bool) -> None:
     """
     dropped_refs: set[int] = set()
 
+    def match(reg: RegState) -> bool:
+        return reg.id == target_id and reg.is_maybe_null()
+
     def resolve(reg: RegState) -> None:
-        if reg.id != target_id or not reg.is_maybe_null():
-            return
         if is_null:
             if reg.ref_obj_id:
                 dropped_refs.add(reg.ref_obj_id)
@@ -294,7 +303,7 @@ def mark_ptr_or_null(state, target_id: int, is_null: bool) -> None:
             reg.type = NULL_RESOLVES_TO[reg.type]
             reg.id = 0
 
-    _for_all_regs(state, resolve)
+    _cow_update_regs(state, match, resolve)
     for ref_id in dropped_refs:
         state.refs.pop(ref_id, None)
 
@@ -336,11 +345,19 @@ def find_good_pkt_pointers(state, pkt_reg: RegState, range_val: int) -> None:
     if range_val <= 0:
         return
 
-    def update(reg: RegState) -> None:
-        if reg.is_pkt_pointer() and reg.id == pkt_reg.id:
-            reg.pkt_range = max(reg.pkt_range, range_val)
+    target_id = pkt_reg.id
 
-    _for_all_regs(state, update)
+    def match(reg: RegState) -> bool:
+        return (
+            reg.is_pkt_pointer()
+            and reg.id == target_id
+            and reg.pkt_range < range_val
+        )
+
+    def update(reg: RegState) -> None:
+        reg.pkt_range = range_val
+
+    _cow_update_regs(state, match, update)
 
 
 def try_match_pkt_pointers(
@@ -397,11 +414,12 @@ def propagate_equal_scalars(state, refined: RegState) -> None:
     if refined.id == 0 or not refined.is_scalar():
         return
 
+    def match(reg: RegState) -> bool:
+        return reg is not refined and reg.id == refined.id and reg.is_scalar()
+
     def update(reg: RegState) -> None:
-        if reg is refined or reg.id != refined.id or not reg.is_scalar():
-            return
         reg.var_off = refined.var_off
         reg.umin, reg.umax = refined.umin, refined.umax
         reg.smin, reg.smax = refined.smin, refined.smax
 
-    _for_all_regs(state, update)
+    _cow_update_regs(state, match, update)

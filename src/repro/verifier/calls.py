@@ -106,15 +106,17 @@ def _const_size(v, regno: int, reg: RegState, allow_zero: bool) -> int:
 
 def release_reference(v, state, ref_obj_id: int) -> None:
     """Drop a release obligation and kill every alias of the object."""
-    from repro.verifier.branches import _for_all_regs
+    from repro.verifier.branches import _cow_update_regs
 
     state.refs.pop(ref_obj_id, None)
 
-    def invalidate(reg: RegState) -> None:
-        if reg.ref_obj_id == ref_obj_id:
-            reg.mark_unknown()
+    def match(reg: RegState) -> bool:
+        return reg.ref_obj_id == ref_obj_id
 
-    _for_all_regs(state, invalidate)
+    def invalidate(reg: RegState) -> None:
+        reg.mark_unknown()
+
+    _cow_update_regs(state, match, invalidate)
 
 
 def check_helper_call(v, state, insn: Insn) -> None:

@@ -408,7 +408,10 @@ def check_alu(v, state, insn: Insn) -> None:
     if insn.dst == Reg.R10:
         v.reject(errno.EACCES, "frame pointer is read only")
 
-    dst = regs[insn.dst]
+    # Writable (COW) destination — nearly every path below mutates it
+    # in place.  Taken before the source operand is fetched so that
+    # ``dst is src`` aliasing (e.g. ``r1 += r1``) survives the clone.
+    dst = state.wreg(insn.dst)
 
     # Unary operations.
     if op == AluOp.NEG:
@@ -460,8 +463,11 @@ def check_alu(v, state, insn: Insn) -> None:
             regs[insn.dst] = src.clone()
             return
         if is64 and insn.src_bit == Src.X:
-            # Track register equality for find_equal_scalars.
+            # Track register equality for find_equal_scalars.  The id
+            # is written back into the *source* register, so it needs
+            # its own COW view.
             if src.id == 0:
+                src = state.wreg(insn.src)
                 src.id = v.env.new_id()
             regs[insn.dst] = src.clone()
             return

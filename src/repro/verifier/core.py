@@ -20,6 +20,7 @@ the errno user space would see, which the acceptance-rate experiment
 from __future__ import annotations
 
 import errno
+from dataclasses import dataclass
 
 from repro import obs
 from repro.errors import VerifierReject
@@ -48,12 +49,11 @@ from repro.verifier.env import (
     MAX_CALL_DEPTH,
     VerifierEnv,
     VerifierState,
-    states_equal,
 )
 from repro.verifier.log import VerifierLog
 from repro.verifier.state import RegState, RegType
 
-__all__ = ["Verifier", "verify_program", "MAX_USER_INSNS"]
+__all__ = ["CheckSummary", "Verifier", "verify_program", "MAX_USER_INSNS"]
 
 #: Instruction-count cap for submitted programs (kernel: BPF_MAXINSNS
 #: for unprivileged, 1M for privileged; we use the classic cap).
@@ -72,6 +72,109 @@ _VALID_ATOMIC_OPS = {
     int(AtomicOp.CMPXCHG),
 }
 
+_VALID_CALL_KINDS = frozenset(
+    {int(PseudoCall.HELPER), int(PseudoCall.CALL), int(PseudoCall.KFUNC)}
+)
+
+
+def _build_structure_tables() -> tuple[tuple, tuple, tuple]:
+    """Per-opcode-byte structural validity, precomputed once.
+
+    Most of ``_check_insn_fields`` depends only on the opcode byte:
+    the class, the operation nibble, and the size/mode bits.  Those
+    verdicts are folded into two 256-entry tables — a static rejection
+    message (or ``None``) and a residual-check tag for the handful of
+    cases that must also look at the operand fields or the kernel
+    config.  The checks and their order mirror the original
+    per-instruction cascade exactly.
+    """
+    static: list[str | None] = [None] * 256
+    resid: list[str | None] = [None] * 256
+    is_call: list[bool] = [False] * 256
+    for op in range(256):
+        cls = InsnClass(op & 0x07)
+        hi = op & 0xF0
+        if cls in (InsnClass.ALU, InsnClass.ALU64):
+            if hi > int(AluOp.END):
+                static[op] = "invalid ALU op"
+        elif cls in (InsnClass.JMP, InsnClass.JMP32):
+            if hi > int(JmpOp.JSLE):
+                static[op] = "invalid JMP op"
+            elif cls == InsnClass.JMP32 and hi in (
+                int(JmpOp.JA),
+                int(JmpOp.CALL),
+                int(JmpOp.EXIT),
+            ):
+                static[op] = "invalid JMP32 op"
+            elif cls == InsnClass.JMP and hi == int(JmpOp.CALL):
+                resid[op] = "call"
+                is_call[op] = True
+            elif cls == InsnClass.JMP and hi == int(JmpOp.EXIT):
+                resid[op] = "exit"
+        elif cls == InsnClass.LD:
+            mode = Mode(op & 0xE0)
+            if mode == Mode.IMM:
+                if Size(op & 0x18) != Size.DW:
+                    static[op] = "invalid LD IMM size"
+                else:
+                    resid[op] = "ld_imm64"
+            elif mode in (Mode.ABS, Mode.IND):
+                static[op] = "legacy packet access not supported"
+            else:
+                static[op] = "invalid LD mode"
+        elif cls == InsnClass.LDX:
+            mode = Mode(op & 0xE0)
+            if mode == Mode.MEMSX:
+                resid[op] = (
+                    "memsx_dw" if Size(op & 0x18) == Size.DW else "memsx"
+                )
+            elif mode != Mode.MEM:
+                static[op] = "invalid LDX mode"
+        elif cls == InsnClass.ST:
+            if Mode(op & 0xE0) != Mode.MEM:
+                static[op] = "invalid ST mode"
+        elif cls == InsnClass.STX:
+            mode = Mode(op & 0xE0)
+            if mode == Mode.ATOMIC:
+                resid[op] = (
+                    "atomic"
+                    if Size(op & 0x18) in (Size.W, Size.DW)
+                    else "atomic_badsize"
+                )
+            elif mode != Mode.MEM:
+                static[op] = "invalid STX mode"
+    return tuple(static), tuple(resid), tuple(is_call)
+
+
+_STRUCT_STATIC, _STRUCT_RESID, _STRUCT_IS_CALL = _build_structure_tables()
+
+
+@dataclass(frozen=True)
+class CheckSummary:
+    """Everything ``do_check`` computed that the later phases consume.
+
+    The summary is a pure function of ``(insns, kernel config,
+    sanitize)`` — it holds no kernel objects, only slot indices and
+    scalars — so the frame-level verdict cache can store it once and
+    replay it into a fresh :class:`Verifier` bound to a different
+    kernel instance.  ``alu_limits`` keeps the original insertion
+    order so the fixup phase walks it exactly as the first run did.
+    """
+
+    probe_mem: frozenset[int]
+    alu_limits: tuple[tuple[int, tuple[int, int]], ...]
+    helper_ids: frozenset[int]
+    uses_lock_helpers: bool
+    max_stack_depth: int
+    insns_processed: int
+    states_pushed: int
+    states_pruned: int
+    peak_stack: int
+    prune_exact_hits: int
+    prune_scan_hits: int
+    prune_misses: int
+    prune_evictions: int
+
 
 class Verifier:
     """One verification run over one program."""
@@ -84,6 +187,7 @@ class Verifier:
         sanitize: bool = False,
         check_invariants: bool = False,
         collect_exit_states: bool = False,
+        cached_check: CheckSummary | None = None,
     ) -> None:
         self.kernel = kernel
         self.config = kernel.config
@@ -118,6 +222,12 @@ class Verifier:
         self._prune_points: set[int] = set()
         #: targets of back edges: pruning there means an infinite loop
         self._loop_headers: set[int] = set()
+        #: first slots of LD_IMM64 pairs, collected during the
+        #: structure pass so pseudo resolution need not rescan
+        self._ld_imm64_idxs: list[int] = []
+        #: verdict-cache replay: skip ``do_check`` and restore its
+        #: recorded outputs instead (None = run the analysis)
+        self._cached_check = cached_check
 
     # --- services used by the check modules --------------------------------
 
@@ -126,6 +236,7 @@ class Verifier:
         m = obs.metrics()
         m.counter("verifier.rejected")
         m.observe("verifier.insns_processed", self.env.insns_processed)
+        self._emit_prune_metrics(m)
         rec = obs.recorder()
         if rec.enabled:
             rec.event("verifier.reject", errno=err, insn=self.cur_insn_idx,
@@ -170,6 +281,7 @@ class Verifier:
             self._check_insn_fields(idx, insn)
             if insn.is_ld_imm64():
                 expect_filler = True
+                self._ld_imm64_idxs.append(idx)
         if expect_filler:
             self.reject(errno.EINVAL, "LD_IMM64 missing second slot")
 
@@ -181,71 +293,41 @@ class Verifier:
         self._check_jump_targets()
 
     def _check_insn_fields(self, idx: int, insn: Insn) -> None:
+        op = insn.opcode & 0xFF
         if insn.dst > 10 or insn.src > 10:
-            if not (insn.is_call() and insn.src <= 10):
+            if not (_STRUCT_IS_CALL[op] and insn.src <= 10):
                 self.reject(errno.EINVAL, f"invalid register number at {idx}")
-        cls = insn.insn_class
-        try:
-            if cls in (InsnClass.ALU, InsnClass.ALU64):
-                op = insn.alu_op
-                if int(op) > int(AluOp.END):
-                    self.reject(errno.EINVAL, f"invalid ALU op at {idx}")
-            elif cls in (InsnClass.JMP, InsnClass.JMP32):
-                op = insn.jmp_op
-                if int(op) > int(JmpOp.JSLE):
-                    self.reject(errno.EINVAL, f"invalid JMP op at {idx}")
-                if cls == InsnClass.JMP32 and op in (
-                    JmpOp.JA,
-                    JmpOp.CALL,
-                    JmpOp.EXIT,
-                ):
-                    self.reject(errno.EINVAL, f"invalid JMP32 op at {idx}")
-                if insn.is_call():
-                    if insn.src not in (
-                        PseudoCall.HELPER,
-                        PseudoCall.CALL,
-                        PseudoCall.KFUNC,
-                    ):
-                        self.reject(errno.EINVAL, f"invalid call kind at {idx}")
-                    if insn.dst or insn.off:
-                        self.reject(errno.EINVAL, f"BPF_CALL uses reserved fields at {idx}")
-                if insn.is_exit() and (insn.dst or insn.src or insn.imm or insn.off):
-                    self.reject(errno.EINVAL, f"BPF_EXIT uses reserved fields at {idx}")
-            elif cls == InsnClass.LD:
-                if insn.mode == Mode.IMM:
-                    if insn.size != Size.DW:
-                        self.reject(errno.EINVAL, f"invalid LD IMM size at {idx}")
-                    if insn.src > int(PseudoSrc.MAP_IDX_VALUE):
-                        self.reject(errno.EINVAL, f"invalid LD_IMM64 pseudo at {idx}")
-                elif insn.mode in (Mode.ABS, Mode.IND):
-                    self.reject(
-                        errno.EINVAL, f"legacy packet access not supported at {idx}"
-                    )
-                else:
-                    self.reject(errno.EINVAL, f"invalid LD mode at {idx}")
-            elif cls == InsnClass.LDX:
-                if insn.mode == Mode.MEMSX:
-                    if not self.config.has_bpf_loop:
-                        self.reject(
-                            errno.EINVAL, f"MEMSX loads not supported at {idx}"
-                        )
-                    if insn.size == Size.DW:
-                        self.reject(errno.EINVAL, f"invalid MEMSX size at {idx}")
-                elif insn.mode != Mode.MEM:
-                    self.reject(errno.EINVAL, f"invalid LDX mode at {idx}")
-            elif cls == InsnClass.ST:
-                if insn.mode != Mode.MEM:
-                    self.reject(errno.EINVAL, f"invalid ST mode at {idx}")
-            elif cls == InsnClass.STX:
-                if insn.mode == Mode.ATOMIC:
-                    if insn.imm not in _VALID_ATOMIC_OPS:
-                        self.reject(errno.EINVAL, f"invalid atomic op at {idx}")
-                    if insn.size not in (Size.W, Size.DW):
-                        self.reject(errno.EINVAL, f"invalid atomic size at {idx}")
-                elif insn.mode != Mode.MEM:
-                    self.reject(errno.EINVAL, f"invalid STX mode at {idx}")
-        except ValueError:
-            self.reject(errno.EINVAL, f"unknown opcode {insn.opcode:#04x} at {idx}")
+        message = _STRUCT_STATIC[op]
+        if message is not None:
+            self.reject(errno.EINVAL, f"{message} at {idx}")
+        kind = _STRUCT_RESID[op]
+        if kind is None:
+            return
+        if kind == "call":
+            if insn.src not in _VALID_CALL_KINDS:
+                self.reject(errno.EINVAL, f"invalid call kind at {idx}")
+            if insn.dst or insn.off:
+                self.reject(
+                    errno.EINVAL, f"BPF_CALL uses reserved fields at {idx}"
+                )
+        elif kind == "exit":
+            if insn.dst or insn.src or insn.imm or insn.off:
+                self.reject(
+                    errno.EINVAL, f"BPF_EXIT uses reserved fields at {idx}"
+                )
+        elif kind == "ld_imm64":
+            if insn.src > int(PseudoSrc.MAP_IDX_VALUE):
+                self.reject(errno.EINVAL, f"invalid LD_IMM64 pseudo at {idx}")
+        elif kind in ("memsx", "memsx_dw"):
+            if not self.config.has_bpf_loop:
+                self.reject(errno.EINVAL, f"MEMSX loads not supported at {idx}")
+            if kind == "memsx_dw":
+                self.reject(errno.EINVAL, f"invalid MEMSX size at {idx}")
+        else:  # atomic / atomic_badsize
+            if insn.imm not in _VALID_ATOMIC_OPS:
+                self.reject(errno.EINVAL, f"invalid atomic op at {idx}")
+            if kind == "atomic_badsize":
+                self.reject(errno.EINVAL, f"invalid atomic size at {idx}")
 
     def _check_jump_targets(self) -> None:
         n = len(self.insns)
@@ -276,9 +358,8 @@ class Verifier:
     # --- pseudo resolution --------------------------------------------------------
 
     def _resolve_pseudo(self) -> None:
-        for idx, insn in enumerate(self.insns):
-            if not insn.is_ld_imm64():
-                continue
+        for idx in self._ld_imm64_idxs:
+            insn = self.insns[idx]
             kind = PseudoSrc(insn.src)
             if kind == PseudoSrc.RAW:
                 continue
@@ -327,7 +408,10 @@ class Verifier:
             # Hot path: no spans, just the pipeline.
             self._check_structure()
             self._resolve_pseudo()
-            self._do_check()
+            if self._cached_check is not None:
+                self._restore_check(self._cached_check)
+            else:
+                self._do_check()
             verified = self._fixup()
         else:
             with rec.span("verifier.verify", insns=len(self.insns),
@@ -337,14 +421,67 @@ class Verifier:
                 with rec.span("verifier.resolve_pseudo"):
                     self._resolve_pseudo()
                 with rec.span("verifier.do_check"):
-                    self._do_check()
+                    if self._cached_check is not None:
+                        self._restore_check(self._cached_check)
+                    else:
+                        self._do_check()
                 with rec.span("verifier.fixup"):
                     verified = self._fixup()
         m.counter("verifier.accepted")
         m.observe("verifier.insns_processed", self.env.insns_processed)
         m.observe("verifier.max_stack_depth", self.max_stack_depth)
         m.gauge_max("verifier.peak_insns_processed", self.env.insns_processed)
+        self._emit_prune_metrics(m)
+        verified.check_summary = self._summarize_check()
         return verified
+
+    def _emit_prune_metrics(self, m) -> None:
+        env = self.env
+        m.counter("verifier.prune.exact_hits", env.prune_exact_hits)
+        m.counter("verifier.prune.scan_hits", env.prune_scan_hits)
+        m.counter("verifier.prune.misses", env.prune_misses)
+        m.counter("verifier.prune.evictions", env.prune_evictions)
+
+    def _summarize_check(self) -> CheckSummary:
+        env = self.env
+        return CheckSummary(
+            probe_mem=frozenset(self.probe_mem),
+            alu_limits=tuple(self.alu_limits.items()),
+            helper_ids=frozenset(self.helper_ids),
+            uses_lock_helpers=self.uses_lock_helpers,
+            max_stack_depth=self.max_stack_depth,
+            insns_processed=env.insns_processed,
+            states_pushed=env.states_pushed,
+            states_pruned=env.states_pruned,
+            peak_stack=env.peak_stack,
+            prune_exact_hits=env.prune_exact_hits,
+            prune_scan_hits=env.prune_scan_hits,
+            prune_misses=env.prune_misses,
+            prune_evictions=env.prune_evictions,
+        )
+
+    def _restore_check(self, summary: CheckSummary) -> None:
+        """Reinstate a cached ``do_check`` outcome on a fresh verifier.
+
+        Only valid for a program whose prior run *accepted*: the fixup
+        phase and the metric emissions then read exactly the fields
+        restored here, so the resulting :class:`VerifiedProgram` and
+        metrics are bit-identical to a full re-analysis.
+        """
+        self.probe_mem = set(summary.probe_mem)
+        self.alu_limits = dict(summary.alu_limits)
+        self.helper_ids = set(summary.helper_ids)
+        self.uses_lock_helpers = summary.uses_lock_helpers
+        self.max_stack_depth = summary.max_stack_depth
+        env = self.env
+        env.insns_processed = summary.insns_processed
+        env.states_pushed = summary.states_pushed
+        env.states_pruned = summary.states_pruned
+        env.peak_stack = summary.peak_stack
+        env.prune_exact_hits = summary.prune_exact_hits
+        env.prune_scan_hits = summary.prune_scan_hits
+        env.prune_misses = summary.prune_misses
+        env.prune_evictions = summary.prune_evictions
 
     def _initial_state(self) -> VerifierState:
         ctx = RegState.pointer(RegType.PTR_TO_CTX)
@@ -386,12 +523,8 @@ class Verifier:
                 # Kernel behaviour: reaching a back-edge target with a
                 # state subsumed by one already verified there means the
                 # loop made no progress.
-                seen = env.explored.setdefault(idx, [])
-                for old in seen:
-                    if states_equal(old, state):
-                        self.reject(errno.EINVAL, "infinite loop detected")
-                if len(seen) < 64:
-                    seen.append(state.clone())
+                if env.loop_header_seen(state):
+                    self.reject(errno.EINVAL, "infinite loop detected")
             elif idx in self._prune_points and env.is_visited(state):
                 state = env.pop_state()
                 continue
@@ -652,11 +785,15 @@ class Verifier:
         taken_state.parent_idx = idx
         state.insn_idx = idx + 1
 
-        t_dst = taken_state.regs[insn.dst]
-        f_dst = state.regs[insn.dst]
+        # The refinement helpers mutate these records in place, so take
+        # writable (COW-cloned) views.  ``wreg`` is idempotent: when
+        # dst == src both names resolve to the same record, preserving
+        # the aliasing the in-place updates rely on.
+        t_dst = taken_state.wreg(insn.dst)
+        f_dst = state.wreg(insn.dst)
         if insn.src_bit == Src.X:
-            t_src = taken_state.regs[insn.src]
-            f_src = state.regs[insn.src]
+            t_src = taken_state.wreg(insn.src)
+            f_src = state.wreg(insn.src)
         else:
             t_src = src.clone()
             f_src = src.clone()

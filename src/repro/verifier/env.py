@@ -6,14 +6,40 @@ index to resume at); branches push one side onto the exploration stack
 and continue down the other, exactly like the kernel's
 ``push_stack``/``pop_stack``.
 
-Pruning: at every jump target the environment keeps the list of states
+Pruning: at every jump target the environment keeps the set of states
 previously verified there; a new state that is *subsumed* by one of
 them (every register/stack slot at least as constrained) is not
 explored again (``is_state_visited``/``states_equal``).
+
+Two structural optimisations live here (see DESIGN.md "Verifier fast
+path"):
+
+- **Canonical state-hash index.**  Each stored state is keyed by
+  :func:`state_fingerprint`, a stable tuple over exactly the fields
+  :func:`states_equal` inspects.  Equal fingerprints imply subsumption
+  (subsumption is reflexive over those fields), so a re-reached state
+  whose fingerprint is already present prunes with one dict probe
+  instead of a pairwise ``states_equal`` scan.  A fingerprint miss
+  falls back to the full ordered subsumption scan — fingerprints can
+  only prove equality, never the *wider-subsumes-narrower* relation —
+  which keeps the pruning verdict bit-identical to the scan-only
+  implementation.
+- **Copy-on-write state cloning.**  :meth:`VerifierState.clone` marks
+  registers shared and copies only the per-frame register *list* (12
+  pointers) plus a storage-sharing stack handle; the deep copy of each
+  written record happens lazily at its first write, via
+  :meth:`FuncFrame.wreg` and the stack's ``_wslot``.  Branch forks and
+  explored-set snapshots clone far more state than any path ever
+  mutates, so nearly all of the former deep-copy work disappears.
+
+Per-index explored lists are bounded by an LRU (``PRUNE_CAP`` /
+``LOOP_CAP``) with eviction counters, so loop-heavy programs cannot
+grow the explored set without bound.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.ebpf.opcodes import Reg
@@ -26,10 +52,25 @@ from repro.verifier.state import (
     regs_equal_scalar_range,
 )
 
-__all__ = ["FuncFrame", "VerifierState", "VerifierEnv", "MAX_CALL_DEPTH"]
+__all__ = [
+    "FuncFrame",
+    "VerifierState",
+    "VerifierEnv",
+    "MAX_CALL_DEPTH",
+    "PRUNE_CAP",
+    "LOOP_CAP",
+    "state_fingerprint",
+    "states_equal",
+]
 
 #: Maximum bpf-to-bpf call nesting (kernel: 8).
 MAX_CALL_DEPTH = 8
+
+#: LRU capacity of the explored set at a prune point / a loop header.
+#: The former keep-first-N heuristic pinned whichever states arrived
+#: first; LRU keeps the states that keep proving useful.
+PRUNE_CAP = 16
+LOOP_CAP = 64
 
 _N_REGS = 12  # R0-R10 plus the internal AX
 
@@ -52,12 +93,32 @@ class FuncFrame:
         return cls(regs=regs, stack=StackState(), frameno=frameno, callsite=callsite)
 
     def clone(self) -> "FuncFrame":
-        return FuncFrame(
-            regs=[r.clone() for r in self.regs],
-            stack=self.stack.clone(),
-            frameno=self.frameno,
-            callsite=self.callsite,
-        )
+        """A logically independent copy sharing storage until written.
+
+        The register *list* is copied (so direct ``regs[i] = ...``
+        assignments stay frame-local) but the register records are
+        shared and marked; the first in-place mutation of one — always
+        routed through :meth:`wreg` — clones it.  Ditto the stack.
+        The source frame's records become shared too: after a clone,
+        *neither* side may mutate them in place.
+        """
+        regs = self.regs
+        for reg in regs:
+            reg.shared = True
+        new = FuncFrame.__new__(FuncFrame)
+        new.regs = regs[:]
+        new.stack = self.stack.cow_clone()
+        new.frameno = self.frameno
+        new.callsite = self.callsite
+        return new
+
+    def wreg(self, index: int) -> RegState:
+        """A writable register: clones a shared record on first write."""
+        reg = self.regs[index]
+        if reg.shared:
+            reg = reg.clone()
+            self.regs[index] = reg
+        return reg
 
 
 @dataclass
@@ -90,16 +151,21 @@ class VerifierState:
         return len(self.frames)
 
     def clone(self) -> "VerifierState":
-        return VerifierState(
-            frames=[f.clone() for f in self.frames],
-            insn_idx=self.insn_idx,
-            parent_idx=self.parent_idx,
-            refs=dict(self.refs),
-            active_lock=self.active_lock,
-        )
+        """Copy-on-write clone (see :meth:`FuncFrame.clone`)."""
+        new = VerifierState.__new__(VerifierState)
+        new.frames = [f.clone() for f in self.frames]
+        new.insn_idx = self.insn_idx
+        new.parent_idx = self.parent_idx
+        new.refs = dict(self.refs)
+        new.active_lock = self.active_lock
+        return new
 
     def reg(self, index: int) -> RegState:
         return self.cur.regs[index]
+
+    def wreg(self, index: int) -> RegState:
+        """A writable register in the current frame (COW entry point)."""
+        return self.frames[-1].wreg(index)
 
 
 def _reg_subsumed(old: RegState, new: RegState) -> bool:
@@ -124,25 +190,21 @@ def _reg_subsumed(old: RegState, new: RegState) -> bool:
         # The new pointer must have at least as much verified range.
         if new.pkt_range < old.pkt_range:
             return False
-    # Variable offset parts must also be subsumed.
-    return regs_equal_scalar_range(
-        RegState(
-            type=RegType.SCALAR,
-            var_off=old.var_off,
-            smin=old.smin,
-            smax=old.smax,
-            umin=old.umin,
-            umax=old.umax,
-        ),
-        RegState(
-            type=RegType.SCALAR,
-            var_off=new.var_off,
-            smin=new.smin,
-            smax=new.smax,
-            umin=new.umin,
-            umax=new.umax,
-        ),
-    )
+    # Variable offset parts must also be subsumed — the same range
+    # check regs_equal_scalar_range performs, applied directly to the
+    # pointers' scalar components (both are scalar by construction, so
+    # the type guards are vacuous).
+    if not (
+        old.umin <= new.umin
+        and new.umax <= old.umax
+        and old.smin <= new.smin
+        and new.smax <= old.smax
+    ):
+        return False
+    # tnum subset: every bit known in old must be known-and-equal in new.
+    if new.var_off.mask & ~old.var_off.mask:
+        return False
+    return (new.var_off.value & ~old.var_off.mask) == old.var_off.value
 
 
 def _stack_subsumed(old: StackState, new: StackState) -> bool:
@@ -199,6 +261,85 @@ def states_equal(old: VerifierState, new: VerifierState) -> bool:
     return True
 
 
+def _reg_fingerprint(reg: RegState) -> tuple:
+    """Stable key over exactly the fields ``_reg_subsumed`` inspects.
+
+    Referents are interned by object identity (``id``), which is
+    stable for the lifetime of one verification (the kernel model owns
+    maps and BTF objects for at least as long as the env).  Fields the
+    subsumption check never reads — ``id``, ``ref_obj_id``,
+    ``subprog`` — are deliberately excluded so irrelevant identity
+    churn cannot defeat exact-hit pruning.
+    """
+    var_off = reg.var_off
+    return (
+        # Enum members are process-lifetime singletons, so their id()
+        # is equality-preserving — and hashes at C speed, unlike
+        # Enum.__hash__, which dominated the fingerprint cost.
+        id(reg.type),
+        var_off.value,
+        var_off.mask,
+        reg.smin,
+        reg.smax,
+        reg.umin,
+        reg.umax,
+        reg.off,
+        id(reg.map),
+        id(reg.btf),
+        reg.mem_size,
+        reg.pkt_range,
+    )
+
+
+def _stack_fingerprint(stack: StackState) -> tuple:
+    """Stable key over the constraints ``_stack_subsumed`` inspects.
+
+    Semantically empty slots (all bytes INVALID, nothing spilled) are
+    normalised away: they impose no constraint, so two states that
+    differ only by one materialising such a slot still key equal.
+    Slot order is normalised by sorting on the slot index.
+    """
+    items = []
+    for slot_idx, slot in stack.iter_slots():
+        spilled = slot.spilled
+        slot_bytes = slot.bytes
+        if spilled is None and all(b is SlotType.INVALID for b in slot_bytes):
+            continue
+        items.append((
+            slot_idx,
+            tuple(map(id, slot_bytes)),  # SlotType singletons, as above
+            _reg_fingerprint(spilled) if spilled is not None else None,
+        ))
+    items.sort()
+    return tuple(items)
+
+
+def state_fingerprint(state: VerifierState) -> tuple:
+    """A canonical hashable key for the explored-set index.
+
+    The contract that makes the index semantically transparent:
+    ``state_fingerprint(a) == state_fingerprint(b)`` implies
+    ``states_equal(a, b)`` (and vice versa with the roles swapped),
+    because the key covers every field the subsumption check reads and
+    subsumption is reflexive over them.  The converse does *not* hold —
+    a wider old state subsumes a narrower new one without keying equal
+    — which is why a fingerprint miss must still fall back to the full
+    scan.
+    """
+    return (
+        tuple(
+            (
+                frame.callsite,
+                tuple(_reg_fingerprint(r) for r in frame.regs),
+                _stack_fingerprint(frame.stack),
+            )
+            for frame in state.frames
+        ),
+        len(state.refs),
+        state.active_lock is None,
+    )
+
+
 class VerifierEnv:
     """Mutable bookkeeping for one verification run."""
 
@@ -207,8 +348,11 @@ class VerifierEnv:
         self.complexity_limit = complexity_limit
         #: pending branch states (DFS)
         self.stack: list[VerifierState] = []
-        #: verified states per instruction index (pruning candidates)
-        self.explored: dict[int, list[VerifierState]] = {}
+        #: fingerprint-keyed explored states per instruction index
+        #: (pruning candidates); insertion/recency-ordered for LRU
+        self.explored: dict[int, OrderedDict[tuple, VerifierState]] = {}
+        #: ditto for loop headers (separate capacity, reject-on-match)
+        self.loop_explored: dict[int, OrderedDict[tuple, VerifierState]] = {}
         #: id allocator for pointer identity / null resolution
         self._next_id = 1
         #: statistics exported into VerifiedProgram.stats
@@ -216,6 +360,12 @@ class VerifierEnv:
         self.states_pushed = 0
         self.states_pruned = 0
         self.peak_stack = 0
+        #: prune-index telemetry (per-program deterministic, exported
+        #: as verifier.prune.* metrics by the campaign layer)
+        self.prune_exact_hits = 0
+        self.prune_scan_hits = 0
+        self.prune_misses = 0
+        self.prune_evictions = 0
 
     def new_id(self) -> int:
         self._next_id += 1
@@ -229,15 +379,53 @@ class VerifierEnv:
     def pop_state(self) -> VerifierState | None:
         return self.stack.pop() if self.stack else None
 
+    def _seen(
+        self,
+        index: dict[int, OrderedDict[tuple, VerifierState]],
+        state: VerifierState,
+        cap: int,
+    ) -> bool:
+        """Shared subsumption machinery for prune points and loop headers.
+
+        Exact fingerprint hit: one dict probe proves subsumption.
+        Miss: ordered ``states_equal`` scan over the stored states —
+        the boolean is an OR over the set, so the verdict is identical
+        to the scan-only implementation.  Either way the matched entry
+        is freshened; a genuinely new state is stored (copy-on-write
+        snapshot) and the least-recently-useful entry evicted beyond
+        ``cap``.
+        """
+        seen = index.get(state.insn_idx)
+        if seen is None:
+            seen = index[state.insn_idx] = OrderedDict()
+        key = state_fingerprint(state)
+        if key in seen:
+            seen.move_to_end(key)
+            self.prune_exact_hits += 1
+            return True
+        for old_key, old in seen.items():
+            if states_equal(old, state):
+                seen.move_to_end(old_key)
+                self.prune_scan_hits += 1
+                return True
+        self.prune_misses += 1
+        seen[key] = state.clone()
+        if len(seen) > cap:
+            seen.popitem(last=False)
+            self.prune_evictions += 1
+        return False
+
     def is_visited(self, state: VerifierState) -> bool:
         """Prune if subsumed; otherwise remember this state."""
-        seen = self.explored.setdefault(state.insn_idx, [])
-        for old in seen:
-            if states_equal(old, state):
-                self.states_pruned += 1
-                return True
-        # Bound the per-index list so pathological programs cannot make
-        # pruning quadratic (kernel uses a similar heuristic).
-        if len(seen) < 16:
-            seen.append(state.clone())
+        if self._seen(self.explored, state, PRUNE_CAP):
+            self.states_pruned += 1
+            return True
         return False
+
+    def loop_header_seen(self, state: VerifierState) -> bool:
+        """Has an equivalent state reached this back-edge target before?
+
+        ``True`` means the program re-reached a loop header without
+        making progress — the caller rejects it as an infinite loop.
+        """
+        return self._seen(self.loop_explored, state, LOOP_CAP)

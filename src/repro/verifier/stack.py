@@ -39,6 +39,10 @@ class _Slot:
 
     bytes: list[SlotType] = field(default_factory=lambda: [SlotType.INVALID] * 8)
     spilled: RegState | None = None
+    #: copy-on-write marker — see :class:`RegState.shared`.  A shared
+    #: slot (aliased by another stack's slot dict) must be replaced,
+    #: never mutated; writers go through ``StackState._wslot``.
+    shared: bool = field(default=False, compare=False, repr=False)
 
     def clone(self) -> "_Slot":
         return _Slot(
@@ -53,13 +57,77 @@ class _Slot:
 
 
 class StackState:
-    """Abstract state of one call frame's stack."""
+    """Abstract state of one call frame's stack.
+
+    Cloning is copy-on-write: :meth:`cow_clone` shares the slot dict
+    between the original and the copy and defers all copying to the
+    first write on either side.  Branch forks and explored-set
+    snapshots clone constantly but write rarely, so almost all of the
+    former deep-copy work (a dict plus an 8-element list and spilled
+    register per slot) never happens.  Reads never unshare.
+    """
 
     def __init__(self) -> None:
         #: slot index -> _Slot; slot i covers bytes [-(8*i+8), -(8*i))
         self._slots: dict[int, _Slot] = {}
         #: deepest byte written (positive number of bytes below fp)
         self.depth = 0
+        #: ``True`` while ``_slots`` is aliased by another StackState
+        self._shared_slots = False
+
+    # --- copy-on-write plumbing -------------------------------------------
+
+    def cow_clone(self) -> "StackState":
+        """A logically independent copy that shares storage until written."""
+        self._shared_slots = True
+        new = StackState.__new__(StackState)
+        new._slots = self._slots
+        new.depth = self.depth
+        new._shared_slots = True
+        return new
+
+    def _own_slots(self) -> None:
+        """Make the slot dict private (its slots stay shared)."""
+        if self._shared_slots:
+            for slot in self._slots.values():
+                slot.shared = True
+            self._slots = dict(self._slots)
+            self._shared_slots = False
+
+    def _wslot(self, index: int) -> _Slot:
+        """A writable slot at ``index``, cloning shared storage as needed."""
+        self._own_slots()
+        slot = self._slots.get(index)
+        if slot is None:
+            slot = _Slot()
+            self._slots[index] = slot
+        elif slot.shared:
+            spilled = slot.spilled
+            if spilled is not None:
+                spilled.shared = True
+            slot = _Slot(bytes=list(slot.bytes), spilled=spilled)
+            self._slots[index] = slot
+        return slot
+
+    def cow_update_spills(self, match, apply) -> None:
+        """Apply ``apply`` to every spilled register satisfying ``match``.
+
+        The copy-on-write replacement for iterating slots and mutating
+        ``slot.spilled`` in place: matching is read-only, and only
+        matched slots (and their spilled registers) are unshared.
+        """
+        matched = [
+            index
+            for index, slot in self._slots.items()
+            if slot.spilled is not None and match(slot.spilled)
+        ]
+        for index in matched:
+            slot = self._wslot(index)
+            reg = slot.spilled
+            if reg.shared:
+                reg = reg.clone()
+                slot.spilled = reg
+            apply(reg)
 
     # --- addressing -------------------------------------------------------
 
@@ -72,9 +140,6 @@ class StackState:
         """Map a negative fp offset to (slot index, byte-in-slot)."""
         pos = -off - 1  # 0 for byte at fp-1
         return pos // 8, 7 - (pos % 8)
-
-    def _slot(self, index: int) -> _Slot:
-        return self._slots.setdefault(index, _Slot())
 
     # --- writes ---------------------------------------------------------------
 
@@ -92,7 +157,7 @@ class StackState:
     def write_reg(self, off: int, reg: RegState) -> None:
         """An 8-byte aligned register spill preserving full state."""
         slot_idx, _ = self._slot_and_byte(off)
-        slot = self._slot(slot_idx)
+        slot = self._wslot(slot_idx)
         slot.spilled = reg.clone()
         slot.bytes = [SlotType.SPILL] * 8
         self._note_depth(off)
@@ -102,7 +167,7 @@ class StackState:
         kind = SlotType.ZERO if zero else SlotType.MISC
         for i in range(size):
             slot_idx, byte_idx = self._slot_and_byte(off + i)
-            slot = self._slot(slot_idx)
+            slot = self._wslot(slot_idx)
             self._degrade_spill(slot)
             slot.bytes[byte_idx] = kind
         self._note_depth(off)

@@ -9,16 +9,46 @@ This is a direct port of the kernel's ``kernel/bpf/tnum.c``; the
 property-based tests assert the defining soundness condition for every
 operation: if concrete ``x`` is in ``a`` and concrete ``y`` is in
 ``b``, then ``x <op> y`` is in ``tnum_<op>(a, b)``.
+
+Memoization
+-----------
+
+Campaign programs draw their immediates from a small population of
+interesting constants, so the same ``(value, mask)`` operand pairs hit
+the same tnum ops over and over.  Every binary operation (and
+``tnum_range``) therefore runs through a bounded per-op LRU keyed on
+the operand ``(op, value, mask)`` pairs — :func:`functools.lru_cache`,
+whose C implementation makes a hit cheaper than re-deriving even the
+cheapest op.  Because a :class:`Tnum` is an immutable value, returning
+a cached instance is observationally identical to recomputing it; the
+property tests in ``tests/verifier`` assert exactly that for every op.
+:func:`tnum_memo_stats` exposes aggregate hit/miss counters for the
+campaign's cache metrics and :func:`tnum_memo_clear` resets the LRUs
+(used by tests and benchmark harnesses that want cold-cache numbers).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
-__all__ = ["Tnum", "TNUM_UNKNOWN", "TNUM_ZERO", "tnum_const", "tnum_range"]
+__all__ = [
+    "Tnum",
+    "TNUM_UNKNOWN",
+    "TNUM_ZERO",
+    "tnum_const",
+    "tnum_range",
+    "tnum_memo_stats",
+    "tnum_memo_clear",
+]
 
 _U64 = (1 << 64) - 1
 _U32 = (1 << 32) - 1
+
+#: Entries per memoized operation.  Big enough that a campaign shard's
+#: working set of constants never thrashes, small enough (< a few MB
+#: across all ops) to be irrelevant for memory.
+_MEMO_SIZE = 1 << 16
 
 
 @dataclass(frozen=True)
@@ -70,39 +100,22 @@ class Tnum:
     # --- arithmetic -------------------------------------------------------------
 
     def add(self, other: "Tnum") -> "Tnum":
-        sm = (self.mask + other.mask) & _U64
-        sv = (self.value + other.value) & _U64
-        sigma = (sm + sv) & _U64
-        chi = sigma ^ sv
-        mu = chi | self.mask | other.mask
-        return Tnum(sv & ~mu & _U64, mu & _U64)
+        return _add(self.value, self.mask, other.value, other.mask)
 
     def sub(self, other: "Tnum") -> "Tnum":
-        dv = (self.value - other.value) & _U64
-        alpha = (dv + self.mask) & _U64
-        beta = (dv - other.mask) & _U64
-        chi = alpha ^ beta
-        mu = chi | self.mask | other.mask
-        return Tnum(dv & ~mu & _U64, mu & _U64)
+        return _sub(self.value, self.mask, other.value, other.mask)
 
     def neg(self) -> "Tnum":
-        return TNUM_ZERO.sub(self)
+        return _sub(0, 0, self.value, self.mask)
 
     def and_(self, other: "Tnum") -> "Tnum":
-        alpha = self.value | self.mask
-        beta = other.value | other.mask
-        v = self.value & other.value
-        return Tnum(v, (alpha & beta & ~v) & _U64)
+        return _and(self.value, self.mask, other.value, other.mask)
 
     def or_(self, other: "Tnum") -> "Tnum":
-        v = self.value | other.value
-        mu = self.mask | other.mask
-        return Tnum(v, (mu & ~v) & _U64)
+        return _or(self.value, self.mask, other.value, other.mask)
 
     def xor(self, other: "Tnum") -> "Tnum":
-        v = self.value ^ other.value
-        mu = self.mask | other.mask
-        return Tnum((v & ~mu) & _U64, mu & _U64)
+        return _xor(self.value, self.mask, other.value, other.mask)
 
     def mul(self, other: "Tnum") -> "Tnum":
         """Kernel-style long multiplication over tnum halves.
@@ -110,50 +123,27 @@ class Tnum:
         Sound but deliberately imprecise for large masks, like the
         kernel's ``tnum_mul``.
         """
-        a, b = self, other
-        acc_v = (a.value * b.value) & _U64
-        acc_m = TNUM_ZERO
-        while a.value or a.mask:
-            if a.value & 1:
-                acc_m = acc_m.add(Tnum(0, b.mask))
-            elif a.mask & 1:
-                acc_m = acc_m.add(Tnum(0, (b.value | b.mask) & _U64))
-            a = a.rshift(1)
-            b = b.lshift(1)
-        return tnum_const(acc_v).add(acc_m)
+        return _mul(self.value, self.mask, other.value, other.mask)
 
     def lshift(self, shift: int) -> "Tnum":
-        shift &= 63
-        return Tnum((self.value << shift) & _U64, (self.mask << shift) & _U64)
+        return _lshift(self.value, self.mask, shift)
 
     def rshift(self, shift: int) -> "Tnum":
-        shift &= 63
-        return Tnum(self.value >> shift, self.mask >> shift)
+        return _rshift(self.value, self.mask, shift)
 
     def arshift(self, shift: int, insn_bitness: int = 64) -> "Tnum":
         """Arithmetic right shift at the given bitness."""
-        shift &= insn_bitness - 1
-        if insn_bitness == 32:
-            value = _sext32(self.value & _U32) >> shift
-            mask = _sext32(self.mask & _U32) >> shift
-            return Tnum((value & _U32) & ~(mask & _U32), mask & _U32)
-        value = _sext64(self.value) >> shift
-        mask = _sext64(self.mask) >> shift
-        return Tnum((value & _U64) & ~(mask & _U64), mask & _U64)
+        return _arshift(self.value, self.mask, shift, insn_bitness)
 
     # --- set operations -----------------------------------------------------------
 
     def intersect(self, other: "Tnum") -> "Tnum":
         """Bits known in either (caller must know the sets overlap)."""
-        v = self.value | other.value
-        mu = self.mask & other.mask
-        return Tnum((v & ~mu) & _U64, mu & _U64)
+        return _intersect(self.value, self.mask, other.value, other.mask)
 
     def union(self, other: "Tnum") -> "Tnum":
         """Smallest tnum containing both operands' concretisations."""
-        chi = (self.value ^ other.value) | self.mask | other.mask
-        # Any differing or unknown bit becomes unknown.
-        return Tnum((self.value & ~chi) & _U64, chi & _U64)
+        return _union(self.value, self.mask, other.value, other.mask)
 
     # --- width handling --------------------------------------------------------------
 
@@ -163,7 +153,7 @@ class Tnum:
         if bits >= 64:
             return self
         keep = (1 << bits) - 1
-        return Tnum(self.value & keep, self.mask & keep)
+        return _mk(self.value & keep, self.mask & keep)
 
     def subreg(self) -> "Tnum":
         """The low 32 bits as a tnum."""
@@ -202,13 +192,181 @@ def _sext32(value: int) -> int:
     return value - (1 << 32) if value >= (1 << 31) else value
 
 
+def _mk(value: int, mask: int) -> Tnum:
+    """Construct a tnum whose invariant holds by construction.
+
+    Every op kernel below already guarantees ``value & mask == 0`` and
+    u64 range, so re-validating in ``__post_init__`` on the hot path
+    would only re-prove what the arithmetic just established.  External
+    construction still goes through the checked ``Tnum(...)`` path.
+    """
+    t = object.__new__(Tnum)
+    object.__setattr__(t, "value", value)
+    object.__setattr__(t, "mask", mask)
+    return t
+
+
+# --- memoized op kernels ---------------------------------------------------
+#
+# Keyed on raw (value, mask) ints rather than Tnum instances so that
+# equal operands hit regardless of which instance carries them, and so
+# a key never retains a bigger object graph than four ints.
+
+@lru_cache(maxsize=_MEMO_SIZE)
+def _add(av: int, am: int, bv: int, bm: int) -> Tnum:
+    sm = (am + bm) & _U64
+    sv = (av + bv) & _U64
+    sigma = (sm + sv) & _U64
+    chi = sigma ^ sv
+    mu = chi | am | bm
+    return _mk(sv & ~mu & _U64, mu & _U64)
+
+
+@lru_cache(maxsize=_MEMO_SIZE)
+def _sub(av: int, am: int, bv: int, bm: int) -> Tnum:
+    dv = (av - bv) & _U64
+    alpha = (dv + am) & _U64
+    beta = (dv - bm) & _U64
+    chi = alpha ^ beta
+    mu = chi | am | bm
+    return _mk(dv & ~mu & _U64, mu & _U64)
+
+
+@lru_cache(maxsize=_MEMO_SIZE)
+def _and(av: int, am: int, bv: int, bm: int) -> Tnum:
+    alpha = av | am
+    beta = bv | bm
+    v = av & bv
+    return _mk(v, (alpha & beta & ~v) & _U64)
+
+
+@lru_cache(maxsize=_MEMO_SIZE)
+def _or(av: int, am: int, bv: int, bm: int) -> Tnum:
+    v = av | bv
+    mu = am | bm
+    return _mk(v, (mu & ~v) & _U64)
+
+
+@lru_cache(maxsize=_MEMO_SIZE)
+def _xor(av: int, am: int, bv: int, bm: int) -> Tnum:
+    v = av ^ bv
+    mu = am | bm
+    return _mk((v & ~mu) & _U64, mu & _U64)
+
+
+@lru_cache(maxsize=_MEMO_SIZE)
+def _mul(av: int, am: int, bv: int, bm: int) -> Tnum:
+    acc_v = (av * bv) & _U64
+    acc = TNUM_ZERO
+    while av or am:
+        if av & 1:
+            acc = _add(acc.value, acc.mask, 0, bm)
+        elif am & 1:
+            acc = _add(acc.value, acc.mask, 0, (bv | bm) & _U64)
+        av >>= 1
+        am >>= 1
+        bv = (bv << 1) & _U64
+        bm = (bm << 1) & _U64
+    return _add(acc_v, 0, acc.value, acc.mask)
+
+
+@lru_cache(maxsize=_MEMO_SIZE)
+def _lshift(v: int, m: int, shift: int) -> Tnum:
+    shift &= 63
+    return _mk((v << shift) & _U64, (m << shift) & _U64)
+
+
+@lru_cache(maxsize=_MEMO_SIZE)
+def _rshift(v: int, m: int, shift: int) -> Tnum:
+    shift &= 63
+    return _mk(v >> shift, m >> shift)
+
+
+@lru_cache(maxsize=_MEMO_SIZE)
+def _arshift(v: int, m: int, shift: int, insn_bitness: int) -> Tnum:
+    shift &= insn_bitness - 1
+    if insn_bitness == 32:
+        value = _sext32(v & _U32) >> shift
+        mask = _sext32(m & _U32) >> shift
+        return _mk((value & _U32) & ~(mask & _U32), mask & _U32)
+    value = _sext64(v) >> shift
+    mask = _sext64(m) >> shift
+    return _mk((value & _U64) & ~(mask & _U64), mask & _U64)
+
+
+@lru_cache(maxsize=_MEMO_SIZE)
+def _intersect(av: int, am: int, bv: int, bm: int) -> Tnum:
+    v = av | bv
+    mu = am & bm
+    return _mk((v & ~mu) & _U64, mu & _U64)
+
+
+@lru_cache(maxsize=_MEMO_SIZE)
+def _union(av: int, am: int, bv: int, bm: int) -> Tnum:
+    chi = (av ^ bv) | am | bm
+    # Any differing or unknown bit becomes unknown.
+    return _mk((av & ~chi) & _U64, chi & _U64)
+
+
+@lru_cache(maxsize=_MEMO_SIZE)
+def _const(value: int) -> Tnum:
+    return _mk(value, 0)
+
+
+@lru_cache(maxsize=_MEMO_SIZE)
+def _range(lo: int, hi: int) -> Tnum:
+    if lo > hi:
+        return TNUM_UNKNOWN
+    chi = lo ^ hi
+    bits = chi.bit_length()
+    if bits > 63:
+        return TNUM_UNKNOWN
+    delta = (1 << bits) - 1
+    return _mk(lo & ~delta, delta)
+
+
+#: Every memoized kernel, for stats aggregation and cache clearing.
+_MEMO_OPS = {
+    "add": _add,
+    "sub": _sub,
+    "and": _and,
+    "or": _or,
+    "xor": _xor,
+    "mul": _mul,
+    "lshift": _lshift,
+    "rshift": _rshift,
+    "arshift": _arshift,
+    "intersect": _intersect,
+    "union": _union,
+    "const": _const,
+    "range": _range,
+}
+
+
+def tnum_memo_stats() -> dict[str, int]:
+    """Aggregate hit/miss/size counters across all op LRUs."""
+    hits = misses = size = 0
+    for fn in _MEMO_OPS.values():
+        info = fn.cache_info()
+        hits += info.hits
+        misses += info.misses
+        size += info.currsize
+    return {"hits": hits, "misses": misses, "entries": size}
+
+
+def tnum_memo_clear() -> None:
+    """Drop every memoized entry (cold-cache test/benchmark hook)."""
+    for fn in _MEMO_OPS.values():
+        fn.cache_clear()
+
+
 TNUM_UNKNOWN = Tnum(0, _U64)
 TNUM_ZERO = Tnum(0, 0)
 
 
 def tnum_const(value: int) -> Tnum:
     """The tnum representing exactly ``value``."""
-    return Tnum(value & _U64, 0)
+    return _const(value & _U64)
 
 
 def tnum_range(lo: int, hi: int) -> Tnum:
@@ -217,13 +375,4 @@ def tnum_range(lo: int, hi: int) -> Tnum:
     Port of the kernel's ``tnum_range``: all bits above the highest
     differing bit are known, the rest unknown.
     """
-    lo &= _U64
-    hi &= _U64
-    if lo > hi:
-        return TNUM_UNKNOWN
-    chi = lo ^ hi
-    bits = chi.bit_length()
-    if bits > 63:
-        return TNUM_UNKNOWN
-    delta = (1 << bits) - 1
-    return Tnum(lo & ~delta, delta)
+    return _range(lo & _U64, hi & _U64)

@@ -122,7 +122,11 @@ class TestCoverage:
     def test_backend_selection(self):
         import sys
 
-        assert VerifierCoverage().backend_name in ("settrace", "monitoring")
+        assert VerifierCoverage().backend_name in (
+            "ctrace",
+            "settrace",
+            "monitoring",
+        )
         assert VerifierCoverage(backend="settrace").backend_name == "settrace"
         if hasattr(sys, "monitoring"):
             cov = VerifierCoverage(backend="monitoring")
@@ -134,6 +138,30 @@ class TestCoverage:
                 VerifierCoverage(backend="monitoring")
         with pytest.raises(ValueError):
             VerifierCoverage(backend="dtrace")
+
+    def test_ctrace_settrace_parity(self):
+        """The C tracer must report bit-identical edges to settrace."""
+        from repro.fuzz.coverage import _load_ctrace
+
+        if not _load_ctrace():
+            pytest.skip("C tracer extension unavailable")
+        fast = VerifierCoverage(backend="ctrace")
+        slow = VerifierCoverage(backend="settrace")
+        for cov in (fast, slow):
+            self._verify_once(cov)
+        assert fast.snapshot_edges() == slow.snapshot_edges()
+        assert fast.edge_count > 0
+
+    def test_replay_marks_new_edges(self):
+        cov = VerifierCoverage()
+        self._verify_once(cov)
+        window = cov.snapshot_edges()
+        fresh = VerifierCoverage()
+        fresh.replay(window)
+        assert fresh.last_new == len(window)
+        assert fresh.snapshot_edges() == window
+        fresh.replay(window)  # replaying the same window adds nothing
+        assert fresh.last_new == 0
 
     def test_snapshot_edges_is_picklable_copy(self):
         import pickle

@@ -11,7 +11,16 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.verifier.tnum import TNUM_UNKNOWN, TNUM_ZERO, Tnum, tnum_const, tnum_range
+from repro.verifier.tnum import (
+    _MEMO_OPS,
+    TNUM_UNKNOWN,
+    TNUM_ZERO,
+    Tnum,
+    tnum_const,
+    tnum_memo_clear,
+    tnum_memo_stats,
+    tnum_range,
+)
 
 U64 = (1 << 64) - 1
 
@@ -282,3 +291,60 @@ class TestWellFormednessPreservation:
         assert_wellformed(result)
         assert result.contains(lo)
         assert result.contains(hi)
+
+
+@st.composite
+def raw_tnum_ints(draw):
+    """A valid raw ``(value, mask)`` pair, as the memo kernels take it."""
+    mask = draw(st.integers(min_value=0, max_value=U64))
+    value = draw(st.integers(min_value=0, max_value=U64)) & ~mask
+    return value & U64, mask & U64
+
+
+class TestMemoInvisibility:
+    """The lru_cache on each op kernel must be semantically invisible.
+
+    Every kernel in ``_MEMO_OPS`` is an ``lru_cache``-wrapped pure
+    function of ints; ``fn.__wrapped__`` is the unmemoized original.
+    For any valid operands, the cached call must return a tnum equal to
+    the uncached computation — and a second cached call (a guaranteed
+    LRU hit) must return the same result again.  This is the property
+    that lets the verifier fast path memoize ALU ops at all.
+    """
+
+    @staticmethod
+    def _check(fn, *args):
+        cached = fn(*args)
+        uncached = fn.__wrapped__(*args)
+        assert_wellformed(cached)
+        assert cached == uncached
+        assert fn(*args) == uncached  # hit path agrees too
+
+    @given(raw_tnum_ints(), raw_tnum_ints())
+    def test_binary_kernels(self, a, b):
+        for name in ("add", "sub", "and", "or", "xor", "mul",
+                     "intersect", "union"):
+            self._check(_MEMO_OPS[name], a[0], a[1], b[0], b[1])
+
+    @given(raw_tnum_ints(), st.integers(min_value=0, max_value=127))
+    def test_shift_kernels(self, a, shift):
+        self._check(_MEMO_OPS["lshift"], a[0], a[1], shift)
+        self._check(_MEMO_OPS["rshift"], a[0], a[1], shift)
+        for bitness in (32, 64):
+            self._check(_MEMO_OPS["arshift"], a[0], a[1], shift, bitness)
+
+    @given(st.integers(min_value=0, max_value=U64),
+           st.integers(min_value=0, max_value=U64))
+    def test_const_and_range_kernels(self, lo, hi):
+        self._check(_MEMO_OPS["const"], lo)
+        self._check(_MEMO_OPS["range"], lo, hi)
+
+    def test_clear_and_stats_roundtrip(self):
+        tnum_memo_clear()
+        base = tnum_memo_stats()
+        assert base["entries"] == 0
+        tnum_const(99)
+        tnum_const(99)
+        after = tnum_memo_stats()
+        assert after["misses"] - base["misses"] >= 1
+        assert after["hits"] - base["hits"] >= 1
