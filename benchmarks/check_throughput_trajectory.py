@@ -32,6 +32,13 @@ largely hardware-independent:
   prune index) may not *drop* by more than ``--max-hit-rate-drop`` —
   campaigns are seed-deterministic, so a falling hit rate means a
   cache key or lookup path regressed, not that the workload changed.
+
+One more gate needs only the **current** artifact: the flight
+recorder's disabled-mode overhead (measured by
+``test_flight_recorder_overhead`` against the same-process baseline,
+so it is a CPU ratio, not an absolute) must stay within
+``--max-flight-overhead`` — the ISSUE-8 contract that the decision
+log costs nothing when off.
 """
 
 from __future__ import annotations
@@ -100,6 +107,28 @@ def check_cache_rates(previous: dict, current: dict,
     return ok
 
 
+def check_flight_overhead(current: dict, max_overhead: float) -> bool:
+    """Gate the flight recorder's disabled-mode overhead; True = pass.
+
+    Unlike the other gates this needs no previous artifact: the
+    benchmark already computed the overhead against its own in-process
+    baseline, so the gate is absolute.
+    """
+    section = current.get("flight_recorder")
+    if not section or "disabled_overhead" not in section:
+        print("trajectory: flight_recorder overhead missing from the "
+              "current artifact; skipping that gate")
+        return True
+    overhead = section["disabled_overhead"]
+    print(f"trajectory: flight recorder disabled overhead "
+          f"{overhead:+.3f} (allowed {max_overhead:.2f})")
+    if overhead > max_overhead:
+        print(f"trajectory: FAIL - disabled flight recorder costs more "
+              f"than {max_overhead:.0%}")
+        return False
+    return True
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--previous", required=True,
@@ -117,12 +146,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-hit-rate-drop", type=float, default=0.25,
                         help="maximum tolerated drop of any cache hit "
                              "rate, in absolute points (default 0.25)")
+    parser.add_argument("--max-flight-overhead", type=float, default=0.05,
+                        help="maximum tolerated disabled-mode flight "
+                             "recorder overhead, as a fraction of "
+                             "baseline throughput (default 0.05)")
     args = parser.parse_args(argv)
 
     try:
         current, current_payload = load_programs_per_sec(args.current)
     except (OSError, ValueError, KeyError) as exc:
         print(f"trajectory: current artifact unreadable: {exc}")
+        return 1
+
+    if not check_flight_overhead(current_payload, args.max_flight_overhead):
         return 1
 
     try:

@@ -26,6 +26,7 @@ from pathlib import Path
 from repro.analysis.stats import ThroughputStats
 from repro.fuzz.campaign import CampaignConfig
 from repro.fuzz.parallel import ParallelCampaign
+from repro.obs.metrics import cache_hit_rates
 
 BUDGET = int(os.environ.get("BVF_BENCH_BUDGET", "300"))
 WORKERS = int(os.environ.get("BVF_BENCH_WORKERS", "4"))
@@ -45,6 +46,16 @@ INVARIANT_OVERHEAD_BUDGET = float(
     os.environ.get("BVF_BENCH_INVARIANT_BUDGET", "0.05")
 )
 
+#: Disabled-mode budget for the flight recorder (ISSUE 8: the decision
+#: log must stay within 5% of baseline when the flag is off).
+FLIGHT_OVERHEAD_BUDGET = float(
+    os.environ.get("BVF_BENCH_FLIGHT_BUDGET", "0.05")
+)
+
+#: Where the flight-events sample trace lands (CI archives it next to
+#: the throughput trajectory).
+EVENTS_OUTPUT = OUTPUT.with_name("BENCH_events.jsonl")
+
 
 def _load_payload() -> dict:
     if OUTPUT.exists():
@@ -55,32 +66,14 @@ def _load_payload() -> dict:
     return {}
 
 
-def _hit_rate(counters: dict, hits_key: str, misses_key: str,
-              extra_hits: str | None = None) -> float:
-    hits = counters.get(hits_key, 0)
-    if extra_hits:
-        hits += counters.get(extra_hits, 0)
-    total = hits + counters.get(misses_key, 0)
-    return hits / total if total else 0.0
-
-
 def _cache_rates(metrics: dict) -> dict:
-    """Hit rates of the verifier fast-path caches, from one snapshot."""
-    counters = metrics.get("counters", {})
-    return {
-        "verdict_hit_rate": round(_hit_rate(
-            counters, "cache.verdict.hits", "cache.verdict.misses"), 4),
-        "tnum_memo_hit_rate": round(_hit_rate(
-            counters, "cache.tnum.hits", "cache.tnum.misses"), 4),
-        "prune_index_hit_rate": round(_hit_rate(
-            counters, "verifier.prune.exact_hits", "verifier.prune.misses",
-            extra_hits="verifier.prune.scan_hits"), 4),
-        # Of the prune hits, how many the fingerprint probe answered
-        # without a states_equal scan.
-        "prune_exact_fraction": round(_hit_rate(
-            counters, "verifier.prune.exact_hits",
-            "verifier.prune.scan_hits"), 4),
-    }
+    """Hit rates of the verifier fast-path caches, from one snapshot.
+
+    Delegates to :func:`repro.obs.metrics.cache_hit_rates` so the
+    benchmark, the ``repro report`` dashboard, and campaign heartbeats
+    always agree on the definition of each rate.
+    """
+    return cache_hit_rates(metrics.get("counters", {}))
 
 
 def test_parallel_throughput():
@@ -220,3 +213,107 @@ def test_invariant_checker_overhead():
         f"disabled-mode VStateChecker overhead {disabled_overhead:.1%} "
         f"exceeds the {INVARIANT_OVERHEAD_BUDGET:.0%} budget"
     )
+
+
+def test_flight_recorder_overhead():
+    """Flight-recorder cost: disabled mode must stay within 5%.
+
+    Same methodology as :func:`test_invariant_checker_overhead` (one
+    warm-up per mode, then median of 3 interleaved rounds).  When the
+    flag is off the verifier hot path pays one ``.enabled`` attribute
+    test per instrumentation point against the shared
+    :data:`repro.obs.events.NULL_FLIGHT`; that is what the
+    ``disabled_overhead`` gate (checked here *and* by
+    ``check_throughput_trajectory.py``) protects.  Enabled-mode cost is
+    recorded for trend tracking but not gated — recording disables the
+    verdict cache by design (a cached hit would skip the very
+    decisions the recorder exists to capture).
+    """
+    from statistics import median
+
+    from repro.fuzz.campaign import Campaign
+
+    def run_pps(**flags) -> float:
+        config = CampaignConfig(
+            tool="bvf", kernel_version="bpf-next", budget=BUDGET,
+            seed=0, **flags
+        )
+        stats = ThroughputStats.from_result(Campaign(config).run())
+        return stats.programs_per_sec
+
+    modes = {
+        "baseline": {},
+        "disabled": {"flight": False},
+        "enabled": {"flight": True},
+    }
+    for flags in modes.values():  # warm-up, discarded
+        run_pps(**flags)
+    rounds: dict[str, list[float]] = {mode: [] for mode in modes}
+    for _ in range(3):
+        for mode, flags in modes.items():
+            rounds[mode].append(run_pps(**flags))
+    samples = {mode: median(values) for mode, values in rounds.items()}
+
+    disabled_overhead = 1.0 - samples["disabled"] / samples["baseline"]
+    enabled_overhead = 1.0 - samples["enabled"] / samples["baseline"]
+
+    payload = _load_payload()
+    payload["flight_recorder"] = {
+        "budget": BUDGET,
+        "baseline_programs_per_sec": round(samples["baseline"], 2),
+        "disabled_programs_per_sec": round(samples["disabled"], 2),
+        "enabled_programs_per_sec": round(samples["enabled"], 2),
+        "disabled_overhead": round(disabled_overhead, 4),
+        "enabled_overhead": round(enabled_overhead, 4),
+        "disabled_overhead_budget": FLIGHT_OVERHEAD_BUDGET,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print("\n=== Flight recorder overhead (serial) ===")
+    for mode in ("baseline", "disabled", "enabled"):
+        print(f"{mode:>9}: {samples[mode]:8.1f} programs/sec")
+    print(f"disabled overhead: {disabled_overhead:+.1%} "
+          f"(budget {FLIGHT_OVERHEAD_BUDGET:.0%}); "
+          f"enabled overhead: {enabled_overhead:+.1%}")
+
+    assert disabled_overhead <= FLIGHT_OVERHEAD_BUDGET, (
+        f"disabled-mode flight-recorder overhead {disabled_overhead:.1%} "
+        f"exceeds the {FLIGHT_OVERHEAD_BUDGET:.0%} budget"
+    )
+
+
+def test_flight_events_artifact():
+    """A small flight+trace campaign spills decision rings CI archives.
+
+    The JSONL trace of a ``flight=True`` campaign must contain
+    ``verifier.flight`` events — one spilled ring per interesting
+    outcome — so the events artifact uploaded by the bench job is
+    never silently empty.
+    """
+    from repro.fuzz.campaign import Campaign
+
+    config = CampaignConfig(
+        tool="bvf", kernel_version="bpf-next",
+        budget=min(BUDGET, 60), seed=0,
+        flight=True, trace_path=str(EVENTS_OUTPUT),
+    )
+    result = Campaign(config).run()
+
+    spills = []
+    with EVENTS_OUTPUT.open(encoding="utf-8") as fh:
+        for line in fh:
+            event = json.loads(line)
+            if (event.get("kind") == "event"
+                    and event.get("name") == "verifier.flight"):
+                spills.append(event)
+
+    rejected = result.generated - result.accepted
+    print(f"\n{EVENTS_OUTPUT.name}: {len(spills)} spilled decision rings "
+          f"for {rejected} rejections")
+    assert rejected > 0, "benchmark campaign produced no rejections"
+    assert len(spills) == rejected
+    for spill in spills:
+        assert spill["events"], "spilled ring must not be empty"
+        kinds = {ev["kind"] for ev in spill["events"]}
+        assert "verdict" in kinds
+    assert result.reject_explanations, "flight campaign must explain rejects"

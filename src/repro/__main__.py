@@ -12,12 +12,20 @@ Subcommands:
   generators;
 - ``report``    — render the telemetry dashboard from a ``--metrics``
   artifact (acceptance by reason/frame kind, phase-time histograms,
-  per-shard throughput, bug indicators);
+  cache health, per-shard throughput, bug indicators);
+- ``explain``   — verify one program (a selftest by name, or a
+  campaign iteration by number) under the flight recorder and print
+  why it was rejected;
+- ``watch``     — tail a campaign's heartbeat directory and render a
+  live progress dashboard;
 - ``profiles``  — list the kernel profiles and their injected flaws.
 
 ``fuzz`` and ``campaign`` both accept ``--trace PATH`` (JSONL trace
-events; sharded campaigns write ``PATH.shardNN`` per shard) and
-``--metrics PATH`` (the JSON artifact ``report`` consumes).
+events; sharded campaigns write ``PATH.shardNN`` per shard),
+``--metrics PATH`` (the JSON artifact ``report`` consumes),
+``--flight`` (record verifier decisions and attach rejection
+explanations), and ``--heartbeat-dir DIR`` (write the progress
+snapshots ``watch`` renders).
 """
 
 from __future__ import annotations
@@ -75,6 +83,9 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         trace_path=args.trace,
         differential=args.differential,
         check_invariants=args.check_invariants,
+        flight=args.flight,
+        heartbeat_dir=args.heartbeat_dir,
+        heartbeat_every=args.heartbeat_every,
     )
     print(
         f"fuzzing {args.kernel} with {args.tool}: {args.budget} programs, "
@@ -107,6 +118,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         trace_path=args.trace,
         differential=args.differential,
         check_invariants=args.check_invariants,
+        flight=args.flight,
+        heartbeat_dir=args.heartbeat_dir,
+        heartbeat_every=args.heartbeat_every,
     )
     engine = ParallelCampaign(config, workers=args.workers, shards=args.shards)
     print(
@@ -149,6 +163,66 @@ def _cmd_report(args: argparse.Namespace) -> int:
         return 1
     print(render_dashboard(artifact))
     return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs.explain import explain_iteration, explain_selftest
+
+    if args.program.isdigit():
+        config = CampaignConfig(
+            tool=args.tool,
+            kernel_version=args.kernel,
+            budget=0,
+            seed=args.seed,
+            sanitize=args.sanitize,
+        )
+        explanation = explain_iteration(config, int(args.program))
+        subject = (f"iteration {args.program} "
+                   f"(tool={args.tool} seed={args.seed})")
+    else:
+        try:
+            explanation = explain_selftest(
+                args.program, kernel_version=args.kernel,
+                sanitize=args.sanitize,
+            )
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 1
+        subject = f"selftest {args.program!r}"
+
+    if explanation is None:
+        print(f"{subject} accepted on {args.kernel} — nothing to explain")
+        return 0
+    if args.json:
+        print(json.dumps(explanation.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(explanation.render())
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs.heartbeat import (
+        read_campaign_meta,
+        read_heartbeats,
+        render_watch,
+    )
+
+    while True:
+        snapshots = read_heartbeats(args.dir)
+        frame = render_watch(snapshots, read_campaign_meta(args.dir))
+        if args.once:
+            print(frame)
+            return 0
+        # ANSI clear-screen + home keeps the refresh flicker-free.
+        print("\x1b[2J\x1b[H" + frame, flush=True)
+        if snapshots and all(s.get("status") == "done" for s in snapshots):
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def _cmd_selftest(args: argparse.Namespace) -> int:
@@ -210,6 +284,17 @@ def _cmd_profiles(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_flight_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--flight", action="store_true",
+                        help="record verifier decision events and attach "
+                             "a rejection explanation per taxonomy reason")
+    parser.add_argument("--heartbeat-dir", metavar="DIR", default=None,
+                        help="write atomic progress heartbeats into DIR "
+                             "(`repro watch DIR` renders them live)")
+    parser.add_argument("--heartbeat-every", type=int, default=25,
+                        metavar="N", help="heartbeat cadence in iterations")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -238,6 +323,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write a JSONL trace of the run to PATH")
     fuzz.add_argument("--metrics", metavar="PATH", default=None,
                       help="write the metrics artifact (JSON) to PATH")
+    _add_flight_args(fuzz)
     fuzz.set_defaults(func=_cmd_fuzz)
 
     campaign = sub.add_parser(
@@ -272,6 +358,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--metrics", metavar="PATH", default=None,
                           help="write the merged metrics artifact "
                                "(JSON) to PATH")
+    _add_flight_args(campaign)
     campaign.set_defaults(func=_cmd_campaign)
 
     report = sub.add_parser(
@@ -281,6 +368,38 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("artifact", help="metrics artifact written by "
                                          "fuzz/campaign --metrics")
     report.set_defaults(func=_cmd_report)
+
+    explain = sub.add_parser(
+        "explain", help="explain why the verifier rejected a program"
+    )
+    explain.add_argument(
+        "program",
+        help="a selftest name, or a campaign iteration number "
+             "(replayed deterministically from --tool/--seed)",
+    )
+    explain.add_argument("--kernel", default="patched",
+                         choices=list(PROFILES))
+    explain.add_argument("--tool", default="bvf",
+                         choices=["bvf", "bvf-nostructure", "syzkaller",
+                                  "buzzer"],
+                         help="generator for iteration replay")
+    explain.add_argument("--seed", type=int, default=0,
+                         help="campaign seed for iteration replay")
+    explain.add_argument("--sanitize", action="store_true",
+                         help="apply BVF's sanitation before verifying")
+    explain.add_argument("--json", action="store_true",
+                         help="emit the explanation as JSON")
+    explain.set_defaults(func=_cmd_explain)
+
+    watch = sub.add_parser(
+        "watch", help="live view of a campaign's heartbeat directory"
+    )
+    watch.add_argument("dir", help="the campaign's --heartbeat-dir")
+    watch.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between refreshes")
+    watch.add_argument("--once", action="store_true",
+                       help="print one frame and exit (no screen clear)")
+    watch.set_defaults(func=_cmd_watch)
 
     selftest = sub.add_parser("selftest", help="run the self-test corpus")
     selftest.add_argument("--kernel", default="patched",

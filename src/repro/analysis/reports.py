@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.kernel.config import Flaw
 from repro.fuzz.oracle import BugFinding
+from repro.obs.metrics import cache_hit_rates
 
 __all__ = ["BugRow", "TABLE2_ROWS", "render_bug_table", "render_dashboard"]
 
@@ -145,6 +146,20 @@ def render_dashboard(artifact: dict) -> str:
     if not by_reason:
         lines.append("  (no rejections)")
 
+    explanations = taxonomy.get("explanations", {})
+    if explanations:
+        lines += ["", "rejection explanations (flight recorder):"]
+        for reason in sorted(explanations):
+            entry = explanations[reason]
+            insn = entry.get("insn_text") or f"insn {entry.get('insn_idx')}"
+            lines.append(
+                f"  {reason:<26} iter {entry.get('iteration', -1):>5}  "
+                f"@{entry.get('insn_idx', 0):>3}  {insn}"
+            )
+            check = entry.get("check", "")
+            if check:
+                lines.append(f"  {'':<26} check: {check}")
+
     frames = taxonomy.get("frames", {})
     if frames.get("generated"):
         lines += ["", "acceptance by frame kind:"]
@@ -168,13 +183,41 @@ def render_dashboard(artifact: dict) -> str:
         for name, hist in sorted(phase_hists.items()):
             _render_histogram(name, hist, lines)
 
+    counters = metrics.get("counters", {})
+    if any(
+        key.startswith(("cache.", "verifier.prune.")) for key in counters
+    ):
+        rates = cache_hit_rates(counters)
+        lines += ["", "verifier fast-path cache health:"]
+        for label, rate_key, hits_key, misses_key in (
+            ("verdict cache", "verdict_hit_rate",
+             "cache.verdict.hits", "cache.verdict.misses"),
+            ("tnum memo", "tnum_memo_hit_rate",
+             "cache.tnum.hits", "cache.tnum.misses"),
+            ("prune index", "prune_index_hit_rate",
+             "verifier.prune.exact_hits", "verifier.prune.misses"),
+        ):
+            rate = rates[rate_key]
+            hits = counters.get(hits_key, 0)
+            if rate_key == "prune_index_hit_rate":
+                hits += counters.get("verifier.prune.scan_hits", 0)
+            misses = counters.get(misses_key, 0)
+            lines.append(
+                f"  {label:<14} {rate:>6.1%}  "
+                f"(hits={hits} misses={misses}) {_bar(rate)}"
+            )
+        lines.append(
+            f"  {'exact-hit frac':<14} {rates['prune_exact_fraction']:>6.1%}  "
+            f"(of prune hits, answered by fingerprint probe)"
+        )
+
     shards = artifact.get("shards", [])
     if shards:
         lines += [
             "",
             "per-shard coverage / throughput:",
             f"  {'shard':>5} {'generated':>9} {'accepted':>8} "
-            f"{'edges':>7} {'wall s':>8} {'prog/s':>8}",
+            f"{'edges':>7} {'wall s':>8} {'prog/s':>8} {'boot s':>7}",
         ]
         for shard in shards:
             wall = shard.get("wall", {})
@@ -182,7 +225,8 @@ def render_dashboard(artifact: dict) -> str:
                 f"  {shard['index']:>5} {shard['generated']:>9} "
                 f"{shard['accepted']:>8} {shard['coverage_edges']:>7} "
                 f"{wall.get('wall_seconds', 0.0):>8.2f} "
-                f"{wall.get('programs_per_sec', 0.0):>8.1f}"
+                f"{wall.get('programs_per_sec', 0.0):>8.1f} "
+                f"{wall.get('bootstrap_seconds', 0.0):>7.3f}"
             )
 
     indicators = artifact.get("indicators", {})

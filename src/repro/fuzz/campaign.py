@@ -31,6 +31,7 @@ from repro.errors import (
     MapError,
     VerifierReject,
 )
+from repro.obs.metrics import cache_hit_rates
 from repro.obs.taxonomy import classify
 from repro.verifier.log import final_message
 from repro.ebpf.opcodes import InsnClass
@@ -78,6 +79,18 @@ class CampaignConfig:
     #: run the :class:`~repro.verifier.sanity.VStateChecker` at
     #: verifier checkpoints (off = zero-cost hot path)
     check_invariants: bool = False
+    #: record verifier decision events in the flight recorder
+    #: (:mod:`repro.obs.events`) and attach a rejection explanation per
+    #: taxonomy reason (:mod:`repro.obs.explain`); off = zero-cost
+    flight: bool = False
+    #: write atomic progress heartbeats into this directory
+    #: (:mod:`repro.obs.heartbeat`; ``repro watch DIR`` renders them)
+    heartbeat_dir: str | None = None
+    #: heartbeat cadence in iterations (deterministic intervals)
+    heartbeat_every: int = 25
+    #: shard index, used for heartbeat file naming (set by
+    #: :class:`~repro.fuzz.parallel.ParallelCampaign` per shard)
+    shard_index: int = 0
 
 
 @dataclass
@@ -92,6 +105,10 @@ class CampaignResult:
     #: taxonomy reason code -> count, over rejected programs
     #: (:mod:`repro.obs.taxonomy`)
     reject_reasons: Counter = field(default_factory=Counter)
+    #: taxonomy reason code -> first recorded explanation
+    #: (:meth:`repro.obs.explain.Explanation.to_dict` plus the global
+    #: ``iteration``); populated only when ``config.flight`` is on
+    reject_explanations: dict[str, dict] = field(default_factory=dict)
     #: frame kind -> programs generated containing that kind
     frame_generated: Counter = field(default_factory=Counter)
     #: frame kind -> programs accepted containing that kind
@@ -188,17 +205,22 @@ class Campaign:
         # it to that iteration's fresh Kernel (crash isolation stays
         # per-iteration, construction cost does not).
         self.generator = make_generator(config.tool, None, self.rng)
-        # Frame-level verdict cache; off when invariant checking or
-        # tracing needs to observe do_check from the inside.
+        # Frame-level verdict cache; off when invariant checking,
+        # tracing, or flight recording needs to observe do_check from
+        # the inside (a cached hit skips the very decisions the flight
+        # recorder exists to capture).
         self.verdicts = (
             VerdictCache()
-            if not config.check_invariants and not config.trace_path
+            if not config.check_invariants
+            and not config.trace_path
+            and not config.flight
             else None
         )
         # Replaced by run() with a clock wired to that run's metrics
         # registry and recorder; a bare default keeps _iteration usable
         # standalone (tests drive it directly).
         self._clock = obs.PhaseClock()
+        self._flight = obs.NULL_FLIGHT
 
     # ------------------------------------------------------------------ run --
 
@@ -219,12 +241,42 @@ class Campaign:
             if self.config.trace_path
             else obs.NULL_RECORDER
         )
+        flight = obs.FlightRecorder() if self.config.flight else obs.NULL_FLIGHT
+        self._flight = flight
         clock = obs.PhaseClock(metrics=registry, recorder=recorder)
         self._clock = clock
-        token = obs.install(registry, recorder)
+        token = obs.install(registry, recorder,
+                            flight if flight.enabled else None)
         # The tnum memo LRUs are process-global (shards in one process
         # share warm entries), so this shard's contribution is a delta.
         tnum_before = tnum_memo_stats()
+
+        heartbeat = None
+        if self.config.heartbeat_dir:
+            from repro.obs.heartbeat import HeartbeatWriter
+
+            heartbeat = HeartbeatWriter(
+                self.config.heartbeat_dir,
+                shard_index=self.config.shard_index,
+                budget=self.config.budget,
+                seed=self.config.seed,
+            )
+
+        def beat(status: str) -> None:
+            if heartbeat is None:
+                return
+            heartbeat.write(
+                status=status,
+                programs=result.generated,
+                accepted=result.accepted,
+                findings=len(result.findings),
+                divergences=len(result.divergences),
+                reject_reasons=dict(result.reject_reasons),
+                phase_seconds=dict(clock.seconds),
+                caches=cache_hit_rates(
+                    registry.snapshot().get("counters", {})
+                ),
+            )
 
         def sample() -> None:
             edges = self.coverage.edges
@@ -235,6 +287,7 @@ class Campaign:
             sampled_edges.update(edges)
 
         try:
+            beat("starting")
             for iteration in range(self.config.budget):
                 self._iteration(result, iteration)
                 if (
@@ -242,11 +295,18 @@ class Campaign:
                     and iteration % self.config.sample_every == 0
                 ):
                     sample()
+                if (
+                    heartbeat is not None
+                    and (iteration + 1) % self.config.heartbeat_every == 0
+                ):
+                    beat("running")
             if self.config.collect_coverage:
                 sample()
+            beat("done")
         finally:
             obs.restore(token)
             recorder.close()
+            self._flight = obs.NULL_FLIGHT
         tnum_after = tnum_memo_stats()
         registry.counter("cache.tnum.hits",
                          tnum_after["hits"] - tnum_before["hits"])
@@ -302,7 +362,8 @@ class Campaign:
                 verified = self._load(kernel, prog, gp)
             except InvariantViolation as violation:
                 # Not a verdict: the verifier's own abstract state broke.
-                self._reject(result, _errno.EFAULT, str(violation))
+                self._reject(result, _errno.EFAULT, str(violation),
+                             gp, iteration)
                 self._record(
                     result,
                     self.oracle.classify_invariant(violation, gp),
@@ -311,10 +372,12 @@ class Campaign:
                 return
             except VerifierReject as reject:
                 self._reject(result, reject.errno,
-                             final_message(reject.log) or reject.message)
+                             final_message(reject.log) or reject.message,
+                             gp, iteration)
                 return
             except BpfError as error:
-                self._reject(result, error.errno, error.message)
+                self._reject(result, error.errno, error.message,
+                             gp, iteration)
                 return
 
         result.accepted += 1
@@ -327,7 +390,14 @@ class Campaign:
         with self._clock.phase("execute"):
             self._execute_plan(kernel, verified, gp, result, iteration)
 
-    def _reject(self, result: CampaignResult, errno: int, message: str) -> None:
+    def _reject(
+        self,
+        result: CampaignResult,
+        errno: int,
+        message: str,
+        gp: GeneratedProgram | None = None,
+        iteration: int = -1,
+    ) -> None:
         result.reject_errnos[errno] += 1
         reason = classify(message)
         result.reject_reasons[reason] += 1
@@ -336,6 +406,42 @@ class Campaign:
         if rec.enabled:
             rec.event("campaign.reject", errno=errno, reason=reason,
                       message=message)
+        if self._flight.enabled:
+            self._explain_reject(result, errno, message, reason,
+                                 gp, iteration)
+
+    def _explain_reject(
+        self,
+        result: CampaignResult,
+        errno: int,
+        message: str,
+        reason: str,
+        gp: GeneratedProgram | None,
+        iteration: int,
+    ) -> None:
+        """Spill the flight ring for a rejection and keep one
+        explanation per taxonomy reason (the earliest iteration)."""
+        events = self._flight.snapshot()
+        rec = obs.recorder()
+        if rec.enabled:
+            # Interesting outcome: spill the decision ring to the trace
+            # stream so post-hoc analysis sees the full last-K window.
+            rec.event("verifier.flight", reason=reason, errno=errno,
+                      events=events)
+        if reason in result.reject_explanations:
+            return
+        from repro.obs.explain import explain_events
+
+        explanation = explain_events(
+            events,
+            message=message,
+            errno=errno,
+            program=f"{gp.origin}_{iteration}" if gp is not None else None,
+            insns=gp.insns if gp is not None else None,
+        )
+        entry = explanation.to_dict()
+        entry["iteration"] = iteration
+        result.reject_explanations[reason] = entry
 
     def _record_divergence(
         self, result: CampaignResult, div, iteration: int

@@ -71,6 +71,16 @@ __all__ = [
 #: the merged result — never changes when the machine does.
 DEFAULT_SHARDS = 8
 
+#: Set by :func:`_worker_init` the instant a worker process starts, so
+#: the first shard that runs in the worker can report how long process
+#: bootstrap (fork/spawn + module import) took before any campaign work.
+_WORKER_T0: float | None = None
+
+
+def _worker_init() -> None:
+    global _WORKER_T0
+    _WORKER_T0 = time.perf_counter()
+
 
 @dataclass
 class ShardResult:
@@ -101,12 +111,20 @@ class ShardResult:
     #: (local programs generated, new edges since previous sample)
     edge_samples: list[tuple[int, frozenset[int]]] = field(default_factory=list)
     insn_classes: Counter = field(default_factory=Counter)
+    #: taxonomy reason -> first flight-recorder explanation, iteration
+    #: already remapped to global (empty unless ``config.flight``)
+    reject_explanations: dict[str, dict] = field(default_factory=dict)
     corpus_size: int = 0
     generate_seconds: float = 0.0
     verify_seconds: float = 0.0
     execute_seconds: float = 0.0
     differential_seconds: float = 0.0
     wall_seconds: float = 0.0
+    #: worker-process bootstrap time attributed to this shard (0.0 for
+    #: every shard after the first one a worker runs)
+    bootstrap_seconds: float = 0.0
+    #: time to construct the shard's Campaign (corpus/coverage setup)
+    setup_seconds: float = 0.0
 
 
 @dataclass
@@ -116,6 +134,10 @@ class ParallelCampaignResult(CampaignResult):
     workers: int = 1
     shards: int = 1
     shard_results: list[ShardResult] = field(default_factory=list)
+    #: summed worker bootstrap time across shards (wall-side telemetry)
+    bootstrap_seconds: float = 0.0
+    #: summed Campaign construction time across shards
+    setup_seconds: float = 0.0
 
 
 def shard_budgets(budget: int, shards: int) -> list[int]:
@@ -146,14 +168,26 @@ def _run_shard(payload) -> ShardResult:
     Module-level (and taking a single tuple) so it pickles under every
     multiprocessing start method.
     """
+    global _WORKER_T0
+    entered = time.perf_counter()
+    # Bootstrap time belongs to the first shard a worker runs; later
+    # shards in the same process paid nothing for it.
+    bootstrap_seconds = entered - _WORKER_T0 if _WORKER_T0 is not None else 0.0
+    _WORKER_T0 = None
+
     config, index, start_iteration, shard_budget, shard_seed = payload
     trace_path = config.trace_path
     if trace_path is not None:
         trace_path = f"{trace_path}.shard{index:02d}"
     shard_config = replace(
-        config, budget=shard_budget, seed=shard_seed, trace_path=trace_path
+        config,
+        budget=shard_budget,
+        seed=shard_seed,
+        trace_path=trace_path,
+        shard_index=index,
     )
     campaign = Campaign(shard_config)
+    setup_seconds = time.perf_counter() - entered
     result = campaign.run()
 
     findings = {}
@@ -168,6 +202,19 @@ def _run_shard(payload) -> ShardResult:
             div["iteration"] += start_iteration
         divergences[key] = div
 
+    explanations = {}
+    for reason, entry in result.reject_explanations.items():
+        entry = dict(entry)
+        if entry.get("iteration", -1) >= 0:
+            entry["iteration"] += start_iteration
+        explanations[reason] = entry
+
+    metrics = result.metrics
+    if metrics:
+        sums = metrics.setdefault("wall", {}).setdefault("sums", {})
+        sums["worker.bootstrap_seconds"] = bootstrap_seconds
+        sums["worker.setup_seconds"] = setup_seconds
+
     return ShardResult(
         index=index,
         start_iteration=start_iteration,
@@ -178,18 +225,21 @@ def _run_shard(payload) -> ShardResult:
         reject_reasons=result.reject_reasons,
         frame_generated=result.frame_generated,
         frame_accepted=result.frame_accepted,
-        metrics=result.metrics,
+        metrics=metrics,
         findings=findings,
         divergences=divergences,
         edges=campaign.coverage.snapshot_edges(),
         edge_samples=result.edge_samples,
         insn_classes=result.insn_classes,
+        reject_explanations=explanations,
         corpus_size=result.corpus_size,
         generate_seconds=result.generate_seconds,
         verify_seconds=result.verify_seconds,
         execute_seconds=result.execute_seconds,
         differential_seconds=result.differential_seconds,
         wall_seconds=result.wall_seconds,
+        bootstrap_seconds=bootstrap_seconds,
+        setup_seconds=setup_seconds,
     )
 
 
@@ -221,12 +271,24 @@ def merge_shards(
         merged.verify_seconds += shard.verify_seconds
         merged.execute_seconds += shard.execute_seconds
         merged.differential_seconds += shard.differential_seconds
+        merged.bootstrap_seconds += shard.bootstrap_seconds
+        merged.setup_seconds += shard.setup_seconds
         all_edges |= shard.edges
 
         for bug_id, finding in shard.findings.items():
             kept = merged.findings.get(bug_id)
             if kept is None or finding.iteration < kept.iteration:
                 merged.findings[bug_id] = finding
+
+        # One explanation per taxonomy reason fleet-wide, keeping the
+        # earliest global iteration — shard-order-independent, hence
+        # worker-count-invariant.
+        for reason, entry in shard.reject_explanations.items():
+            kept = merged.reject_explanations.get(reason)
+            if kept is None or entry.get("iteration", 0) < kept.get(
+                "iteration", 0
+            ):
+                merged.reject_explanations[reason] = entry
 
     merged.divergences = merge_divergences(
         [shard.divergences for shard in ordered]
@@ -296,7 +358,23 @@ class ParallelCampaign:
         plan = self.shard_plan()
         workers = min(self.workers, max(len(plan), 1))
 
+        if self.config.heartbeat_dir:
+            from repro.obs.heartbeat import write_campaign_meta
+
+            write_campaign_meta(
+                self.config.heartbeat_dir,
+                {
+                    "tool": self.config.tool,
+                    "kernel": self.config.kernel_version,
+                    "budget": self.config.budget,
+                    "seed": self.config.seed,
+                    "shards": len(plan),
+                    "workers": workers,
+                },
+            )
+
         if workers <= 1 or len(plan) <= 1:
+            _worker_init()
             shard_results = [_run_shard(payload) for payload in plan]
         else:
             ctx = multiprocessing.get_context(
@@ -304,7 +382,9 @@ class ParallelCampaign:
                 if "fork" in multiprocessing.get_all_start_methods()
                 else "spawn"
             )
-            with ctx.Pool(processes=workers) as pool:
+            with ctx.Pool(
+                processes=workers, initializer=_worker_init
+            ) as pool:
                 shard_results = pool.map(_run_shard, plan, chunksize=1)
 
         merged = merge_shards(self.config, shard_results, workers=workers)

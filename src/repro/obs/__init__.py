@@ -9,7 +9,10 @@ The subsystem has three layers (see DESIGN.md "Observability"):
   recorder as the disabled default, plus :class:`PhaseClock`, the
   single phase timer the campaign loop runs on;
 - :mod:`repro.obs.taxonomy` — stable reason codes for every verifier
-  rejection.
+  rejection;
+- :mod:`repro.obs.events` — the verifier flight recorder: a bounded
+  ring of typed decision events per verification, spilled on
+  interesting outcomes and consumed by :mod:`repro.obs.explain`.
 
 Instrumented components (verifier, generator, sanitizer, interpreter,
 oracle) do not take recorder arguments — they read the
@@ -24,6 +27,11 @@ module-attribute read and an empty method call.
 
 from __future__ import annotations
 
+from repro.obs.events import (
+    NULL_FLIGHT,
+    FlightRecorder,
+    NullFlightRecorder,
+)
 from repro.obs.metrics import (
     MetricsRegistry,
     NullMetrics,
@@ -43,14 +51,18 @@ __all__ = [
     "NullMetrics",
     "NullRecorder",
     "JsonlTraceRecorder",
+    "FlightRecorder",
+    "NullFlightRecorder",
     "PhaseClock",
     "NULL_RECORDER",
+    "NULL_FLIGHT",
     "UNCLASSIFIED",
     "classify",
     "merge_snapshots",
     "strip_wall_fields",
     "metrics",
     "recorder",
+    "flight",
     "install",
     "restore",
 ]
@@ -59,6 +71,7 @@ _NULL_METRICS = NullMetrics()
 
 _current_metrics = _NULL_METRICS
 _current_recorder = NULL_RECORDER
+_current_flight = NULL_FLIGHT
 
 
 def metrics():
@@ -71,23 +84,34 @@ def recorder():
     return _current_recorder
 
 
-def install(registry=None, trace_recorder=None) -> tuple:
-    """Make ``registry``/``trace_recorder`` current; returns the old pair.
+def flight():
+    """The process-current flight recorder (``enabled`` is the gate)."""
+    return _current_flight
+
+
+def install(registry=None, trace_recorder=None, flight_recorder=None) -> tuple:
+    """Make the given sinks current; returns the previous sinks.
 
     Pass the returned token to :func:`restore` (in a ``finally``) so
     nested campaigns — e.g. the oracle's differential replay spinning
-    up inner kernels — compose instead of clobbering each other.
+    up inner kernels — compose instead of clobbering each other.  The
+    token is opaque; callers must not depend on its shape.
     """
-    global _current_metrics, _current_recorder
-    token = (_current_metrics, _current_recorder)
+    global _current_metrics, _current_recorder, _current_flight
+    token = (_current_metrics, _current_recorder, _current_flight)
     _current_metrics = registry if registry is not None else _NULL_METRICS
     _current_recorder = (
         trace_recorder if trace_recorder is not None else NULL_RECORDER
+    )
+    _current_flight = (
+        flight_recorder if flight_recorder is not None else NULL_FLIGHT
     )
     return token
 
 
 def restore(token: tuple) -> None:
     """Reinstate the sinks that were current before :func:`install`."""
-    global _current_metrics, _current_recorder
-    _current_metrics, _current_recorder = token
+    global _current_metrics, _current_recorder, _current_flight
+    _current_metrics, _current_recorder = token[0], token[1]
+    # Tokens minted before the flight recorder existed are two-tuples.
+    _current_flight = token[2] if len(token) > 2 else NULL_FLIGHT

@@ -65,6 +65,9 @@ def build_artifact(result) -> dict:
                         shard.generated / shard.wall_seconds
                         if shard.wall_seconds else 0.0
                     ),
+                    "bootstrap_seconds": getattr(
+                        shard, "bootstrap_seconds", 0.0),
+                    "setup_seconds": getattr(shard, "setup_seconds", 0.0),
                 },
             }
         )
@@ -102,6 +105,7 @@ def build_artifact(result) -> dict:
             "sanitize": config.sanitize,
             "differential": getattr(config, "differential", False),
             "check_invariants": getattr(config, "check_invariants", False),
+            "flight": getattr(config, "flight", False),
             "shards": getattr(result, "shards", 1),
             "workers": getattr(result, "workers", 1),
         },
@@ -127,10 +131,19 @@ def build_artifact(result) -> dict:
                 for errno, count in sorted(result.reject_errnos.items())
             },
             "frames": _frame_breakdown(result),
+            # One flight-recorder explanation per reason (earliest
+            # global iteration); deterministic, so invariance-checked.
+            "explanations": dict(
+                sorted(getattr(result, "reject_explanations", {}).items())
+            ),
         },
         "metrics": result.metrics or empty_snapshot(),
         "shards": shards,
-        "wall": {"throughput": throughput.as_dict()},
+        "wall": {
+            "throughput": throughput.as_dict(),
+            "bootstrap_seconds": getattr(result, "bootstrap_seconds", 0.0),
+            "setup_seconds": getattr(result, "setup_seconds", 0.0),
+        },
     }
 
 

@@ -1,0 +1,232 @@
+"""Campaign heartbeats: atomic per-shard progress snapshots on disk.
+
+Long campaigns (the paper runs 48-hour ones) are opaque while running:
+the metrics artifact only exists after the merge.  Heartbeats fix that
+with the cheapest possible mechanism — each shard periodically writes
+one small JSON file describing where it is, and ``repro watch <dir>``
+re-reads the directory and renders a live dashboard.  No sockets, no
+shared memory: the files survive worker crashes and work across any
+process/host boundary that shares the directory.
+
+File format (schema ``repro-heartbeat-v1``), one
+``shardNN.heartbeat.json`` per shard plus one ``campaign.meta.json``
+for the fleet:
+
+- every **deterministic** field (programs, accepted, findings, the
+  rejection-reason taxonomy counters) lives at the top level — for a
+  fixed ``(seed, budget, shards)`` a heartbeat written at the same
+  iteration has identical top-level content regardless of worker count
+  or host speed, which is what makes heartbeats testable;
+- every **host-dependent** field (elapsed seconds, programs/sec,
+  per-phase seconds, cache hit rates — the tnum memo is process-global
+  and therefore packing-dependent) is segregated under the ``"wall"``
+  key, mirroring the metrics artifact's convention.
+
+Writes are atomic (``tmp`` + ``os.replace``), so a reader never
+observes a torn file; the cadence is deterministic (every
+``heartbeat_every`` iterations plus one final ``done`` write).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+__all__ = [
+    "SCHEMA",
+    "META_SCHEMA",
+    "HeartbeatWriter",
+    "write_campaign_meta",
+    "read_campaign_meta",
+    "read_heartbeats",
+    "render_watch",
+]
+
+SCHEMA = "repro-heartbeat-v1"
+META_SCHEMA = "repro-campaign-meta-v1"
+
+_META_NAME = "campaign.meta.json"
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    os.replace(tmp, path)
+
+
+class HeartbeatWriter:
+    """Writes one shard's progress snapshots atomically."""
+
+    def __init__(
+        self,
+        directory: str,
+        shard_index: int = 0,
+        budget: int = 0,
+        seed: int = 0,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / f"shard{shard_index:02d}.heartbeat.json"
+        self.shard_index = shard_index
+        self.budget = budget
+        self.seed = seed
+        self._started = time.perf_counter()
+
+    def write(
+        self,
+        *,
+        status: str,
+        programs: int,
+        accepted: int,
+        findings: int = 0,
+        divergences: int = 0,
+        reject_reasons: dict | None = None,
+        phase_seconds: dict | None = None,
+        caches: dict | None = None,
+    ) -> None:
+        """Write one snapshot (atomic replace of the previous one)."""
+        elapsed = time.perf_counter() - self._started
+        payload = {
+            "schema": SCHEMA,
+            "shard": self.shard_index,
+            "seed": self.seed,
+            "budget": self.budget,
+            "status": status,
+            "programs": programs,
+            "accepted": accepted,
+            "rejected": programs - accepted,
+            "findings": findings,
+            "divergences": divergences,
+            # Cumulative taxonomy counters; `repro watch` diffs
+            # successive snapshots to show per-interval deltas.
+            "reject_reasons": dict(sorted((reject_reasons or {}).items())),
+            "wall": {
+                "updated_unix": time.time(),
+                "elapsed_seconds": round(elapsed, 4),
+                "programs_per_sec": (
+                    round(programs / elapsed, 2) if elapsed > 0 else 0.0
+                ),
+                "phase_seconds": {
+                    name: round(seconds, 4)
+                    for name, seconds in sorted(
+                        (phase_seconds or {}).items()
+                    )
+                },
+                # Cache hit rates are wall-side: the tnum memo is
+                # process-global, so its rates depend on shard packing.
+                "caches": dict(sorted((caches or {}).items())),
+            },
+        }
+        _atomic_write_json(self.path, payload)
+
+
+def write_campaign_meta(directory: str, meta: dict) -> None:
+    """Write the fleet-level manifest ``repro watch`` keys off."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    payload = {"schema": META_SCHEMA}
+    payload.update(meta)
+    _atomic_write_json(path / _META_NAME, payload)
+
+
+def read_campaign_meta(directory: str) -> dict | None:
+    path = Path(directory) / _META_NAME
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+
+
+def read_heartbeats(directory: str) -> list[dict]:
+    """All shard heartbeats in a directory, ordered by shard index.
+
+    Unreadable files are skipped: a shard that has not written yet (or
+    a directory mid-rotation) must not break the watcher.  Torn files
+    cannot occur — writes are atomic replaces.
+    """
+    snapshots = []
+    for path in sorted(Path(directory).glob("shard*.heartbeat.json")):
+        try:
+            snapshot = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue
+        snapshots.append(snapshot)
+    snapshots.sort(key=lambda s: s.get("shard", 0))
+    return snapshots
+
+
+def _top_reason(snapshot: dict) -> str:
+    reasons = snapshot.get("reject_reasons", {})
+    if not reasons:
+        return "-"
+    reason, count = max(reasons.items(), key=lambda kv: (kv[1], kv[0]))
+    return f"{reason}={count}"
+
+
+def render_watch(snapshots: list[dict], meta: dict | None = None) -> str:
+    """Render one frame of the live campaign view (pure function)."""
+    lines = []
+    if meta:
+        lines.append(
+            f"campaign: tool={meta.get('tool', '?')} "
+            f"kernel={meta.get('kernel', '?')} "
+            f"budget={meta.get('budget', '?')} seed={meta.get('seed', '?')} "
+            f"shards={meta.get('shards', '?')} "
+            f"workers={meta.get('workers', '?')}"
+        )
+        lines.append("")
+    if not snapshots:
+        lines.append("(no heartbeats yet)")
+        return "\n".join(lines)
+
+    lines.append(
+        f"  {'shard':>5} {'status':<9} {'progress':>13} {'pct':>5} "
+        f"{'acc%':>6} {'finds':>5} {'prog/s':>8}  top reason"
+    )
+    total_programs = 0
+    total_budget = 0
+    total_accepted = 0
+    total_findings = 0
+    for snapshot in snapshots:
+        programs = snapshot.get("programs", 0)
+        budget = snapshot.get("budget", 0)
+        accepted = snapshot.get("accepted", 0)
+        findings = snapshot.get("findings", 0)
+        total_programs += programs
+        total_budget += budget
+        total_accepted += accepted
+        total_findings += findings
+        pct = programs / budget if budget else 0.0
+        acc = accepted / programs if programs else 0.0
+        pps = snapshot.get("wall", {}).get("programs_per_sec", 0.0)
+        lines.append(
+            f"  {snapshot.get('shard', '?'):>5} "
+            f"{snapshot.get('status', '?'):<9} "
+            f"{programs:>6}/{budget:<6} {pct:>5.0%} {acc:>6.1%} "
+            f"{findings:>5} {pps:>8.1f}  {_top_reason(snapshot)}"
+        )
+    overall = total_programs / total_budget if total_budget else 0.0
+    acc = total_accepted / total_programs if total_programs else 0.0
+    done = sum(1 for s in snapshots if s.get("status") == "done")
+    lines.append(
+        f"  {'all':>5} {f'{done}/{len(snapshots)} done':<9} "
+        f"{total_programs:>6}/{total_budget:<6} {overall:>5.0%} "
+        f"{acc:>6.1%} {total_findings:>5}"
+    )
+    # Taxonomy totals across the fleet, most frequent first.
+    reasons: dict[str, int] = {}
+    for snapshot in snapshots:
+        for reason, count in snapshot.get("reject_reasons", {}).items():
+            reasons[reason] = reasons.get(reason, 0) + count
+    if reasons:
+        lines.append("")
+        lines.append("  rejections: " + "  ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(
+                reasons.items(), key=lambda kv: (-kv[1], kv[0])
+            )[:8]
+        ))
+    return "\n".join(lines)

@@ -34,6 +34,7 @@ __all__ = [
     "DEFAULT_TIME_BUCKETS",
     "MetricsRegistry",
     "NullMetrics",
+    "cache_hit_rates",
     "merge_snapshots",
     "strip_wall_fields",
 ]
@@ -256,6 +257,39 @@ def strip_wall_fields(snapshot: dict) -> dict:
             }
         stripped[section] = value
     return stripped
+
+
+def _hit_rate(counters: dict, hits_key: str, misses_key: str,
+              extra_hits: str | None = None) -> float:
+    hits = counters.get(hits_key, 0)
+    if extra_hits:
+        hits += counters.get(extra_hits, 0)
+    total = hits + counters.get(misses_key, 0)
+    return round(hits / total, 4) if total else 0.0
+
+
+def cache_hit_rates(counters: dict) -> dict:
+    """Hit rates of the verifier fast-path caches, from one counter map.
+
+    Shared by the ``repro report`` dashboard, the campaign heartbeats,
+    and ``benchmarks/test_throughput.py`` (whose ``caches`` section the
+    trajectory checker gates), so all three always agree on the
+    definition of each rate.
+    """
+    return {
+        "verdict_hit_rate": _hit_rate(
+            counters, "cache.verdict.hits", "cache.verdict.misses"),
+        "tnum_memo_hit_rate": _hit_rate(
+            counters, "cache.tnum.hits", "cache.tnum.misses"),
+        "prune_index_hit_rate": _hit_rate(
+            counters, "verifier.prune.exact_hits", "verifier.prune.misses",
+            extra_hits="verifier.prune.scan_hits"),
+        # Of the prune hits, how many the fingerprint probe answered
+        # without a states_equal scan.
+        "prune_exact_fraction": _hit_rate(
+            counters, "verifier.prune.exact_hits",
+            "verifier.prune.scan_hits"),
+    }
 
 
 def histogram_quantile(hist: dict, q: float) -> float:

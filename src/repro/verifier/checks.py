@@ -504,6 +504,13 @@ def check_alu(v, state, insn: Insn) -> None:
 
     dst.id = 0
     scalar_alu(v, dst, src, op, is64)
+    # Bound-deduction trail for the flight recorder (level 2 only:
+    # scalar ALU is the hottest opcode class, so the disabled cost must
+    # stay at this one attribute comparison).
+    if v._flight.level >= 2:
+        v._flight.refine(
+            v.cur_insn_idx, f"R{insn.dst}", f"{op.name} -> {dst}"
+        )
 
 
 # ---------------------------------------------------------------------------

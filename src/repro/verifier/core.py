@@ -218,6 +218,11 @@ class Verifier:
         self.helper_ids: set[int] = set()
         self.uses_lock_helpers = False
         self.cur_insn_idx = 0
+        #: process-current flight recorder (NULL_FLIGHT when disabled;
+        #: every emission below is guarded on ``.enabled``/``.level``)
+        self._flight = obs.flight()
+        #: the env emits prune-decision events only when recording
+        self.env.flight = self._flight if self._flight.enabled else None
         self.max_stack_depth = 0
         self._prune_points: set[int] = set()
         #: targets of back edges: pruning there means an infinite loop
@@ -241,6 +246,10 @@ class Verifier:
         if rec.enabled:
             rec.event("verifier.reject", errno=err, insn=self.cur_insn_idx,
                       message=message)
+        if self._flight.enabled:
+            self._flight.verdict(
+                "reject", errno=err, insn=self.cur_insn_idx, message=message
+            )
         raise VerifierReject(err, message, log=self.log.text())
 
     def has_flaw(self, flaw: Flaw) -> bool:
@@ -248,9 +257,18 @@ class Verifier:
 
     def mark_probe_mem(self, idx: int) -> None:
         self.probe_mem.add(idx)
+        if self._flight.enabled:
+            self._flight.patch(
+                idx, "probe_mem", "load rewritten as fault-handled PROBE_MEM"
+            )
 
     def record_alu_limit(self, insn_limit: int, op: AluOp) -> None:
         self.alu_limits[self.cur_insn_idx] = (insn_limit, int(op))
+        if self._flight.enabled:
+            self._flight.patch(
+                self.cur_insn_idx, "alu_limit",
+                f"limit={insn_limit} op={AluOp(op).name}",
+            )
 
     def note_helper(self, proto) -> None:
         self.helper_ids.add(int(proto.helper_id))
@@ -271,6 +289,9 @@ class Verifier:
 
         expect_filler = False
         for idx, insn in enumerate(insns):
+            # Keep the failing-instruction attribution exact for
+            # structural rejections (reject events / the explainer).
+            self.cur_insn_idx = idx
             if expect_filler:
                 if not insn.is_filler():
                     self.reject(errno.EINVAL, f"invalid LD_IMM64 pair at {idx - 1}")
@@ -334,6 +355,7 @@ class Verifier:
         for idx, insn in enumerate(self.insns):
             if insn.is_filler():
                 continue
+            self.cur_insn_idx = idx
             target = None
             if insn.is_pseudo_call():
                 target = idx + insn.imm + 1
@@ -359,6 +381,7 @@ class Verifier:
 
     def _resolve_pseudo(self) -> None:
         for idx in self._ld_imm64_idxs:
+            self.cur_insn_idx = idx
             insn = self.insns[idx]
             kind = PseudoSrc(insn.src)
             if kind == PseudoSrc.RAW:
@@ -403,6 +426,8 @@ class Verifier:
         """Run the verifier; returns the rewritten program or raises."""
         m = obs.metrics()
         m.counter("verifier.programs")
+        if self._flight.enabled:
+            self._flight.begin(self.prog.name, len(self.insns))
         rec = obs.recorder()
         if not rec.enabled:
             # Hot path: no spans, just the pipeline.
@@ -432,6 +457,8 @@ class Verifier:
         m.observe("verifier.max_stack_depth", self.max_stack_depth)
         m.gauge_max("verifier.peak_insns_processed", self.env.insns_processed)
         self._emit_prune_metrics(m)
+        if self._flight.enabled:
+            self._flight.verdict("accept", insn=self.cur_insn_idx)
         verified.check_summary = self._summarize_check()
         return verified
 
@@ -490,6 +517,7 @@ class Verifier:
     def _do_check(self) -> None:
         state: VerifierState | None = self._initial_state()
         env = self.env
+        flight = self._flight if self._flight.enabled else None
         while state is not None:
             env.insns_processed += 1
             if env.insns_processed > env.complexity_limit:
@@ -505,6 +533,8 @@ class Verifier:
             if insn.is_filler():
                 self.reject(errno.EINVAL, f"reached ldimm64 filler at {idx}")
             self.cur_insn_idx = idx
+            if flight is not None:
+                flight.step(idx, state)
 
             if self.log.level >= 2:
                 from repro.ebpf.disasm import format_insn
@@ -801,6 +831,11 @@ class Verifier:
         self._apply_branch_knowledge(
             insn, state, taken_state, t_dst, t_src, f_dst, f_src, is64
         )
+        if self._flight.enabled:
+            self._flight.refine(
+                idx, f"R{insn.dst}",
+                f"{insn.jmp_op.name} taken:{t_dst} else:{f_dst}",
+            )
 
         # Drop impossible branches (contradictory refined bounds).
         push_taken = not (t_dst.is_bounds_broken() or t_src.is_bounds_broken())

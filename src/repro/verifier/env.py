@@ -366,6 +366,10 @@ class VerifierEnv:
         self.prune_scan_hits = 0
         self.prune_misses = 0
         self.prune_evictions = 0
+        #: flight recorder for prune-decision events (None = disabled;
+        #: the Verifier sets this only when recording is on, so the
+        #: hot path pays one ``is not None`` test per prune decision)
+        self.flight = None
 
     def new_id(self) -> int:
         self._next_id += 1
@@ -384,6 +388,7 @@ class VerifierEnv:
         index: dict[int, OrderedDict[tuple, VerifierState]],
         state: VerifierState,
         cap: int,
+        point: str,
     ) -> bool:
         """Shared subsumption machinery for prune points and loop headers.
 
@@ -399,16 +404,23 @@ class VerifierEnv:
         if seen is None:
             seen = index[state.insn_idx] = OrderedDict()
         key = state_fingerprint(state)
+        flight = self.flight
         if key in seen:
             seen.move_to_end(key)
             self.prune_exact_hits += 1
+            if flight is not None:
+                flight.prune(state.insn_idx, point, "exact-hit")
             return True
         for old_key, old in seen.items():
             if states_equal(old, state):
                 seen.move_to_end(old_key)
                 self.prune_scan_hits += 1
+                if flight is not None:
+                    flight.prune(state.insn_idx, point, "scan-hit")
                 return True
         self.prune_misses += 1
+        if flight is not None:
+            flight.prune(state.insn_idx, point, "miss")
         seen[key] = state.clone()
         if len(seen) > cap:
             seen.popitem(last=False)
@@ -417,7 +429,7 @@ class VerifierEnv:
 
     def is_visited(self, state: VerifierState) -> bool:
         """Prune if subsumed; otherwise remember this state."""
-        if self._seen(self.explored, state, PRUNE_CAP):
+        if self._seen(self.explored, state, PRUNE_CAP, "prune"):
             self.states_pruned += 1
             return True
         return False
@@ -428,4 +440,4 @@ class VerifierEnv:
         ``True`` means the program re-reached a loop header without
         making progress — the caller rejects it as an infinite loop.
         """
-        return self._seen(self.loop_explored, state, LOOP_CAP)
+        return self._seen(self.loop_explored, state, LOOP_CAP, "loop")

@@ -20,11 +20,18 @@ def checker():
     return module
 
 
-def write_bench(path: Path, programs_per_sec: float) -> str:
-    path.write_text(json.dumps(
-        {"parallel": {"programs_per_sec": programs_per_sec},
-         "serial": {"programs_per_sec": programs_per_sec / 2}}
-    ))
+def write_bench(path: Path, programs_per_sec: float,
+                flight_overhead: float | None = None) -> str:
+    payload = {
+        "parallel": {"programs_per_sec": programs_per_sec},
+        "serial": {"programs_per_sec": programs_per_sec / 2},
+    }
+    if flight_overhead is not None:
+        payload["flight_recorder"] = {
+            "disabled_overhead": flight_overhead,
+            "disabled_overhead_budget": 0.05,
+        }
+    path.write_text(json.dumps(payload))
     return str(path)
 
 
@@ -58,3 +65,36 @@ def test_flat_payload_accepted(checker, tmp_path):
     flat.write_text(json.dumps({"programs_per_sec": 42.0}))
     value, _ = checker.load_programs_per_sec(str(flat))
     assert value == 42.0
+
+
+def test_flight_overhead_within_budget_passes(checker, tmp_path):
+    prev = write_bench(tmp_path / "prev.json", 100.0)
+    cur = write_bench(tmp_path / "cur.json", 100.0, flight_overhead=0.03)
+    assert checker.main(["--previous", prev, "--current", cur]) == 0
+
+
+def test_flight_overhead_over_budget_fails(checker, tmp_path):
+    prev = write_bench(tmp_path / "prev.json", 100.0)
+    cur = write_bench(tmp_path / "cur.json", 100.0, flight_overhead=0.08)
+    assert checker.main(["--previous", prev, "--current", cur]) == 1
+
+
+def test_flight_overhead_gate_needs_no_previous(checker, tmp_path):
+    # The gate is absolute (in-process baseline), so it must fire even
+    # on the first run of a branch, where the regression gate skips.
+    missing = str(tmp_path / "nope.json")
+    cur = write_bench(tmp_path / "cur.json", 100.0, flight_overhead=0.20)
+    assert checker.main(["--previous", missing, "--current", cur]) == 1
+
+
+def test_flight_overhead_missing_skips(checker, tmp_path):
+    prev = write_bench(tmp_path / "prev.json", 100.0)
+    cur = write_bench(tmp_path / "cur.json", 100.0)
+    assert checker.main(["--previous", prev, "--current", cur]) == 0
+
+
+def test_flight_overhead_custom_budget(checker, tmp_path):
+    prev = write_bench(tmp_path / "prev.json", 100.0)
+    cur = write_bench(tmp_path / "cur.json", 100.0, flight_overhead=0.08)
+    assert checker.main(["--previous", prev, "--current", cur,
+                         "--max-flight-overhead", "0.10"]) == 0

@@ -286,3 +286,101 @@ class TestDifferentialInvariance:
             if d["classification"] != "feature-gap"
         ]
         assert len(diff_findings) == len(interesting)
+
+
+class TestFlightInvariance:
+    """Issue 8 satellite: flight-recorder explanations are part of the
+    worker-count-invariance contract — workers=1 and workers=4 attach
+    identical per-reason explanations (keyed by earliest global
+    iteration), and the explained artifact survives strip_wall."""
+
+    CONFIG = CampaignConfig(
+        tool="bvf",
+        kernel_version="bpf-next",
+        budget=80,
+        seed=5,
+        flight=True,
+    )
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return ParallelCampaign(self.CONFIG, workers=1).run()
+
+    @pytest.fixture(scope="class")
+    def parallel(self):
+        return ParallelCampaign(self.CONFIG, workers=4).run()
+
+    def test_campaign_produces_explanations(self, serial):
+        assert serial.reject_explanations
+        for reason, entry in serial.reject_explanations.items():
+            assert entry["reason"] == reason
+            assert entry["iteration"] >= 0
+            assert entry["insn_idx"] >= 0
+            assert entry["trail"]
+
+    def test_every_reject_reason_is_explained(self, serial):
+        assert (sorted(serial.reject_explanations)
+                == sorted(serial.reject_reasons))
+
+    def test_explanations_identical_across_workers(self, serial, parallel):
+        assert serial.reject_explanations == parallel.reject_explanations
+
+    def test_explanations_keep_earliest_global_iteration(self, parallel):
+        # Per shard, the kept explanation is first-come; after the merge
+        # the winner must be the globally earliest across shards.
+        for reason, entry in parallel.reject_explanations.items():
+            candidates = [
+                shard.reject_explanations[reason]["iteration"]
+                for shard in parallel.shard_results
+                if reason in shard.reject_explanations
+            ]
+            assert entry["iteration"] == min(candidates)
+
+    def test_stripped_artifacts_identical(self, serial, parallel):
+        from repro.obs.artifact import build_artifact, strip_wall
+
+        a = strip_wall(build_artifact(serial))
+        b = strip_wall(build_artifact(parallel))
+        assert a == b
+        assert a["config"]["flight"] is True
+        assert a["taxonomy"]["explanations"] == serial.reject_explanations
+
+
+class TestWorkerBootstrapMetric:
+    CONFIG = CampaignConfig(
+        tool="bvf", kernel_version="bpf-next", budget=40, seed=0,
+        collect_coverage=False,
+    )
+
+    def test_forked_workers_record_bootstrap(self):
+        result = ParallelCampaign(self.CONFIG, workers=4, shards=4).run()
+        assert result.bootstrap_seconds > 0
+        assert result.setup_seconds > 0
+        # Each shard's share is non-negative and sums to the total.
+        per_shard = [s.bootstrap_seconds for s in result.shard_results]
+        assert all(b >= 0 for b in per_shard)
+        assert sum(per_shard) == pytest.approx(result.bootstrap_seconds)
+
+    def test_bootstrap_lands_in_wall_metrics(self):
+        result = ParallelCampaign(self.CONFIG, workers=2, shards=2).run()
+        sums = result.metrics["wall"]["sums"]
+        assert "worker.bootstrap_seconds" in sums
+        assert "worker.setup_seconds" in sums
+        assert sums["worker.bootstrap_seconds"] == pytest.approx(
+            result.bootstrap_seconds
+        )
+
+    def test_bootstrap_is_wall_side_only(self):
+        # The invariance contract must not see bootstrap timing.
+        from repro.obs.metrics import strip_wall_fields
+
+        result = ParallelCampaign(self.CONFIG, workers=2, shards=2).run()
+        stripped = strip_wall_fields(result.metrics)
+        assert "wall" not in stripped
+
+    def test_inline_shards_attribute_bootstrap_once(self):
+        # workers=1 runs shards in-process: only the first shard can
+        # carry the (tiny) bootstrap interval; the rest must be zero.
+        result = ParallelCampaign(self.CONFIG, workers=1, shards=4).run()
+        later = [s.bootstrap_seconds for s in result.shard_results[1:]]
+        assert later == [0.0, 0.0, 0.0]

@@ -1,0 +1,178 @@
+"""Rejection-explainer tests.
+
+The ISSUE-8 acceptance bar: every rejected program in the selftest
+corpus must yield an explanation whose taxonomy code is not
+UNCLASSIFIED and whose instruction index points at a real instruction.
+"""
+
+import pytest
+
+from repro.errors import BpfError, VerifierReject
+from repro.kernel.config import PROFILES
+from repro.kernel.syscall import Kernel
+from repro.obs.explain import (
+    Explanation,
+    check_for_reason,
+    explain_events,
+    explain_iteration,
+    explain_program,
+    explain_selftest,
+)
+from repro.obs.taxonomy import REASON_CODES, UNCLASSIFIED
+from repro.testsuite import all_selftests_extended
+
+
+def _rejected_selftests():
+    """(name, prog, message) for every selftest the patched kernel
+    rejects — the corpus ground truth the explainer is tested against."""
+    cases = []
+    for selftest in all_selftests_extended():
+        kernel = Kernel(PROFILES["patched"]())
+        prog = selftest.build(kernel)
+        try:
+            kernel.prog_load(prog)
+        except (VerifierReject, BpfError):
+            cases.append((selftest.name, selftest))
+    return cases
+
+
+_REJECTED = _rejected_selftests()
+
+
+class TestSelftestCorpusExplanations:
+    def test_corpus_has_rejections(self):
+        assert len(_REJECTED) >= 50
+
+    @pytest.mark.parametrize(
+        "name,selftest", _REJECTED, ids=[name for name, _ in _REJECTED]
+    )
+    def test_every_rejection_is_explained(self, name, selftest):
+        kernel = Kernel(PROFILES["patched"]())
+        prog = selftest.build(kernel)
+        explanation = explain_program(kernel, prog)
+        assert explanation is not None, f"{name} unexpectedly accepted"
+        # Non-UNCLASSIFIED taxonomy code ...
+        assert explanation.reason != UNCLASSIFIED, explanation.message
+        assert explanation.reason in REASON_CODES
+        # ... a named check family ...
+        assert explanation.check != "unknown check", explanation.reason
+        # ... and a valid instruction index with its rendering (empty
+        # programs are rejected before any instruction exists).
+        assert 0 <= explanation.insn_idx < max(1, len(prog.insns))
+        if prog.insns:
+            assert explanation.insn_text
+        assert explanation.trail
+
+    def test_accepted_selftest_has_no_explanation(self):
+        accepted = next(
+            s for s in all_selftests_extended() if s.expect == "accept"
+        )
+        kernel = Kernel(PROFILES["patched"]())
+        prog = accepted.build(kernel)
+        assert explain_program(kernel, prog) is None
+
+
+class TestCheckFamilies:
+    def test_every_reason_code_maps_to_a_check(self):
+        unmapped = [
+            reason for reason in REASON_CODES
+            if reason != UNCLASSIFIED
+            and check_for_reason(reason) == "unknown check"
+        ]
+        assert not unmapped
+
+    def test_longest_prefix_wins(self):
+        assert "stack-access" in check_for_reason("STACK_ACCESS")
+        assert "combined-stack" in check_for_reason("STACK_LIMIT")
+
+
+class TestExplainEvents:
+    def _events(self):
+        return [
+            {"kind": "begin", "seq": 0, "program": "p", "insns": 4},
+            {"kind": "step", "seq": 1, "insn": 0,
+             "regs": {"R1": "ptr_to_ctx", "R10": "ptr_to_stack"}},
+            {"kind": "step", "seq": 2, "insn": 1,
+             "regs": {"R0": "0", "R10": "ptr_to_stack"}},
+            {"kind": "verdict", "seq": 3, "verdict": "reject", "errno": 13,
+             "insn": 1, "message": "invalid stack access off=8 size=8",
+             "program": "p"},
+        ]
+
+    def test_reconstruction_from_events_alone(self):
+        explanation = explain_events(self._events())
+        assert explanation.program == "p"
+        assert explanation.errno == 13
+        assert explanation.reason == "STACK_ACCESS"
+        assert explanation.insn_idx == 1
+        assert explanation.registers == {"R0": "0", "R10": "ptr_to_stack"}
+
+    def test_overrides_win(self):
+        explanation = explain_events(
+            self._events(),
+            message="Unreleased reference id=3",
+            errno=22,
+            program="override",
+        )
+        assert explanation.program == "override"
+        assert explanation.errno == 22
+        assert explanation.reason == "REFERENCE_LEAK"
+
+    def test_trail_is_bounded_and_ordered(self):
+        events = self._events()
+        events[1:1] = [
+            {"kind": "step", "seq": 100 + i, "insn": i} for i in range(40)
+        ]
+        explanation = explain_events(events, trail=5)
+        assert len(explanation.trail) == 5
+        assert explanation.trail[-1]["kind"] == "verdict"
+
+    def test_empty_events_degrade_gracefully(self):
+        explanation = explain_events([], message="weird new failure")
+        assert explanation.reason == UNCLASSIFIED
+        assert explanation.insn_idx == 0
+        assert explanation.insn_text is None
+        assert explanation.registers == {}
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        explanation = explain_events(self._events())
+        blob = json.loads(json.dumps(explanation.to_dict()))
+        assert blob["reason"] == "STACK_ACCESS"
+        assert blob["insn_idx"] == 1
+
+    def test_render_mentions_the_essentials(self):
+        text = explain_events(self._events()).render()
+        assert "STACK_ACCESS" in text
+        assert "at insn 1" in text
+        assert "R10" in text
+        assert isinstance(explain_events(self._events()), Explanation)
+
+
+class TestExplainEntryPoints:
+    def test_explain_selftest_unknown_name(self):
+        with pytest.raises(KeyError):
+            explain_selftest("no_such_selftest")
+
+    def test_explain_selftest_by_name(self):
+        name = _REJECTED[0][0]
+        explanation = explain_selftest(name)
+        assert explanation is not None
+        assert explanation.reason != UNCLASSIFIED
+
+    def test_explain_iteration_matches_campaign_explanation(self):
+        """`repro explain N` reconstructs the same failing instruction
+        the campaign recorded for iteration N."""
+        from repro.fuzz.campaign import Campaign, CampaignConfig
+
+        config = CampaignConfig(budget=40, seed=7, flight=True,
+                                collect_coverage=False)
+        result = Campaign(config).run()
+        assert result.reject_explanations
+        reason, recorded = sorted(result.reject_explanations.items())[0]
+        replayed = explain_iteration(config, recorded["iteration"])
+        assert replayed is not None
+        assert replayed.reason == reason
+        assert replayed.insn_idx == recorded["insn_idx"]
+        assert replayed.insn_text == recorded["insn_text"]

@@ -1,0 +1,180 @@
+"""Heartbeat tests: atomicity, determinism split, watch rendering."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.heartbeat import (
+    META_SCHEMA,
+    SCHEMA,
+    HeartbeatWriter,
+    read_campaign_meta,
+    read_heartbeats,
+    render_watch,
+    write_campaign_meta,
+)
+
+
+def _strip_wall(snapshot: dict) -> dict:
+    return {k: v for k, v in snapshot.items() if k != "wall"}
+
+
+class TestHeartbeatWriter:
+    def test_writes_schema_and_shard_file(self, tmp_path):
+        writer = HeartbeatWriter(tmp_path, shard_index=3, budget=100, seed=9)
+        writer.write(status="running", programs=10, accepted=7)
+        path = tmp_path / "shard03.heartbeat.json"
+        snapshot = json.loads(path.read_text())
+        assert snapshot["schema"] == SCHEMA
+        assert snapshot["shard"] == 3
+        assert snapshot["budget"] == 100
+        assert snapshot["seed"] == 9
+        assert snapshot["rejected"] == 3
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        writer = HeartbeatWriter(tmp_path)
+        writer.write(status="running", programs=1, accepted=1)
+        assert [p.name for p in tmp_path.iterdir()] == [
+            "shard00.heartbeat.json"
+        ]
+
+    def test_replaces_previous_snapshot(self, tmp_path):
+        writer = HeartbeatWriter(tmp_path, budget=50)
+        writer.write(status="starting", programs=0, accepted=0)
+        writer.write(status="done", programs=50, accepted=40)
+        snapshot = read_heartbeats(tmp_path)[0]
+        assert snapshot["status"] == "done"
+        assert snapshot["programs"] == 50
+
+    def test_deterministic_fields_are_top_level(self, tmp_path):
+        """Same campaign position => identical non-wall content, even
+        from different writer instances (the testable half of the
+        heartbeat contract)."""
+        kwargs = dict(
+            status="running", programs=20, accepted=15, findings=2,
+            divergences=1, reject_reasons={"STACK_ACCESS": 5},
+            phase_seconds={"verify": 1.23}, caches={"tnum_memo": 0.8},
+        )
+        a = HeartbeatWriter(tmp_path / "a", shard_index=1, budget=40, seed=3)
+        b = HeartbeatWriter(tmp_path / "b", shard_index=1, budget=40, seed=3)
+        a.write(**kwargs)
+        b.write(**kwargs)
+        snap_a = read_heartbeats(tmp_path / "a")[0]
+        snap_b = read_heartbeats(tmp_path / "b")[0]
+        assert _strip_wall(snap_a) == _strip_wall(snap_b)
+        # Host-dependent values live only under "wall".
+        for key in ("elapsed_seconds", "programs_per_sec", "updated_unix",
+                    "phase_seconds", "caches"):
+            assert key in snap_a["wall"]
+            assert key not in _strip_wall(snap_a)
+
+
+class TestReaders:
+    def test_read_heartbeats_orders_by_shard(self, tmp_path):
+        for index in (2, 0, 1):
+            HeartbeatWriter(tmp_path, shard_index=index).write(
+                status="running", programs=index, accepted=0
+            )
+        shards = [s["shard"] for s in read_heartbeats(tmp_path)]
+        assert shards == [0, 1, 2]
+
+    def test_read_heartbeats_skips_torn_or_foreign_files(self, tmp_path):
+        HeartbeatWriter(tmp_path, shard_index=0).write(
+            status="running", programs=1, accepted=1
+        )
+        (tmp_path / "shard99.heartbeat.json").write_text("{truncated")
+        assert len(read_heartbeats(tmp_path)) == 1
+
+    def test_read_heartbeats_empty_dir(self, tmp_path):
+        assert read_heartbeats(tmp_path) == []
+        assert read_heartbeats(tmp_path / "missing") == []
+
+    def test_campaign_meta_round_trip(self, tmp_path):
+        write_campaign_meta(tmp_path, {"tool": "bvf", "budget": 100})
+        meta = read_campaign_meta(tmp_path)
+        assert meta["schema"] == META_SCHEMA
+        assert meta["tool"] == "bvf"
+        assert read_campaign_meta(tmp_path / "missing") is None
+
+
+class TestRenderWatch:
+    def _snapshot(self, shard=0, status="running", programs=10, budget=20,
+                  accepted=8, reasons=None):
+        return {
+            "schema": SCHEMA, "shard": shard, "status": status,
+            "programs": programs, "budget": budget, "accepted": accepted,
+            "findings": 1, "divergences": 0,
+            "reject_reasons": reasons or {},
+            "wall": {"programs_per_sec": 50.0},
+        }
+
+    def test_empty_directory_message(self):
+        assert "(no heartbeats yet)" in render_watch([])
+
+    def test_renders_shards_and_totals(self):
+        frame = render_watch([
+            self._snapshot(shard=0, status="done", programs=20),
+            self._snapshot(shard=1, programs=10,
+                           reasons={"STACK_ACCESS": 2}),
+        ])
+        assert "1/2 done" in frame
+        assert "30/40" in frame
+        assert "STACK_ACCESS=2" in frame
+
+    def test_meta_header(self):
+        frame = render_watch(
+            [self._snapshot()],
+            meta={"tool": "bvf", "kernel": "bpf-next", "budget": 40,
+                  "seed": 0, "shards": 1, "workers": 2},
+        )
+        assert frame.splitlines()[0].startswith("campaign: tool=bvf")
+
+    def test_fleet_rejection_totals_sum(self):
+        frame = render_watch([
+            self._snapshot(shard=0, reasons={"STACK_ACCESS": 2}),
+            self._snapshot(shard=1, reasons={"STACK_ACCESS": 3}),
+        ])
+        assert "STACK_ACCESS=5" in frame
+
+
+class TestCampaignIntegration:
+    def test_serial_campaign_heartbeats(self, tmp_path):
+        from repro.fuzz.campaign import Campaign, CampaignConfig
+
+        config = CampaignConfig(
+            budget=30, seed=1, heartbeat_dir=str(tmp_path),
+            heartbeat_every=10, collect_coverage=False,
+        )
+        result = Campaign(config).run()
+        (snapshot,) = read_heartbeats(tmp_path)
+        assert snapshot["status"] == "done"
+        assert snapshot["programs"] == result.generated == 30
+        assert snapshot["accepted"] == result.accepted
+        assert snapshot["reject_reasons"] == dict(result.reject_reasons)
+
+    def test_parallel_campaign_heartbeats_deterministic(self, tmp_path):
+        """Acceptance bar: for fixed (seed, budget, shards) the final
+        heartbeat files are identical outside "wall", whatever the
+        worker count — and the meta manifest is written."""
+        from repro.fuzz.campaign import CampaignConfig
+        from repro.fuzz.parallel import ParallelCampaign
+
+        def final_beats(directory, workers):
+            config = CampaignConfig(
+                budget=40, seed=2, heartbeat_dir=str(directory),
+                heartbeat_every=10, collect_coverage=False,
+            )
+            ParallelCampaign(config, workers=workers, shards=4).run()
+            return read_heartbeats(directory)
+
+        one = final_beats(tmp_path / "w1", 1)
+        four = final_beats(tmp_path / "w4", 4)
+        assert len(one) == len(four) == 4
+        assert all(s["status"] == "done" for s in one + four)
+        assert ([_strip_wall(s) for s in one]
+                == [_strip_wall(s) for s in four])
+
+        meta = read_campaign_meta(tmp_path / "w4")
+        assert meta["shards"] == 4
+        assert meta["workers"] == 4
