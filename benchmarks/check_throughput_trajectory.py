@@ -33,12 +33,18 @@ largely hardware-independent:
   campaigns are seed-deterministic, so a falling hit rate means a
   cache key or lookup path regressed, not that the workload changed.
 
-One more gate needs only the **current** artifact: the flight
-recorder's disabled-mode overhead (measured by
-``test_flight_recorder_overhead`` against the same-process baseline,
-so it is a CPU ratio, not an absolute) must stay within
-``--max-flight-overhead`` — the ISSUE-8 contract that the decision
-log costs nothing when off.
+Two more gates need only the **current** artifact, because the
+benchmark already measured each against a same-process baseline (a
+CPU ratio, not an absolute):
+
+- the flight recorder's disabled-mode overhead (from
+  ``test_flight_recorder_overhead``) must stay within
+  ``--max-flight-overhead`` — the ISSUE-8 contract that the decision
+  log costs nothing when off;
+- the hierarchical profiler's disabled-mode overhead (from
+  ``test_profiler_overhead``) must stay within
+  ``--max-profile-overhead`` — the ISSUE-9 contract that the campaign
+  analytics layer costs nothing when off.
 """
 
 from __future__ import annotations
@@ -107,23 +113,25 @@ def check_cache_rates(previous: dict, current: dict,
     return ok
 
 
-def check_flight_overhead(current: dict, max_overhead: float) -> bool:
-    """Gate the flight recorder's disabled-mode overhead; True = pass.
+def check_disabled_overhead(current: dict, section_name: str,
+                            label: str, max_overhead: float) -> bool:
+    """Gate a subsystem's disabled-mode overhead; True = pass.
 
     Unlike the other gates this needs no previous artifact: the
     benchmark already computed the overhead against its own in-process
-    baseline, so the gate is absolute.
+    baseline, so the gate is absolute.  Used for the flight recorder
+    and the hierarchical profiler.
     """
-    section = current.get("flight_recorder")
+    section = current.get(section_name)
     if not section or "disabled_overhead" not in section:
-        print("trajectory: flight_recorder overhead missing from the "
-              "current artifact; skipping that gate")
+        print(f"trajectory: {section_name} overhead missing from the "
+              f"current artifact; skipping that gate")
         return True
     overhead = section["disabled_overhead"]
-    print(f"trajectory: flight recorder disabled overhead "
+    print(f"trajectory: {label} disabled overhead "
           f"{overhead:+.3f} (allowed {max_overhead:.2f})")
     if overhead > max_overhead:
-        print(f"trajectory: FAIL - disabled flight recorder costs more "
+        print(f"trajectory: FAIL - disabled {label} costs more "
               f"than {max_overhead:.0%}")
         return False
     return True
@@ -150,6 +158,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="maximum tolerated disabled-mode flight "
                              "recorder overhead, as a fraction of "
                              "baseline throughput (default 0.05)")
+    parser.add_argument("--max-profile-overhead", type=float, default=0.05,
+                        help="maximum tolerated disabled-mode profiler "
+                             "overhead, as a fraction of baseline "
+                             "throughput (default 0.05)")
     args = parser.parse_args(argv)
 
     try:
@@ -158,7 +170,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"trajectory: current artifact unreadable: {exc}")
         return 1
 
-    if not check_flight_overhead(current_payload, args.max_flight_overhead):
+    if not check_disabled_overhead(current_payload, "flight_recorder",
+                                   "flight recorder",
+                                   args.max_flight_overhead):
+        return 1
+    if not check_disabled_overhead(current_payload, "profiler",
+                                   "profiler", args.max_profile_overhead):
         return 1
 
     try:

@@ -52,9 +52,21 @@ FLIGHT_OVERHEAD_BUDGET = float(
     os.environ.get("BVF_BENCH_FLIGHT_BUDGET", "0.05")
 )
 
+#: Disabled-mode budget for the hierarchical profiler (ISSUE 9: the
+#: analytics layer must stay within 5% of baseline when the flag is
+#: off).
+PROFILE_OVERHEAD_BUDGET = float(
+    os.environ.get("BVF_BENCH_PROFILE_BUDGET", "0.05")
+)
+
 #: Where the flight-events sample trace lands (CI archives it next to
 #: the throughput trajectory).
 EVENTS_OUTPUT = OUTPUT.with_name("BENCH_events.jsonl")
+
+#: Where the profile summary of the enabled-mode campaign lands (CI
+#: archives it next to the throughput trajectory, so each PR carries a
+#: per-check-family view of where verification time went).
+PROFILE_OUTPUT = OUTPUT.with_name("BENCH_profile.json")
 
 
 def _load_payload() -> dict:
@@ -279,6 +291,97 @@ def test_flight_recorder_overhead():
     assert disabled_overhead <= FLIGHT_OVERHEAD_BUDGET, (
         f"disabled-mode flight-recorder overhead {disabled_overhead:.1%} "
         f"exceeds the {FLIGHT_OVERHEAD_BUDGET:.0%} budget"
+    )
+
+
+def test_profiler_overhead():
+    """Hierarchical profiler cost: disabled mode must stay within 5%.
+
+    Same methodology as :func:`test_flight_recorder_overhead` (one
+    warm-up per mode, then median of 3 interleaved rounds).  When
+    ``profile=False`` (the default) the instrumented components fetch
+    ``obs.profiler()`` once, store ``None``, and pay one ``is not
+    None`` test per hook — that is what the ``disabled_overhead`` gate
+    (checked here *and* by ``check_throughput_trajectory.py``)
+    protects.  Enabled-mode cost is recorded for trend tracking but
+    not gated — exact per-family counts require disabling the verdict
+    cache (a cached hit would skip the very checks being counted).
+
+    The enabled run's profile snapshot is written to
+    ``BENCH_profile.json`` so CI archives where verification time goes
+    next to the throughput trajectory.
+    """
+    from statistics import median
+
+    from repro.fuzz.campaign import Campaign
+    from repro.obs.profile import render_profile
+
+    profiles: list[dict] = []
+
+    def run_pps(**flags) -> float:
+        config = CampaignConfig(
+            tool="bvf", kernel_version="bpf-next", budget=BUDGET,
+            seed=0, **flags
+        )
+        result = Campaign(config).run()
+        if flags.get("profile"):
+            profiles.append(result.profile)
+        return ThroughputStats.from_result(result).programs_per_sec
+
+    modes = {
+        "baseline": {},
+        "disabled": {"profile": False},
+        "enabled": {"profile": True},
+    }
+    for flags in modes.values():  # warm-up, discarded
+        run_pps(**flags)
+    profiles.clear()  # keep only measured-round snapshots
+    rounds: dict[str, list[float]] = {mode: [] for mode in modes}
+    for _ in range(3):
+        for mode, flags in modes.items():
+            rounds[mode].append(run_pps(**flags))
+    samples = {mode: median(values) for mode, values in rounds.items()}
+
+    disabled_overhead = 1.0 - samples["disabled"] / samples["baseline"]
+    enabled_overhead = 1.0 - samples["enabled"] / samples["baseline"]
+
+    payload = _load_payload()
+    payload["profiler"] = {
+        "budget": BUDGET,
+        "baseline_programs_per_sec": round(samples["baseline"], 2),
+        "disabled_programs_per_sec": round(samples["disabled"], 2),
+        "enabled_programs_per_sec": round(samples["enabled"], 2),
+        "disabled_overhead": round(disabled_overhead, 4),
+        "enabled_overhead": round(enabled_overhead, 4),
+        "disabled_overhead_budget": PROFILE_OVERHEAD_BUDGET,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # Campaigns are seed-deterministic, so every measured round's
+    # snapshot carries the same exact counts; the wall half is this
+    # host's timings for the last round.  The metrics schema tag makes
+    # the file renderable offline via `repro profile`.
+    from repro.obs.artifact import SCHEMA
+
+    PROFILE_OUTPUT.write_text(json.dumps({
+        "schema": SCHEMA,
+        "budget": BUDGET,
+        "seed": 0,
+        "profile": profiles[-1],
+    }, indent=2) + "\n")
+
+    print("\n=== Verifier profiler overhead (serial) ===")
+    for mode in ("baseline", "disabled", "enabled"):
+        print(f"{mode:>9}: {samples[mode]:8.1f} programs/sec")
+    print(f"disabled overhead: {disabled_overhead:+.1%} "
+          f"(budget {PROFILE_OVERHEAD_BUDGET:.0%}); "
+          f"enabled overhead: {enabled_overhead:+.1%}")
+    print(f"wrote {PROFILE_OUTPUT.name}")
+    print(render_profile(profiles[-1], top=5))
+
+    assert disabled_overhead <= PROFILE_OVERHEAD_BUDGET, (
+        f"disabled-mode profiler overhead {disabled_overhead:.1%} "
+        f"exceeds the {PROFILE_OVERHEAD_BUDGET:.0%} budget"
     )
 
 

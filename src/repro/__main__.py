@@ -12,7 +12,11 @@ Subcommands:
   generators;
 - ``report``    — render the telemetry dashboard from a ``--metrics``
   artifact (acceptance by reason/frame kind, phase-time histograms,
-  cache health, per-shard throughput, bug indicators);
+  cache health, per-shard throughput, bug indicators, the coverage
+  frontier); older ``repro-metrics-v*`` artifacts render with missing
+  sections shown as "n/a";
+- ``profile``   — render the hierarchical verifier profile (frame
+  tree, hotspots, op/helper tables) from a ``--profile`` artifact;
 - ``explain``   — verify one program (a selftest by name, or a
   campaign iteration by number) under the flight recorder and print
   why it was rejected;
@@ -43,6 +47,7 @@ from repro.fuzz.parallel import DEFAULT_SHARDS, ParallelCampaign
 from repro.kernel.config import PROFILES
 from repro.kernel.syscall import Kernel
 from repro.obs.artifact import build_artifact, write_artifact
+from repro.obs.frontier import DEFAULT_PLATEAU_WINDOW
 from repro.testsuite import all_selftests_extended as all_selftests
 
 __all__ = ["main"]
@@ -84,6 +89,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         differential=args.differential,
         check_invariants=args.check_invariants,
         flight=args.flight,
+        profile=args.profile,
+        plateau_window=args.plateau_window,
         heartbeat_dir=args.heartbeat_dir,
         heartbeat_every=args.heartbeat_every,
     )
@@ -119,6 +126,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         differential=args.differential,
         check_invariants=args.check_invariants,
         flight=args.flight,
+        profile=args.profile,
+        plateau_window=args.plateau_window,
         heartbeat_dir=args.heartbeat_dir,
         heartbeat_every=args.heartbeat_every,
     )
@@ -153,21 +162,57 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_report(args: argparse.Namespace) -> int:
-    with open(args.artifact, encoding="utf-8") as fh:
+def _load_metrics_artifact(path: str) -> dict | None:
+    """Load a metrics artifact, accepting any ``repro-metrics-v*``.
+
+    Old and new schema versions render alike — the dashboard shows
+    "n/a" for sections an older artifact does not carry.  Returns
+    ``None`` (after a stderr note) for non-metrics documents.
+    """
+    from repro.obs.artifact import SCHEMA
+
+    with open(path, encoding="utf-8") as fh:
         artifact = json.load(fh)
     schema = artifact.get("schema")
-    if schema != "repro-metrics-v1":
+    if not isinstance(schema, str) or not schema.startswith(
+        "repro-metrics-v"
+    ):
         print(f"unsupported metrics artifact schema: {schema!r}",
               file=sys.stderr)
+        return None
+    if schema != SCHEMA:
+        print(f"note: artifact schema {schema} predates {SCHEMA}; "
+              "missing sections render as n/a", file=sys.stderr)
+    return artifact
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    artifact = _load_metrics_artifact(args.artifact)
+    if artifact is None:
         return 1
     print(render_dashboard(artifact))
     return 0
 
 
-def _cmd_explain(args: argparse.Namespace) -> int:
-    from repro.obs.explain import explain_iteration, explain_selftest
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profile import render_profile
 
+    artifact = _load_metrics_artifact(args.artifact)
+    if artifact is None:
+        return 1
+    print(render_profile(artifact.get("profile") or {}, top=args.top))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs.explain import (
+        build_selftest,
+        describe_accepted,
+        explain_program,
+        replay_iteration,
+    )
+
+    gp = None
     if args.program.isdigit():
         config = CampaignConfig(
             tool=args.tool,
@@ -176,22 +221,24 @@ def _cmd_explain(args: argparse.Namespace) -> int:
             seed=args.seed,
             sanitize=args.sanitize,
         )
-        explanation = explain_iteration(config, int(args.program))
+        _, kernel, gp, prog = replay_iteration(config, int(args.program))
+        sanitize = config.sanitize and kernel.config.sanitizer_available
         subject = (f"iteration {args.program} "
                    f"(tool={args.tool} seed={args.seed})")
     else:
+        kernel = Kernel(PROFILES[args.kernel]())
         try:
-            explanation = explain_selftest(
-                args.program, kernel_version=args.kernel,
-                sanitize=args.sanitize,
-            )
+            prog = build_selftest(args.program, kernel)
         except KeyError as exc:
             print(exc.args[0], file=sys.stderr)
             return 1
+        sanitize = args.sanitize
         subject = f"selftest {args.program!r}"
+    explanation = explain_program(kernel, prog, sanitize=sanitize)
 
     if explanation is None:
         print(f"{subject} accepted on {args.kernel} — nothing to explain")
+        print(describe_accepted(subject, args.kernel, prog=prog, gp=gp))
         return 0
     if args.json:
         print(json.dumps(explanation.to_dict(), indent=2, sort_keys=True))
@@ -288,6 +335,13 @@ def _add_flight_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--flight", action="store_true",
                         help="record verifier decision events and attach "
                              "a rejection explanation per taxonomy reason")
+    parser.add_argument("--profile", action="store_true",
+                        help="run the hierarchical verifier profiler "
+                             "(`repro profile` renders the artifact)")
+    parser.add_argument("--plateau-window", type=int,
+                        default=DEFAULT_PLATEAU_WINDOW, metavar="N",
+                        help="iterations without new coverage before a "
+                             "plateau event is emitted")
     parser.add_argument("--heartbeat-dir", metavar="DIR", default=None,
                         help="write atomic progress heartbeats into DIR "
                              "(`repro watch DIR` renders them live)")
@@ -368,6 +422,16 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("artifact", help="metrics artifact written by "
                                          "fuzz/campaign --metrics")
     report.set_defaults(func=_cmd_report)
+
+    profile = sub.add_parser(
+        "profile", help="render the hierarchical verifier profile from "
+                        "a --metrics artifact (campaign run with --profile)"
+    )
+    profile.add_argument("artifact", help="metrics artifact written by "
+                                          "fuzz/campaign --metrics")
+    profile.add_argument("--top", type=int, default=10,
+                         help="rows per hotspot/op table")
+    profile.set_defaults(func=_cmd_profile)
 
     explain = sub.add_parser(
         "explain", help="explain why the verifier rejected a program"

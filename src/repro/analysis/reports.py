@@ -4,7 +4,12 @@ Two text reports live here: the reproduction of the paper's Table 2
 (found/missed per published bug) and the ``python -m repro report``
 dashboard, which renders a :mod:`repro.obs` metrics artifact —
 acceptance by rejection reason and frame kind, phase-time histograms,
-per-shard coverage/throughput, and bug-indicator counts.
+per-shard coverage/throughput, the coverage frontier, profiler
+hotspots, and bug-indicator counts.
+
+The dashboard is schema-tolerant: every section indexes the artifact
+defensively, so an older ``repro-metrics-v*`` document renders with
+the missing sections shown as "n/a" instead of raising ``KeyError``.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from dataclasses import dataclass
 
 from repro.kernel.config import Flaw
 from repro.fuzz.oracle import BugFinding
+from repro.obs.frontier import render_frontier
 from repro.obs.metrics import cache_hit_rates
 
 __all__ = ["BugRow", "TABLE2_ROWS", "render_bug_table", "render_dashboard"]
@@ -119,23 +125,32 @@ def _render_histogram(name: str, hist: dict, lines: list[str]) -> None:
 
 def render_dashboard(artifact: dict) -> str:
     """Render the telemetry dashboard for one metrics artifact."""
-    config = artifact["config"]
-    summary = artifact["summary"]
-    taxonomy = artifact["taxonomy"]
+    config = artifact.get("config") or {}
+    summary = artifact.get("summary") or {}
+    taxonomy = artifact.get("taxonomy") or {}
     lines = [
-        f"campaign: tool={config['tool']} kernel={config['kernel']} "
-        f"budget={config['budget']} seed={config['seed']} "
-        f"shards={config['shards']} workers={config.get('workers', 1)}",
+        f"campaign: tool={config.get('tool', 'n/a')} "
+        f"kernel={config.get('kernel', 'n/a')} "
+        f"budget={config.get('budget', 'n/a')} "
+        f"seed={config.get('seed', 'n/a')} "
+        f"shards={config.get('shards', 'n/a')} "
+        f"workers={config.get('workers', 1)}",
         "",
-        f"accepted {summary['accepted']}/{summary['generated']} "
-        f"({summary['acceptance_rate']:.1%}); "
-        f"coverage {summary['final_coverage']} edges; "
-        f"corpus {summary['corpus_size']}",
     ]
+    if summary:
+        lines.append(
+            f"accepted {summary.get('accepted', 0)}"
+            f"/{summary.get('generated', 0)} "
+            f"({summary.get('acceptance_rate', 0.0):.1%}); "
+            f"coverage {summary.get('final_coverage', 0)} edges; "
+            f"corpus {summary.get('corpus_size', 0)}"
+        )
+    else:
+        lines.append("summary: n/a (section missing from artifact)")
 
     lines += ["", "acceptance by rejection reason:"]
     by_reason = taxonomy.get("by_reason", {})
-    generated = summary["generated"] or 1
+    generated = summary.get("generated", 0) or 1
     for reason, count in sorted(
         by_reason.items(), key=lambda kv: (-kv[1], kv[0])
     ):
@@ -222,12 +237,39 @@ def render_dashboard(artifact: dict) -> str:
         for shard in shards:
             wall = shard.get("wall", {})
             lines.append(
-                f"  {shard['index']:>5} {shard['generated']:>9} "
-                f"{shard['accepted']:>8} {shard['coverage_edges']:>7} "
+                f"  {shard.get('index', '?'):>5} "
+                f"{shard.get('generated', 0):>9} "
+                f"{shard.get('accepted', 0):>8} "
+                f"{shard.get('coverage_edges', 0):>7} "
                 f"{wall.get('wall_seconds', 0.0):>8.2f} "
                 f"{wall.get('programs_per_sec', 0.0):>8.1f} "
                 f"{wall.get('bootstrap_seconds', 0.0):>7.3f}"
             )
+
+    # Coverage frontier (artifact schema v2+; renders "n/a" for older
+    # artifacts that carry no frontier section).
+    lines += [""]
+    lines += render_frontier(artifact.get("frontier") or {})
+
+    # Profiler hotspots (full tree via `repro profile ARTIFACT`).
+    profile = artifact.get("profile") or {}
+    wall_nodes = (profile.get("wall") or {}).get("nodes", {})
+    if profile.get("enabled") and wall_nodes:
+        total = sum(
+            times.get("cum", 0.0)
+            for path, times in wall_nodes.items()
+            if "/" not in path
+        )
+        lines += ["", "verifier profile hotspots (self time; "
+                      "full tree: repro profile ARTIFACT):"]
+        ranked = sorted(
+            wall_nodes.items(),
+            key=lambda kv: (-kv[1].get("self", 0.0), kv[0]),
+        )
+        for path, times in ranked[:5]:
+            self_s = times.get("self", 0.0)
+            share = self_s / total if total else 0.0
+            lines.append(f"  {path:<34} {self_s:>9.3f}s {share:>7.1%}")
 
     indicators = artifact.get("indicators", {})
     lines += [
@@ -248,8 +290,8 @@ def render_dashboard(artifact: dict) -> str:
     for bug_id in sorted(findings):
         info = findings[bug_id]
         lines.append(
-            f"  {bug_id:<34} {info['indicator']:<10} "
-            f"iteration {info['iteration']}"
+            f"  {bug_id:<34} {info.get('indicator', '?'):<10} "
+            f"iteration {info.get('iteration', -1)}"
         )
 
     differential = artifact.get("differential", {})
@@ -270,11 +312,13 @@ def render_dashboard(artifact: dict) -> str:
                 f"{'iter':>5}  explanation"
             )
             for div in rows:
-                profiles = f"{div['profile_a']} vs {div['profile_b']}"
+                profiles = (f"{div.get('profile_a', '?')} vs "
+                            f"{div.get('profile_b', '?')}")
                 lines.append(
-                    f"  {div['kind']:<8} {profiles:<20} "
-                    f"{div['classification']:<12} "
-                    f"{div['iteration']:>5}  {div['explanation']}"
+                    f"  {div.get('kind', '?'):<8} {profiles:<20} "
+                    f"{div.get('classification', '?'):<12} "
+                    f"{div.get('iteration', -1):>5}  "
+                    f"{div.get('explanation', '')}"
                 )
         else:
             lines.append("  (no divergences)")

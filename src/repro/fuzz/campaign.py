@@ -31,6 +31,7 @@ from repro.errors import (
     MapError,
     VerifierReject,
 )
+from repro.obs.frontier import DEFAULT_PLATEAU_WINDOW, FrontierTracker
 from repro.obs.metrics import cache_hit_rates
 from repro.obs.taxonomy import classify
 from repro.verifier.log import final_message
@@ -83,6 +84,12 @@ class CampaignConfig:
     #: (:mod:`repro.obs.events`) and attach a rejection explanation per
     #: taxonomy reason (:mod:`repro.obs.explain`); off = zero-cost
     flight: bool = False
+    #: run the hierarchical verifier profiler
+    #: (:mod:`repro.obs.profile`); off = zero-cost hot path
+    profile: bool = False
+    #: iterations without new coverage before a ``campaign.plateau``
+    #: event is emitted (frontier tracking needs ``collect_coverage``)
+    plateau_window: int = DEFAULT_PLATEAU_WINDOW
     #: write atomic progress heartbeats into this directory
     #: (:mod:`repro.obs.heartbeat`; ``repro watch DIR`` renders them)
     heartbeat_dir: str | None = None
@@ -130,6 +137,12 @@ class CampaignResult:
     #: divergence key -> divergence dict (cross-version differential
     #: oracle; :meth:`Divergence.to_dict` form, deduplicated)
     divergences: dict[str, dict] = field(default_factory=dict)
+    #: profiler snapshot (:meth:`VerifierProfiler.snapshot`; empty
+    #: unless ``config.profile``)
+    profile: dict = field(default_factory=dict)
+    #: coverage-frontier snapshot (:meth:`FrontierTracker.snapshot`;
+    #: empty unless ``config.collect_coverage``)
+    frontier: dict = field(default_factory=dict)
     #: wall-clock split of the campaign loop (ThroughputStats input)
     generate_seconds: float = 0.0
     verify_seconds: float = 0.0
@@ -206,14 +219,15 @@ class Campaign:
         # per-iteration, construction cost does not).
         self.generator = make_generator(config.tool, None, self.rng)
         # Frame-level verdict cache; off when invariant checking,
-        # tracing, or flight recording needs to observe do_check from
-        # the inside (a cached hit skips the very decisions the flight
-        # recorder exists to capture).
+        # tracing, flight recording, or profiling needs to observe
+        # do_check from the inside (a cached hit skips the very
+        # decisions those sinks exist to capture).
         self.verdicts = (
             VerdictCache()
             if not config.check_invariants
             and not config.trace_path
             and not config.flight
+            and not config.profile
             else None
         )
         # Replaced by run() with a clock wired to that run's metrics
@@ -221,6 +235,8 @@ class Campaign:
         # standalone (tests drive it directly).
         self._clock = obs.PhaseClock()
         self._flight = obs.NULL_FLIGHT
+        self._profiler = None
+        self._frontier = None
 
     # ------------------------------------------------------------------ run --
 
@@ -243,10 +259,19 @@ class Campaign:
         )
         flight = obs.FlightRecorder() if self.config.flight else obs.NULL_FLIGHT
         self._flight = flight
+        profiler = obs.VerifierProfiler() if self.config.profile else None
+        self._profiler = profiler
+        frontier = (
+            FrontierTracker(self.config.plateau_window)
+            if self.config.collect_coverage
+            else None
+        )
+        self._frontier = frontier
         clock = obs.PhaseClock(metrics=registry, recorder=recorder)
         self._clock = clock
         token = obs.install(registry, recorder,
-                            flight if flight.enabled else None)
+                            flight if flight.enabled else None,
+                            profiler)
         # The tnum memo LRUs are process-global (shards in one process
         # share warm entries), so this shard's contribution is a delta.
         tnum_before = tnum_memo_stats()
@@ -275,6 +300,11 @@ class Campaign:
                 phase_seconds=dict(clock.seconds),
                 caches=cache_hit_rates(
                     registry.snapshot().get("counters", {})
+                ),
+                frontier=(
+                    frontier.heartbeat_state()
+                    if frontier is not None
+                    else None
                 ),
             )
 
@@ -307,6 +337,8 @@ class Campaign:
             obs.restore(token)
             recorder.close()
             self._flight = obs.NULL_FLIGHT
+            self._profiler = None
+            self._frontier = None
         tnum_after = tnum_memo_stats()
         registry.counter("cache.tnum.hits",
                          tnum_after["hits"] - tnum_before["hits"])
@@ -321,6 +353,8 @@ class Campaign:
         result.differential_seconds = clock.seconds["differential"]
         result.wall_seconds = time.perf_counter() - started
         result.metrics = registry.snapshot()
+        result.profile = profiler.snapshot() if profiler is not None else {}
+        result.frontier = frontier.snapshot() if frontier is not None else {}
         return result
 
     @staticmethod
@@ -357,6 +391,7 @@ class Campaign:
             offload_dev=gp.offload_dev,
         )
 
+        verified = None
         with self._clock.phase("verify"):
             try:
                 verified = self._load(kernel, prog, gp)
@@ -369,16 +404,21 @@ class Campaign:
                     self.oracle.classify_invariant(violation, gp),
                     iteration,
                 )
-                return
             except VerifierReject as reject:
                 self._reject(result, reject.errno,
                              final_message(reject.log) or reject.message,
                              gp, iteration)
-                return
             except BpfError as error:
                 self._reject(result, error.errno, error.message,
                              gp, iteration)
-                return
+
+        # Frontier attribution covers every verdict: coverage.collect()
+        # publishes ``last_new`` from its finally block, so rejected
+        # programs contribute their edges too.
+        if self._frontier is not None:
+            self._note_frontier(iteration, gp)
+        if verified is None:
+            return
 
         result.accepted += 1
         obs.metrics().counter("campaign.accepted")
@@ -389,6 +429,23 @@ class Campaign:
 
         with self._clock.phase("execute"):
             self._execute_plan(kernel, verified, gp, result, iteration)
+
+    def _note_frontier(self, iteration: int, gp: GeneratedProgram) -> None:
+        """Feed one iteration's coverage outcome to the frontier tracker
+        and publish the plateau event if the tracker just stalled."""
+        event = self._frontier.note(
+            iteration,
+            self.coverage.last_new,
+            frames=self._frame_kinds(gp),
+            prog_type=gp.prog_type.name,
+            origin=gp.origin,
+        )
+        if event is None:
+            return
+        obs.metrics().counter("campaign.plateaus")
+        rec = obs.recorder()
+        if rec.enabled:
+            rec.event("campaign.plateau", **event)
 
     def _reject(
         self,
@@ -462,20 +519,33 @@ class Campaign:
     def _load(self, kernel: Kernel, prog: BpfProgram, gp: GeneratedProgram):
         sanitize = self.config.sanitize and kernel.config.sanitizer_available
         check = self.config.check_invariants
-        if self.verdicts is not None:
-            coverage = self.coverage if self.config.collect_coverage else None
-            return self.verdicts.load(
-                kernel, prog,
-                sanitize=sanitize,
-                coverage=coverage,
-                map_specs=specs_of(gp),
-                kinds=self._frame_kinds(gp),
-            )
-        if self.config.collect_coverage:
-            with self.coverage.collect():
-                return kernel.prog_load(prog, sanitize=sanitize,
-                                        check_invariants=check)
-        return kernel.prog_load(prog, sanitize=sanitize, check_invariants=check)
+        # Root profiler frame: everything the verify phase pays for runs
+        # under it, so Σ self-times telescopes to (almost) the phase's
+        # measured wall — the property the overhead benchmark asserts.
+        prof = self._profiler
+        if prof is not None:
+            prof.push("verify")
+        try:
+            if self.verdicts is not None:
+                coverage = (
+                    self.coverage if self.config.collect_coverage else None
+                )
+                return self.verdicts.load(
+                    kernel, prog,
+                    sanitize=sanitize,
+                    coverage=coverage,
+                    map_specs=specs_of(gp),
+                    kinds=self._frame_kinds(gp),
+                )
+            if self.config.collect_coverage:
+                with self.coverage.collect():
+                    return kernel.prog_load(prog, sanitize=sanitize,
+                                            check_invariants=check)
+            return kernel.prog_load(prog, sanitize=sanitize,
+                                    check_invariants=check)
+        finally:
+            if prof is not None:
+                prof.pop()
 
     # ----------------------------------------------------------- generation --
 

@@ -56,7 +56,9 @@ from repro.fuzz.campaign import Campaign, CampaignConfig, CampaignResult
 from repro.fuzz.corpus import specs_of
 from repro.fuzz.oracle import BugFinding
 from repro.fuzz.rng import derive_seed
+from repro.obs.frontier import merge_frontiers, shift_frontier
 from repro.obs.metrics import merge_snapshots
+from repro.obs.profile import merge_profiles
 
 __all__ = [
     "ShardResult",
@@ -114,6 +116,11 @@ class ShardResult:
     #: taxonomy reason -> first flight-recorder explanation, iteration
     #: already remapped to global (empty unless ``config.flight``)
     reject_explanations: dict[str, dict] = field(default_factory=dict)
+    #: the shard's profiler snapshot (empty unless ``config.profile``)
+    profile: dict = field(default_factory=dict)
+    #: the shard's frontier snapshot, iterations already remapped to
+    #: global (empty unless ``config.collect_coverage``)
+    frontier: dict = field(default_factory=dict)
     corpus_size: int = 0
     generate_seconds: float = 0.0
     verify_seconds: float = 0.0
@@ -232,6 +239,8 @@ def _run_shard(payload) -> ShardResult:
         edge_samples=result.edge_samples,
         insn_classes=result.insn_classes,
         reject_explanations=explanations,
+        profile=result.profile,
+        frontier=shift_frontier(result.frontier, start_iteration),
         corpus_size=result.corpus_size,
         generate_seconds=result.generate_seconds,
         verify_seconds=result.verify_seconds,
@@ -296,6 +305,8 @@ def merge_shards(
 
     merged.final_coverage = len(all_edges)
     merged.metrics = merge_snapshots([s.metrics for s in ordered if s.metrics])
+    merged.profile = merge_profiles([s.profile for s in ordered])
+    merged.frontier = merge_frontiers([s.frontier for s in ordered])
 
     # Interleaved union curve: order every shard's samples by local
     # progress (ties broken by shard index), so the x axis becomes

@@ -12,7 +12,12 @@ The subsystem has three layers (see DESIGN.md "Observability"):
   rejection;
 - :mod:`repro.obs.events` — the verifier flight recorder: a bounded
   ring of typed decision events per verification, spilled on
-  interesting outcomes and consumed by :mod:`repro.obs.explain`.
+  interesting outcomes and consumed by :mod:`repro.obs.explain`;
+- :mod:`repro.obs.profile` — the hierarchical verifier profiler:
+  deterministic frame/op counts with wall-segregated self/cumulative
+  times, rendered by ``repro profile``;
+- :mod:`repro.obs.frontier` — coverage-frontier attribution and
+  plateau detection over campaign iterations.
 
 Instrumented components (verifier, generator, sanitizer, interpreter,
 oracle) do not take recorder arguments — they read the
@@ -38,6 +43,11 @@ from repro.obs.metrics import (
     merge_snapshots,
     strip_wall_fields,
 )
+from repro.obs.profile import (
+    NULL_PROFILER,
+    NullProfiler,
+    VerifierProfiler,
+)
 from repro.obs.taxonomy import UNCLASSIFIED, classify
 from repro.obs.trace import (
     NULL_RECORDER,
@@ -53,9 +63,12 @@ __all__ = [
     "JsonlTraceRecorder",
     "FlightRecorder",
     "NullFlightRecorder",
+    "VerifierProfiler",
+    "NullProfiler",
     "PhaseClock",
     "NULL_RECORDER",
     "NULL_FLIGHT",
+    "NULL_PROFILER",
     "UNCLASSIFIED",
     "classify",
     "merge_snapshots",
@@ -63,6 +76,7 @@ __all__ = [
     "metrics",
     "recorder",
     "flight",
+    "profiler",
     "install",
     "restore",
 ]
@@ -72,6 +86,7 @@ _NULL_METRICS = NullMetrics()
 _current_metrics = _NULL_METRICS
 _current_recorder = NULL_RECORDER
 _current_flight = NULL_FLIGHT
+_current_profiler = NULL_PROFILER
 
 
 def metrics():
@@ -89,7 +104,17 @@ def flight():
     return _current_flight
 
 
-def install(registry=None, trace_recorder=None, flight_recorder=None) -> tuple:
+def profiler():
+    """The process-current verifier profiler (``enabled`` is the gate)."""
+    return _current_profiler
+
+
+def install(
+    registry=None,
+    trace_recorder=None,
+    flight_recorder=None,
+    profiler=None,
+) -> tuple:
     """Make the given sinks current; returns the previous sinks.
 
     Pass the returned token to :func:`restore` (in a ``finally``) so
@@ -98,7 +123,13 @@ def install(registry=None, trace_recorder=None, flight_recorder=None) -> tuple:
     token is opaque; callers must not depend on its shape.
     """
     global _current_metrics, _current_recorder, _current_flight
-    token = (_current_metrics, _current_recorder, _current_flight)
+    global _current_profiler
+    token = (
+        _current_metrics,
+        _current_recorder,
+        _current_flight,
+        _current_profiler,
+    )
     _current_metrics = registry if registry is not None else _NULL_METRICS
     _current_recorder = (
         trace_recorder if trace_recorder is not None else NULL_RECORDER
@@ -106,12 +137,16 @@ def install(registry=None, trace_recorder=None, flight_recorder=None) -> tuple:
     _current_flight = (
         flight_recorder if flight_recorder is not None else NULL_FLIGHT
     )
+    _current_profiler = profiler if profiler is not None else NULL_PROFILER
     return token
 
 
 def restore(token: tuple) -> None:
     """Reinstate the sinks that were current before :func:`install`."""
     global _current_metrics, _current_recorder, _current_flight
+    global _current_profiler
     _current_metrics, _current_recorder = token[0], token[1]
-    # Tokens minted before the flight recorder existed are two-tuples.
+    # Tokens minted before the flight recorder / profiler existed are
+    # shorter tuples; missing slots restore to the null sinks.
     _current_flight = token[2] if len(token) > 2 else NULL_FLIGHT
+    _current_profiler = token[3] if len(token) > 3 else NULL_PROFILER

@@ -21,10 +21,14 @@ import json
 
 from repro.analysis.stats import ThroughputStats
 from repro.obs.metrics import empty_snapshot, strip_wall_fields
+from repro.obs.profile import strip_profile_wall
 
 __all__ = ["SCHEMA", "build_artifact", "strip_wall", "write_artifact"]
 
-SCHEMA = "repro-metrics-v1"
+#: v2 added the ``profile`` (hierarchical profiler) and ``frontier``
+#: (coverage-frontier attribution) sections; consumers accept any
+#: ``repro-metrics-v*`` and render missing sections as "n/a".
+SCHEMA = "repro-metrics-v2"
 
 
 def _frame_breakdown(result) -> dict:
@@ -106,6 +110,7 @@ def build_artifact(result) -> dict:
             "differential": getattr(config, "differential", False),
             "check_invariants": getattr(config, "check_invariants", False),
             "flight": getattr(config, "flight", False),
+            "profile": getattr(config, "profile", False),
             "shards": getattr(result, "shards", 1),
             "workers": getattr(result, "workers", 1),
         },
@@ -138,6 +143,16 @@ def build_artifact(result) -> dict:
             ),
         },
         "metrics": result.metrics or empty_snapshot(),
+        # Profiler snapshot: exact counts are deterministic, the
+        # per-node wall times are host-speed-dependent — so the section
+        # keeps the snapshot's own counts/wall split.
+        "profile": {
+            "enabled": getattr(config, "profile", False),
+            **(getattr(result, "profile", None) or {}),
+        },
+        # Frontier snapshot is iteration-indexed, hence fully
+        # deterministic — no wall sub-section needed.
+        "frontier": getattr(result, "frontier", None) or {},
         "shards": shards,
         "wall": {
             "throughput": throughput.as_dict(),
@@ -159,6 +174,12 @@ def strip_wall(artifact: dict) -> dict:
     stripped.pop("wall", None)
     if "metrics" in stripped:
         stripped["metrics"] = strip_wall_fields(stripped["metrics"])
+    # Profiler counts are invariant; per-node wall times are not.
+    profile = stripped.get("profile")
+    if profile:
+        enabled = profile.get("enabled", False)
+        stripped["profile"] = {"enabled": enabled,
+                               **strip_profile_wall(profile)}
     # The workers knob itself is a throughput setting, not an outcome.
     stripped.get("config", {}).pop("workers", None)
     for shard in stripped.get("shards", []):

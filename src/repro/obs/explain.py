@@ -37,10 +37,13 @@ __all__ = [
     "TRAIL_LENGTH",
     "Explanation",
     "check_for_reason",
+    "describe_accepted",
     "explain_events",
     "explain_program",
     "explain_selftest",
     "explain_iteration",
+    "build_selftest",
+    "replay_iteration",
 ]
 
 #: How many trailing decision events an explanation keeps.
@@ -257,7 +260,10 @@ def explain_program(
     from repro.verifier.log import final_message
 
     recorder = FlightRecorder(level=2)
-    token = obs.install(obs.metrics(), obs.recorder(), recorder)
+    # Preserve the metrics/trace/profiler sinks — only the flight slot
+    # changes for the duration of the explain.
+    token = obs.install(obs.metrics(), obs.recorder(), recorder,
+                        obs.profiler())
     try:
         kernel.prog_load(
             prog, sanitize=sanitize, check_invariants=check_invariants
@@ -290,6 +296,19 @@ def explain_program(
         obs.restore(token)
 
 
+def build_selftest(name: str, kernel):
+    """Build one selftest-corpus program by name on ``kernel``.
+
+    Raises ``KeyError`` for an unknown name.
+    """
+    from repro.testsuite import all_selftests_extended
+
+    for selftest in all_selftests_extended():
+        if selftest.name == name:
+            return selftest.build(kernel)
+    raise KeyError(f"no selftest named {name!r}")
+
+
 def explain_selftest(
     name: str, kernel_version: str = "patched", sanitize: bool = False
 ) -> Explanation | None:
@@ -300,25 +319,21 @@ def explain_selftest(
     """
     from repro.kernel.config import PROFILES
     from repro.kernel.syscall import Kernel
-    from repro.testsuite import all_selftests_extended
 
-    for selftest in all_selftests_extended():
-        if selftest.name == name:
-            kernel = Kernel(PROFILES[kernel_version]())
-            prog = selftest.build(kernel)
-            return explain_program(kernel, prog, sanitize=sanitize)
-    raise KeyError(f"no selftest named {name!r}")
+    kernel = Kernel(PROFILES[kernel_version]())
+    prog = build_selftest(name, kernel)
+    return explain_program(kernel, prog, sanitize=sanitize)
 
 
-def explain_iteration(config, iteration: int) -> Explanation | None:
-    """Re-generate campaign iteration ``iteration`` and explain it.
+def replay_iteration(config, iteration: int):
+    """Re-generate campaign iteration ``iteration`` deterministically.
 
     Campaign generation is a deterministic stream: reproducing
     iteration *N* requires replaying iterations ``0..N-1`` first (they
     advance the RNG and may have grown the mutation corpus).  This runs
     a campaign with ``budget=N`` — cheap at explain-time scales, and
     the verdict cache keeps the replay fast — then generates program
-    *N* and verifies it under the recorder.
+    *N*.  Returns ``(campaign, kernel, gp, prog)``.
     """
     from dataclasses import replace
 
@@ -327,7 +342,8 @@ def explain_iteration(config, iteration: int) -> Explanation | None:
     from repro.kernel.syscall import Kernel
 
     replay_config = replace(config, budget=iteration, flight=False,
-                            trace_path=None, heartbeat_dir=None)
+                            profile=False, trace_path=None,
+                            heartbeat_dir=None)
     campaign = Campaign(replay_config)
     if iteration > 0:
         campaign.run()
@@ -339,5 +355,40 @@ def explain_iteration(config, iteration: int) -> Explanation | None:
         name=f"{gp.origin}_{iteration}",
         offload_dev=gp.offload_dev,
     )
+    return campaign, kernel, gp, prog
+
+
+def explain_iteration(config, iteration: int) -> Explanation | None:
+    """Re-generate campaign iteration ``iteration`` and explain it."""
+    _, kernel, _, prog = replay_iteration(config, iteration)
     sanitize = config.sanitize and kernel.config.sanitizer_available
     return explain_program(kernel, prog, sanitize=sanitize)
+
+
+def describe_accepted(
+    subject: str, kernel_version: str, *, prog=None, gp=None
+) -> str:
+    """The ``repro explain`` summary for an accepted program.
+
+    An acceptance has no rejection trail to reconstruct, so the useful
+    output is what the verifier saw: program shape, frame composition,
+    instruction count.  Pure string builder — callers verify first.
+    """
+    lines = [
+        f"verdict: accepted — {subject} passed the {kernel_version} "
+        "verifier, nothing to explain"
+    ]
+    if prog is not None:
+        real = sum(1 for insn in prog.insns if not insn.is_filler())
+        lines.append(
+            f"  program: {prog.name} type={prog.prog_type.name} "
+            f"insns={real}"
+        )
+    if gp is not None:
+        lines.append(f"  origin:  {gp.origin}")
+        kinds = sorted(set(gp.frame_kinds)) if gp.frame_kinds else []
+        if kinds:
+            lines.append("  frames:  " + ", ".join(kinds))
+        else:
+            lines.append("  frames:  (unstructured)")
+    return "\n".join(lines)

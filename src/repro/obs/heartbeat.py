@@ -86,11 +86,13 @@ class HeartbeatWriter:
         reject_reasons: dict | None = None,
         phase_seconds: dict | None = None,
         caches: dict | None = None,
+        frontier: dict | None = None,
     ) -> None:
         """Write one snapshot (atomic replace of the previous one)."""
         elapsed = time.perf_counter() - self._started
         payload = {
             "schema": SCHEMA,
+            "v": 1,
             "shard": self.shard_index,
             "seed": self.seed,
             "budget": self.budget,
@@ -103,6 +105,9 @@ class HeartbeatWriter:
             # Cumulative taxonomy counters; `repro watch` diffs
             # successive snapshots to show per-interval deltas.
             "reject_reasons": dict(sorted((reject_reasons or {}).items())),
+            # Coverage-frontier state (FrontierTracker.heartbeat_state):
+            # iteration-indexed, hence deterministic and top-level.
+            "frontier": dict(sorted(frontier.items())) if frontier else None,
             "wall": {
                 "updated_unix": time.time(),
                 "elapsed_seconds": round(elapsed, 4),
@@ -127,7 +132,7 @@ def write_campaign_meta(directory: str, meta: dict) -> None:
     """Write the fleet-level manifest ``repro watch`` keys off."""
     path = Path(directory)
     path.mkdir(parents=True, exist_ok=True)
-    payload = {"schema": META_SCHEMA}
+    payload = {"schema": META_SCHEMA, "v": 1}
     payload.update(meta)
     _atomic_write_json(path / _META_NAME, payload)
 
@@ -228,5 +233,19 @@ def render_watch(snapshots: list[dict], meta: dict | None = None) -> str:
             for reason, count in sorted(
                 reasons.items(), key=lambda kv: (-kv[1], kv[0])
             )[:8]
+        ))
+    # Coverage-frontier stalls: shards whose last heartbeat reports an
+    # open plateau (no new verifier edges within the tracker's window).
+    stalled = [
+        (snapshot.get("shard", "?"), snapshot.get("frontier") or {})
+        for snapshot in snapshots
+        if (snapshot.get("frontier") or {}).get("stalled")
+    ]
+    if stalled:
+        lines.append("")
+        lines.append("  plateaus: " + "  ".join(
+            f"shard{shard}: stalled {state.get('stalled_for', '?')} iters "
+            f"({state.get('plateaus', 0)} total)"
+            for shard, state in stalled
         ))
     return "\n".join(lines)

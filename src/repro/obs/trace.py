@@ -13,8 +13,14 @@ Two recorders implement the same duck-typed interface:
   manager.  Hot paths either skip work behind ``if rec.enabled`` or
   just call through; the disabled cost is one method call.
 - :class:`JsonlTraceRecorder` — appends one JSON object per line:
-  ``{"ts": ..., "kind": "event"|"span", "name": ..., ...attrs}`` with
-  ``"dur"`` added on spans.  Keys are sorted so the output is stable.
+  ``{"v": 1, "ts": ..., "kind": "event"|"span", "name": ..., ...attrs}``
+  with ``"dur"`` added on spans.  Keys are sorted so the output is
+  stable, and every record carries the ``"v"`` schema version so
+  consumers can evolve the format without sniffing.  Path-backed
+  recorders rotate: once a file exceeds the byte cap
+  (``REPRO_TRACE_MAX_BYTES``, default 64 MiB) it is renamed to
+  ``<path>.1`` (replacing any previous rotation) and a fresh file is
+  started, so an unattended campaign cannot fill the disk unboundedly.
 
 :class:`PhaseClock` is the single phase timer the campaign loop runs
 on.  Each ``with clock.phase("verify"):`` block accumulates its
@@ -28,6 +34,7 @@ metrics registry and, when tracing is on, emits the phase as a span.
 from __future__ import annotations
 
 import json
+import os
 import time
 from collections import Counter
 from contextlib import contextmanager
@@ -37,7 +44,15 @@ __all__ = [
     "JsonlTraceRecorder",
     "PhaseClock",
     "NULL_RECORDER",
+    "RECORD_VERSION",
+    "DEFAULT_MAX_BYTES",
 ]
+
+#: Schema version stamped on every trace record as ``"v"``.
+RECORD_VERSION = 1
+
+#: Default per-file byte cap before a path-backed recorder rotates.
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
 
 
 class _NullSpan:
@@ -104,23 +119,46 @@ class JsonlTraceRecorder:
 
     enabled = True
 
-    def __init__(self, path_or_stream) -> None:
+    def __init__(self, path_or_stream, max_bytes: int | None = None) -> None:
+        if max_bytes is None:
+            max_bytes = int(
+                os.environ.get("REPRO_TRACE_MAX_BYTES", DEFAULT_MAX_BYTES)
+            )
+        self._max_bytes = max_bytes
         if hasattr(path_or_stream, "write"):
             self._stream = path_or_stream
             self._owns = False
+            self._path = None
         else:
             self._stream = open(path_or_stream, "w", encoding="utf-8")
             self._owns = True
+            self._path = os.fspath(path_or_stream)
+        self._written = 0
         self._t0 = time.monotonic()
 
     def _write(self, fields: dict) -> None:
         # Reserved keys (ts/kind/name/dur) are merged over attrs, so a
         # colliding attribute never shadows the record structure.
         record = {k: v for k, v in fields.items() if v is not None}
+        record["v"] = RECORD_VERSION
         record["ts"] = round(record["ts"], 6)
         if "dur" in record:
             record["dur"] = round(record["dur"], 6)
-        self._stream.write(json.dumps(record, sort_keys=True) + "\n")
+        line = json.dumps(record, sort_keys=True) + "\n"
+        self._stream.write(line)
+        if self._path is not None and self._max_bytes > 0:
+            self._written += len(line)
+            if self._written >= self._max_bytes:
+                self._rotate()
+
+    def _rotate(self) -> None:
+        """Size-capped rotation: ``<path>`` becomes ``<path>.1``
+        (replacing the previous rotation) and a fresh file starts, so a
+        long campaign keeps at most ``2 * max_bytes`` of trace."""
+        self._stream.close()
+        os.replace(self._path, f"{self._path}.1")
+        self._stream = open(self._path, "w", encoding="utf-8")
+        self._written = 0
 
     def event(self, name: str, **attrs) -> None:
         record = dict(attrs)

@@ -64,6 +64,19 @@ def build_insertions(
     runtime re-keys it by the final index of the ``call`` instruction
     after patching).
     """
+    profiler = obs.profiler()
+    if profiler.enabled:
+        profiler.push("sanitize.instrument")
+    try:
+        return _build_insertions(insns, probe_mem, profiler)
+    finally:
+        if profiler.enabled:
+            profiler.pop()
+
+
+def _build_insertions(
+    insns: list[Insn], probe_mem: set[int], profiler
+) -> tuple[dict[int, list[Insn]], dict[int, SanitizeSite]]:
     insertions: dict[int, list[Insn]] = {}
     sites: dict[int, SanitizeSite] = {}
     skipped_r10 = 0
@@ -104,6 +117,9 @@ def build_insertions(
     m = obs.metrics()
     m.counter("sanitizer.sites", len(sites))
     m.counter("sanitizer.skipped_r10", skipped_r10)
+    if profiler.enabled:
+        profiler.ops["sanitizer.sites"] += len(sites)
+        profiler.ops["sanitizer.skipped_r10"] += skipped_r10
     rec = obs.recorder()
     if rec.enabled:
         rec.event("sanitizer.instrument", sites=len(sites),

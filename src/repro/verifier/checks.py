@@ -405,6 +405,11 @@ def check_alu(v, state, insn: Insn) -> None:
     regs = state.regs
     op = insn.alu_op
 
+    # Profiler op-kind attribution (scalar ALU is the hottest opcode
+    # class, so the disabled cost must stay at one attribute test).
+    if v._prof is not None:
+        v._prof.alu_ops[f"{op.name}{'64' if is64 else '32'}"] += 1
+
     if insn.dst == Reg.R10:
         v.reject(errno.EACCES, "frame pointer is read only")
 

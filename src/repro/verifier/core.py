@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from repro import obs
 from repro.errors import VerifierReject
+from repro.obs.profile import frame_of
 from repro.ebpf.insn import Insn
 from repro.ebpf.opcodes import (
     AluOp,
@@ -149,6 +150,33 @@ def _build_structure_tables() -> tuple[tuple, tuple, tuple]:
 _STRUCT_STATIC, _STRUCT_RESID, _STRUCT_IS_CALL = _build_structure_tables()
 
 
+def _profile_family(insn: Insn) -> str:
+    """The profiler's check-family bucket for one instruction."""
+    cls = insn.insn_class
+    if cls in (InsnClass.ALU, InsnClass.ALU64):
+        return "alu"
+    if cls == InsnClass.LD:
+        return "ld_imm64"
+    if cls == InsnClass.LDX:
+        return "mem.load"
+    if cls == InsnClass.ST:
+        return "mem.store"
+    if cls == InsnClass.STX:
+        return "mem.atomic" if insn.mode == Mode.ATOMIC else "mem.store"
+    op = insn.jmp_op
+    if op == JmpOp.JA:
+        return "jump.ja"
+    if op == JmpOp.EXIT:
+        return "exit"
+    if op == JmpOp.CALL:
+        if insn.is_pseudo_call():
+            return "call.bpf2bpf"
+        if insn.is_kfunc_call():
+            return "call.kfunc"
+        return "call.helper"
+    return "jump.cond"
+
+
 @dataclass(frozen=True)
 class CheckSummary:
     """Everything ``do_check`` computed that the later phases consume.
@@ -223,6 +251,11 @@ class Verifier:
         self._flight = obs.flight()
         #: the env emits prune-decision events only when recording
         self.env.flight = self._flight if self._flight.enabled else None
+        #: hierarchical profiler (None when disabled — every hook below
+        #: and in checks.py pays one ``is not None`` test)
+        prof = obs.profiler()
+        self._prof = prof if prof.enabled else None
+        self.env.profiler = self._prof
         self.max_stack_depth = 0
         self._prune_points: set[int] = set()
         #: targets of back edges: pruning there means an infinite loop
@@ -274,9 +307,15 @@ class Verifier:
         self.helper_ids.add(int(proto.helper_id))
         if proto.acquires_lock:
             self.uses_lock_helpers = True
+        if self._prof is not None:
+            self._prof.helpers[proto.name] += 1
 
     def note_kfunc(self, proto) -> None:
         self.helper_ids.add(proto.btf_id)
+        if self._prof is not None:
+            self._prof.helpers[
+                getattr(proto, "name", f"kfunc#{proto.btf_id}")
+            ] += 1
 
     # --- structural validation ------------------------------------------------
 
@@ -429,8 +468,9 @@ class Verifier:
         if self._flight.enabled:
             self._flight.begin(self.prog.name, len(self.insns))
         rec = obs.recorder()
-        if not rec.enabled:
-            # Hot path: no spans, just the pipeline.
+        prof = self._prof
+        if not rec.enabled and prof is None:
+            # Hot path: no spans, no frames, just the pipeline.
             self._check_structure()
             self._resolve_pseudo()
             if self._cached_check is not None:
@@ -439,18 +479,23 @@ class Verifier:
                 self._do_check()
             verified = self._fixup()
         else:
+            # Recorder spans are shared no-ops when only profiling (and
+            # vice versa), so one instrumented pipeline serves both.
             with rec.span("verifier.verify", insns=len(self.insns),
                           prog=self.prog.name):
-                with rec.span("verifier.check_structure"):
+                with rec.span("verifier.check_structure"), \
+                        frame_of(prof, "structure"):
                     self._check_structure()
-                with rec.span("verifier.resolve_pseudo"):
+                with rec.span("verifier.resolve_pseudo"), \
+                        frame_of(prof, "resolve"):
                     self._resolve_pseudo()
-                with rec.span("verifier.do_check"):
+                with rec.span("verifier.do_check"), \
+                        frame_of(prof, "do_check"):
                     if self._cached_check is not None:
                         self._restore_check(self._cached_check)
                     else:
                         self._do_check()
-                with rec.span("verifier.fixup"):
+                with rec.span("verifier.fixup"), frame_of(prof, "fixup"):
                     verified = self._fixup()
         m.counter("verifier.accepted")
         m.observe("verifier.insns_processed", self.env.insns_processed)
@@ -518,6 +563,7 @@ class Verifier:
         state: VerifierState | None = self._initial_state()
         env = self.env
         flight = self._flight if self._flight.enabled else None
+        prof = self._prof
         while state is not None:
             env.insns_processed += 1
             if env.insns_processed > env.complexity_limit:
@@ -549,17 +595,41 @@ class Verifier:
             if self.sanity is not None and idx in self._prune_points:
                 self.sanity.check_state(state, "prune", idx)
 
-            if idx in self._loop_headers:
-                # Kernel behaviour: reaching a back-edge target with a
-                # state subsumed by one already verified there means the
-                # loop made no progress.
-                if env.loop_header_seen(state):
-                    self.reject(errno.EINVAL, "infinite loop detected")
-            elif idx in self._prune_points and env.is_visited(state):
-                state = env.pop_state()
-                continue
-
-            state = self._step(state, insn)
+            if prof is None:
+                if idx in self._loop_headers:
+                    # Kernel behaviour: reaching a back-edge target
+                    # with a state subsumed by one already verified
+                    # there means the loop made no progress.
+                    if env.loop_header_seen(state):
+                        self.reject(errno.EINVAL, "infinite loop detected")
+                elif idx in self._prune_points and env.is_visited(state):
+                    state = env.pop_state()
+                    continue
+                state = self._step(state, insn)
+            else:
+                if idx in self._loop_headers:
+                    prof.push("prune")
+                    try:
+                        if env.loop_header_seen(state):
+                            self.reject(
+                                errno.EINVAL, "infinite loop detected"
+                            )
+                    finally:
+                        prof.pop()
+                elif idx in self._prune_points:
+                    prof.push("prune")
+                    try:
+                        pruned = env.is_visited(state)
+                    finally:
+                        prof.pop()
+                    if pruned:
+                        state = env.pop_state()
+                        continue
+                prof.push(_profile_family(insn))
+                try:
+                    state = self._step(state, insn)
+                finally:
+                    prof.pop()
             if state is None:
                 state = env.pop_state()
 
@@ -796,6 +866,8 @@ class Verifier:
             )
 
         op = insn.jmp_op
+        if self._prof is not None:
+            self._prof.jmp_ops[f"{op.name}{'' if is64 else '32'}"] += 1
         taken = branches.is_branch_taken(dst, src, op, is64)
         if taken == -1 and insn.src_bit == Src.X:
             swapped = branches.is_branch_taken(src, dst, _SWAP_OP.get(op, op), is64)

@@ -370,6 +370,9 @@ class VerifierEnv:
         #: the Verifier sets this only when recording is on, so the
         #: hot path pays one ``is not None`` test per prune decision)
         self.flight = None
+        #: hierarchical profiler for prune-outcome counts (same
+        #: None-when-disabled contract as ``flight``)
+        self.profiler = None
 
     def new_id(self) -> int:
         self._next_id += 1
@@ -405,11 +408,14 @@ class VerifierEnv:
             seen = index[state.insn_idx] = OrderedDict()
         key = state_fingerprint(state)
         flight = self.flight
+        profiler = self.profiler
         if key in seen:
             seen.move_to_end(key)
             self.prune_exact_hits += 1
             if flight is not None:
                 flight.prune(state.insn_idx, point, "exact-hit")
+            if profiler is not None:
+                profiler.ops[f"{point}.exact-hit"] += 1
             return True
         for old_key, old in seen.items():
             if states_equal(old, state):
@@ -417,10 +423,14 @@ class VerifierEnv:
                 self.prune_scan_hits += 1
                 if flight is not None:
                     flight.prune(state.insn_idx, point, "scan-hit")
+                if profiler is not None:
+                    profiler.ops[f"{point}.scan-hit"] += 1
                 return True
         self.prune_misses += 1
         if flight is not None:
             flight.prune(state.insn_idx, point, "miss")
+        if profiler is not None:
+            profiler.ops[f"{point}.miss"] += 1
         seen[key] = state.clone()
         if len(seen) > cap:
             seen.popitem(last=False)

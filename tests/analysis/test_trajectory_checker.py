@@ -21,7 +21,8 @@ def checker():
 
 
 def write_bench(path: Path, programs_per_sec: float,
-                flight_overhead: float | None = None) -> str:
+                flight_overhead: float | None = None,
+                profile_overhead: float | None = None) -> str:
     payload = {
         "parallel": {"programs_per_sec": programs_per_sec},
         "serial": {"programs_per_sec": programs_per_sec / 2},
@@ -29,6 +30,11 @@ def write_bench(path: Path, programs_per_sec: float,
     if flight_overhead is not None:
         payload["flight_recorder"] = {
             "disabled_overhead": flight_overhead,
+            "disabled_overhead_budget": 0.05,
+        }
+    if profile_overhead is not None:
+        payload["profiler"] = {
+            "disabled_overhead": profile_overhead,
             "disabled_overhead_budget": 0.05,
         }
     path.write_text(json.dumps(payload))
@@ -98,3 +104,30 @@ def test_flight_overhead_custom_budget(checker, tmp_path):
     cur = write_bench(tmp_path / "cur.json", 100.0, flight_overhead=0.08)
     assert checker.main(["--previous", prev, "--current", cur,
                          "--max-flight-overhead", "0.10"]) == 0
+
+
+def test_profile_overhead_within_budget_passes(checker, tmp_path):
+    prev = write_bench(tmp_path / "prev.json", 100.0)
+    cur = write_bench(tmp_path / "cur.json", 100.0, profile_overhead=0.03)
+    assert checker.main(["--previous", prev, "--current", cur]) == 0
+
+
+def test_profile_overhead_over_budget_fails(checker, tmp_path):
+    prev = write_bench(tmp_path / "prev.json", 100.0)
+    cur = write_bench(tmp_path / "cur.json", 100.0, profile_overhead=0.08)
+    assert checker.main(["--previous", prev, "--current", cur]) == 1
+
+
+def test_profile_overhead_gate_needs_no_previous(checker, tmp_path):
+    # Same absolute gate as the flight recorder: fires even on a
+    # branch's first run.
+    missing = str(tmp_path / "nope.json")
+    cur = write_bench(tmp_path / "cur.json", 100.0, profile_overhead=0.20)
+    assert checker.main(["--previous", missing, "--current", cur]) == 1
+
+
+def test_profile_overhead_custom_budget(checker, tmp_path):
+    prev = write_bench(tmp_path / "prev.json", 100.0)
+    cur = write_bench(tmp_path / "cur.json", 100.0, profile_overhead=0.08)
+    assert checker.main(["--previous", prev, "--current", cur,
+                         "--max-profile-overhead", "0.10"]) == 0

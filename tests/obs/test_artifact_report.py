@@ -127,6 +127,51 @@ class TestDashboard:
         path.write_text(json.dumps({"schema": "something-else"}))
         assert main(["report", str(path)]) == 1
 
+    def test_report_cli_tolerates_older_schema(self, serial_result,
+                                               tmp_path, capsys):
+        # An artifact from before the profile/frontier sections existed
+        # must render (missing sections as "n/a") with a stderr note,
+        # not crash with KeyError.
+        artifact = build_artifact(serial_result)
+        artifact["schema"] = "repro-metrics-v1"
+        for section in ("profile", "frontier"):
+            artifact.pop(section, None)
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps(artifact))
+        assert main(["report", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "acceptance by rejection reason" in captured.out
+        assert "n/a (no frontier data" in captured.out
+        assert "predates" in captured.err
+
+    def test_dashboard_tolerates_missing_sections(self):
+        # Defensive rendering: a bare-bones artifact with only a schema
+        # must not raise.
+        text = render_dashboard({"schema": "repro-metrics-v1"})
+        assert "n/a" in text
+
+    def test_profile_cli(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        rc = main([
+            "fuzz", "--budget", "25", "--seed", "4", "--profile",
+            "--metrics", str(metrics),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        assert main(["profile", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "verifier profile:" in out
+        assert "hotspots" in out
+
+    def test_profile_cli_without_profile_data(self, serial_result,
+                                              tmp_path, capsys):
+        path = tmp_path / "m.json"
+        artifact = build_artifact(serial_result)
+        artifact.pop("profile", None)
+        path.write_text(json.dumps(artifact))
+        assert main(["profile", str(path)]) == 0
+        assert "no profile data" in capsys.readouterr().out
+
     def test_campaign_cli_writes_artifacts(self, tmp_path, capsys):
         metrics = tmp_path / "m.json"
         trace = tmp_path / "t.jsonl"

@@ -12,11 +12,14 @@ from repro.kernel.config import PROFILES
 from repro.kernel.syscall import Kernel
 from repro.obs.explain import (
     Explanation,
+    build_selftest,
     check_for_reason,
+    describe_accepted,
     explain_events,
     explain_iteration,
     explain_program,
     explain_selftest,
+    replay_iteration,
 )
 from repro.obs.taxonomy import REASON_CODES, UNCLASSIFIED
 from repro.testsuite import all_selftests_extended
@@ -176,3 +179,60 @@ class TestExplainEntryPoints:
         assert replayed.reason == reason
         assert replayed.insn_idx == recorded["insn_idx"]
         assert replayed.insn_text == recorded["insn_text"]
+
+    def test_build_selftest_by_name(self):
+        kernel = Kernel(PROFILES["patched"]())
+        prog = build_selftest(_REJECTED[0][0], kernel)
+        assert prog.insns is not None
+        with pytest.raises(KeyError):
+            build_selftest("no_such_selftest", kernel)
+
+    def test_replay_iteration_is_deterministic(self):
+        from repro.fuzz.campaign import CampaignConfig
+
+        config = CampaignConfig(budget=0, seed=3, collect_coverage=False)
+        _, _, gp_a, prog_a = replay_iteration(config, 5)
+        _, _, gp_b, prog_b = replay_iteration(config, 5)
+        assert prog_a.name == prog_b.name
+        assert [i.opcode for i in prog_a.insns] == [
+            i.opcode for i in prog_b.insns
+        ]
+        assert gp_a.origin == gp_b.origin
+
+
+class TestDescribeAccepted:
+    def test_summary_includes_frame_breakdown(self):
+        from repro.fuzz.campaign import CampaignConfig
+
+        config = CampaignConfig(budget=0, seed=0, collect_coverage=False)
+        _, _, gp, prog = replay_iteration(config, 0)
+        text = describe_accepted("iteration 0", "patched", prog=prog, gp=gp)
+        assert "verdict: accepted" in text
+        assert "nothing to explain" in text
+        assert f"type={prog.prog_type.name}" in text
+        assert "frames:" in text
+
+    def test_summary_without_program_details(self):
+        text = describe_accepted("selftest 'x'", "bpf-next")
+        assert "verdict: accepted" in text
+        assert "selftest 'x'" in text
+
+    def test_explain_cli_accepted_iteration(self, capsys):
+        from repro.__main__ import main
+
+        # Iteration 0 on the patched kernel: deterministic; pick the
+        # first accepted iteration so the CLI takes the accepted path.
+        from repro.fuzz.campaign import CampaignConfig
+
+        config = CampaignConfig(budget=0, seed=0, sanitize=False,
+                                kernel_version="patched")
+        iteration = 0
+        for iteration in range(30):
+            _, kernel, _, prog = replay_iteration(config, iteration)
+            if explain_program(kernel, prog) is None:
+                break
+        assert main(["explain", str(iteration), "--kernel", "patched"]) == 0
+        out = capsys.readouterr().out
+        assert "nothing to explain" in out
+        assert "verdict: accepted" in out
+        assert "frames:" in out

@@ -10,6 +10,7 @@ import pytest
 from repro.obs import MetricsRegistry
 from repro.obs.trace import (
     NULL_RECORDER,
+    RECORD_VERSION,
     JsonlTraceRecorder,
     NullRecorder,
     PhaseClock,
@@ -91,6 +92,54 @@ class TestJsonlRecorder:
         rec.event("e")
         rec.close()
         assert json.loads(path.read_text().splitlines()[0])["name"] == "e"
+
+    def test_every_record_carries_schema_version(self):
+        stream = io.StringIO()
+        rec = JsonlTraceRecorder(stream)
+        rec.event("e")
+        with rec.span("s"):
+            pass
+        for record in parse_lines(stream):
+            assert record["v"] == RECORD_VERSION
+
+    def test_rotation_caps_file_size(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        rec = JsonlTraceRecorder(str(path), max_bytes=200)
+        for i in range(50):
+            rec.event("tick", i=i)
+        rec.close()
+        rotated = tmp_path / "trace.jsonl.1"
+        assert rotated.exists()
+        assert len(rotated.read_bytes()) < 400
+        # The live file picks up where the rotation left off; every
+        # line in both files is valid JSON with the schema version.
+        for p in (path, rotated):
+            for line in p.read_text().splitlines():
+                assert json.loads(line)["v"] == RECORD_VERSION
+
+    def test_rotation_replaces_previous_backup(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        rec = JsonlTraceRecorder(str(path), max_bytes=100)
+        for i in range(100):
+            rec.event("tick", i=i)
+        rec.close()
+        # Exactly one backup, no .2/.3... accumulation.
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "trace.jsonl", "trace.jsonl.1",
+        ]
+
+    def test_stream_backed_never_rotates(self):
+        stream = io.StringIO()
+        rec = JsonlTraceRecorder(stream, max_bytes=10)
+        for i in range(20):
+            rec.event("tick", i=i)
+        assert len(parse_lines(stream)) == 20
+
+    def test_max_bytes_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_MAX_BYTES", "123")
+        rec = JsonlTraceRecorder(str(tmp_path / "t.jsonl"))
+        assert rec._max_bytes == 123
+        rec.close()
 
 
 class TestPhaseClock:
