@@ -33,7 +33,7 @@ largely hardware-independent:
   campaigns are seed-deterministic, so a falling hit rate means a
   cache key or lookup path regressed, not that the workload changed.
 
-Two more gates need only the **current** artifact, because the
+Three more gates need only the **current** artifact, because the
 benchmark already measured each against a same-process baseline (a
 CPU ratio, not an absolute):
 
@@ -44,7 +44,20 @@ CPU ratio, not an absolute):
 - the hierarchical profiler's disabled-mode overhead (from
   ``test_profiler_overhead``) must stay within
   ``--max-profile-overhead`` — the ISSUE-9 contract that the campaign
-  analytics layer costs nothing when off.
+  analytics layer costs nothing when off;
+- the repair synthesizer's disabled-mode overhead (from
+  ``test_repair_overhead``) must stay within
+  ``--max-repair-overhead`` — the ISSUE-10 contract that the
+  rejection-repair layer costs nothing when ``--repair-feedback`` is
+  off.
+
+One more trajectory rides on both artifacts: the overall
+``repair_feedback.verified_rate`` (fraction of rejections whose
+synthesized minimal patch re-verified as accepted) may not drop by
+more than ``--max-repair-rate-drop`` **relative** to the previous
+run.  Campaigns are seed-deterministic, so a falling rate means a
+patch template, the CFG/dataflow layer, or the provenance pass
+regressed — not that the workload changed.
 """
 
 from __future__ import annotations
@@ -137,6 +150,38 @@ def check_disabled_overhead(current: dict, section_name: str,
     return True
 
 
+def check_repair_rate(previous: dict, current: dict,
+                      max_drop: float) -> bool:
+    """Gate the overall verified-repair rate; True = pass.
+
+    Relative, not absolute: the rate is a ratio of deterministic
+    counts, so hardware noise cannot move it — but its natural level
+    depends on the campaign's rejection mix, which legitimate
+    generator changes do shift.  A relative threshold catches "half
+    the repairs stopped verifying" without pinning the level itself.
+    """
+    prev_section = previous.get("repair_feedback") or {}
+    cur_section = current.get("repair_feedback") or {}
+    prev = prev_section.get("verified_rate")
+    cur = cur_section.get("verified_rate")
+    if prev is None or cur is None:
+        print("trajectory: repair verified_rate missing from an artifact; "
+              "skipping that gate")
+        return True
+    if prev <= 0:
+        print(f"trajectory: previous repair verified_rate {prev} not "
+              f"positive; skipping that gate")
+        return True
+    drop = (prev - cur) / prev
+    print(f"trajectory: repair verified_rate {prev:.3f} -> {cur:.3f} "
+          f"({-drop:+.1%} relative, allowed drop {max_drop:.0%})")
+    if drop > max_drop:
+        print(f"trajectory: FAIL - verified-repair rate dropped more "
+              f"than {max_drop:.0%} relative")
+        return False
+    return True
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--previous", required=True,
@@ -162,6 +207,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="maximum tolerated disabled-mode profiler "
                              "overhead, as a fraction of baseline "
                              "throughput (default 0.05)")
+    parser.add_argument("--max-repair-overhead", type=float, default=0.05,
+                        help="maximum tolerated disabled-mode repair "
+                             "synthesizer overhead, as a fraction of "
+                             "baseline throughput (default 0.05)")
+    parser.add_argument("--max-repair-rate-drop", type=float, default=0.20,
+                        help="maximum tolerated relative drop of the "
+                             "overall verified-repair rate (default 0.20)")
     args = parser.parse_args(argv)
 
     try:
@@ -176,6 +228,10 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if not check_disabled_overhead(current_payload, "profiler",
                                    "profiler", args.max_profile_overhead):
+        return 1
+    if not check_disabled_overhead(current_payload, "repair_feedback",
+                                   "repair synthesizer",
+                                   args.max_repair_overhead):
         return 1
 
     try:
@@ -202,6 +258,8 @@ def main(argv: list[str] | None = None) -> int:
                                 args.max_verify_fraction_rise)
     ok &= check_cache_rates(previous_payload, current_payload,
                             args.max_hit_rate_drop)
+    ok &= check_repair_rate(previous_payload, current_payload,
+                            args.max_repair_rate_drop)
     if not ok:
         return 1
     print("trajectory: OK")

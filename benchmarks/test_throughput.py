@@ -59,6 +59,13 @@ PROFILE_OVERHEAD_BUDGET = float(
     os.environ.get("BVF_BENCH_PROFILE_BUDGET", "0.05")
 )
 
+#: Disabled-mode budget for the repair synthesizer (ISSUE 10: the
+#: rejection-repair layer must stay within 5% of baseline when
+#: ``--repair-feedback`` is off).
+REPAIR_OVERHEAD_BUDGET = float(
+    os.environ.get("BVF_BENCH_REPAIR_BUDGET", "0.05")
+)
+
 #: Where the flight-events sample trace lands (CI archives it next to
 #: the throughput trajectory).
 EVENTS_OUTPUT = OUTPUT.with_name("BENCH_events.jsonl")
@@ -383,6 +390,234 @@ def test_profiler_overhead():
         f"disabled-mode profiler overhead {disabled_overhead:.1%} "
         f"exceeds the {PROFILE_OVERHEAD_BUDGET:.0%} budget"
     )
+
+
+def test_repair_overhead():
+    """Repair synthesizer cost: disabled mode must stay within 5%.
+
+    Same methodology as :func:`test_flight_recorder_overhead` (one
+    warm-up per mode, then median of 3 interleaved rounds).  When
+    ``repair_feedback=False`` (the default) the campaign's rejection
+    path pays one boolean test per reject — that is what the
+    ``disabled_overhead`` gate (checked here *and* by
+    ``check_throughput_trajectory.py``) protects.  Enabled-mode cost is
+    recorded for trend tracking but not gated — synthesis re-verifies
+    up to :data:`~repro.analysis.repair.MAX_VERIFY_ATTEMPTS` candidate
+    patches per rejection and disables the verdict cache by design.
+
+    The enabled run's per-reason verified-repair rates land in
+    ``BENCH_throughput.json`` under ``repair_feedback.by_reason``;
+    ``check_throughput_trajectory.py --max-repair-rate-drop`` fails CI
+    when the overall verified rate collapses relative to the previous
+    run — the earliest symptom of a patch template or provenance-pass
+    regression, since campaigns are seed-deterministic.
+    """
+    from statistics import median
+
+    from repro.fuzz.campaign import Campaign
+
+    repair_results: list = []
+
+    def run_pps(**flags) -> float:
+        config = CampaignConfig(
+            tool="bvf", kernel_version="bpf-next", budget=BUDGET,
+            seed=0, **flags
+        )
+        result = Campaign(config).run()
+        if flags.get("repair_feedback"):
+            repair_results.append(result)
+        return ThroughputStats.from_result(result).programs_per_sec
+
+    modes = {
+        "baseline": {},
+        "disabled": {"repair_feedback": False},
+        "enabled": {"repair_feedback": True},
+    }
+    for flags in modes.values():  # warm-up, discarded
+        run_pps(**flags)
+    repair_results.clear()  # keep only measured-round results
+    rounds: dict[str, list[float]] = {mode: [] for mode in modes}
+    for _ in range(3):
+        for mode, flags in modes.items():
+            rounds[mode].append(run_pps(**flags))
+    samples = {mode: median(values) for mode, values in rounds.items()}
+
+    disabled_overhead = 1.0 - samples["disabled"] / samples["baseline"]
+    enabled_overhead = 1.0 - samples["enabled"] / samples["baseline"]
+
+    # Campaigns are seed-deterministic, so every measured round found
+    # the same repairs; score the last.
+    result = repair_results[-1]
+    attempted = sum(result.repairs_attempted.values())
+    verified = sum(result.repairs_verified.values())
+    by_reason = {
+        reason: {
+            "attempted": result.repairs_attempted[reason],
+            "verified": result.repairs_verified.get(reason, 0),
+            "verified_rate": (
+                result.repairs_verified.get(reason, 0)
+                / result.repairs_attempted[reason]
+            ),
+        }
+        for reason in sorted(result.repairs_attempted)
+    }
+
+    payload = _load_payload()
+    payload["repair_feedback"] = {
+        "budget": BUDGET,
+        "baseline_programs_per_sec": round(samples["baseline"], 2),
+        "disabled_programs_per_sec": round(samples["disabled"], 2),
+        "enabled_programs_per_sec": round(samples["enabled"], 2),
+        "disabled_overhead": round(disabled_overhead, 4),
+        "enabled_overhead": round(enabled_overhead, 4),
+        "disabled_overhead_budget": REPAIR_OVERHEAD_BUDGET,
+        "attempted": attempted,
+        "verified": verified,
+        "verified_rate": verified / attempted if attempted else 0.0,
+        "by_reason": by_reason,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print("\n=== Repair synthesizer overhead (serial) ===")
+    for mode in ("baseline", "disabled", "enabled"):
+        print(f"{mode:>9}: {samples[mode]:8.1f} programs/sec")
+    print(f"disabled overhead: {disabled_overhead:+.1%} "
+          f"(budget {REPAIR_OVERHEAD_BUDGET:.0%}); "
+          f"enabled overhead: {enabled_overhead:+.1%}")
+    print(f"verified repairs: {verified}/{attempted} "
+          f"({verified / attempted if attempted else 0.0:.1%})")
+
+    assert attempted > 0, "benchmark campaign produced no rejections"
+    assert disabled_overhead <= REPAIR_OVERHEAD_BUDGET, (
+        f"disabled-mode repair overhead {disabled_overhead:.1%} "
+        f"exceeds the {REPAIR_OVERHEAD_BUDGET:.0%} budget"
+    )
+
+
+def test_coverage_backend_comparison():
+    """Benchmark the coverage backends against the same verify workload.
+
+    ROADMAP item 5: on Python 3.12+ the PEP 669 :mod:`sys.monitoring`
+    backend should beat :func:`sys.settrace` because out-of-scope code
+    objects disable their own events after the first hit, while
+    settrace pays a call-event filter on every frame forever.  This
+    benchmark verifies the two claims ``backend="auto"`` rests on:
+
+    - every available backend produces a **bit-identical edge set** for
+      the same workload (otherwise auto-selection would change the
+      science, not just the speed);
+    - the preference order ``ctrace > monitoring > settrace`` is
+      recorded per host in ``BENCH_throughput.json`` so the trajectory
+      shows which backend CI actually exercised and what the faster
+      default buys.
+
+    Methodology mirrors the overhead benchmarks: a fixed pre-generated
+    program batch, one warm-up pass per backend, then the median of 3
+    interleaved rounds.  The speed assertion (monitoring >= 0.9x
+    settrace) only applies when monitoring exists (3.12+); it is a
+    loose floor, not the expected win — CI hardware noise must not turn
+    an improvement PR red.
+    """
+    import sys as _sys
+    import time
+    from statistics import median
+
+    from repro.ebpf.program import BpfProgram
+    from repro.errors import BpfError, VerifierReject
+    from repro.fuzz.campaign import make_generator
+    from repro.fuzz.coverage import VerifierCoverage, _MonitoringBackend
+    from repro.fuzz.rng import FuzzRng
+    from repro.kernel.config import PROFILES as _PROFILES
+    from repro.kernel.syscall import Kernel
+
+    # Fixed workload: one seeded generator, BUDGET-capped batch.
+    batch_size = min(BUDGET, 150)
+    rng = FuzzRng(0)
+    generator = make_generator("bvf", None, rng)
+    programs = []
+    for i in range(batch_size):
+        kernel = Kernel(_PROFILES["bpf-next"]())
+        gp = generator.generate(kernel)
+        programs.append(BpfProgram(
+            insns=list(gp.insns), prog_type=gp.prog_type,
+            name=f"bench_{i}", offload_dev=gp.offload_dev,
+        ))
+
+    def run_backend(name: str) -> tuple[float, frozenset[int]]:
+        coverage = VerifierCoverage(backend=name)
+        started = time.perf_counter()
+        for prog in programs:
+            kernel_run = Kernel(_PROFILES["bpf-next"]())
+            with coverage.collect():
+                try:
+                    kernel_run.prog_load(prog, sanitize=True)
+                except (VerifierReject, BpfError):
+                    pass
+        elapsed = time.perf_counter() - started
+        return batch_size / elapsed, coverage.snapshot_edges()
+
+    backends = ["settrace"]
+    if _MonitoringBackend.available():
+        backends.append("monitoring")
+    try:
+        VerifierCoverage(backend="ctrace")
+    except ValueError:
+        pass
+    else:
+        backends.append("ctrace")
+
+    for name in backends:  # warm-up, discarded
+        run_backend(name)
+    rounds: dict[str, list[float]] = {name: [] for name in backends}
+    edge_sets: dict[str, frozenset[int]] = {}
+    for _ in range(3):
+        for name in backends:
+            pps, edges = run_backend(name)
+            rounds[name].append(pps)
+            edge_sets[name] = edges
+    samples = {name: median(values) for name, values in rounds.items()}
+
+    # Equivalence: backend choice must not change the measured edges.
+    reference = edge_sets["settrace"]
+    for name, edges in edge_sets.items():
+        assert edges == reference, (
+            f"backend {name} produced a different edge set than settrace "
+            f"({len(edges)} vs {len(reference)} edges)"
+        )
+
+    auto_default = VerifierCoverage(backend="auto").backend_name
+    payload = _load_payload()
+    payload["coverage_backends"] = {
+        "batch_size": batch_size,
+        "python": f"{_sys.version_info.major}.{_sys.version_info.minor}",
+        "auto_default": auto_default,
+        "verifications_per_sec": {
+            name: round(samples[name], 2) for name in backends
+        },
+        "monitoring_speedup_vs_settrace": (
+            round(samples["monitoring"] / samples["settrace"], 3)
+            if "monitoring" in samples else None
+        ),
+        "edges": len(reference),
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print("\n=== Coverage backend comparison ===")
+    for name in backends:
+        marker = " (auto default)" if name == auto_default else ""
+        print(f"{name:>11}: {samples[name]:8.1f} verifications/sec{marker}")
+    if "monitoring" in samples:
+        speedup = samples["monitoring"] / samples["settrace"]
+        print(f"monitoring vs settrace: {speedup:.2f}x")
+        assert speedup >= 0.9, (
+            f"sys.monitoring backend ({samples['monitoring']:.1f}/s) fell "
+            f"below 0.9x settrace ({samples['settrace']:.1f}/s); the auto "
+            "preference order is no longer justified on this host"
+        )
+    else:
+        print(f"sys.monitoring unavailable on Python "
+              f"{_sys.version_info.major}.{_sys.version_info.minor}; "
+              "recorded settrace baseline only")
 
 
 def test_flight_events_artifact():

@@ -19,7 +19,11 @@ Subcommands:
   tree, hotspots, op/helper tables) from a ``--profile`` artifact;
 - ``explain``   — verify one program (a selftest by name, or a
   campaign iteration by number) under the flight recorder and print
-  why it was rejected;
+  why it was rejected, the root-cause definition site, and the
+  verified minimal repair when one exists;
+- ``repair``    — synthesize and verify the minimal patch that flips
+  a rejected program (selftest or campaign iteration) to accepted,
+  printing the patched disassembly and the diff;
 - ``watch``     — tail a campaign's heartbeat directory and render a
   live progress dashboard;
 - ``profiles``  — list the kernel profiles and their injected flaws.
@@ -90,6 +94,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         check_invariants=args.check_invariants,
         flight=args.flight,
         profile=args.profile,
+        repair_feedback=args.repair_feedback,
         plateau_window=args.plateau_window,
         heartbeat_dir=args.heartbeat_dir,
         heartbeat_every=args.heartbeat_every,
@@ -127,6 +132,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         check_invariants=args.check_invariants,
         flight=args.flight,
         profile=args.profile,
+        repair_feedback=args.repair_feedback,
         plateau_window=args.plateau_window,
         heartbeat_dir=args.heartbeat_dir,
         heartbeat_every=args.heartbeat_every,
@@ -240,10 +246,92 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         print(f"{subject} accepted on {args.kernel} — nothing to explain")
         print(describe_accepted(subject, args.kernel, prog=prog, gp=gp))
         return 0
+
+    from repro.analysis.repair import synthesize_repair
+
+    repair = synthesize_repair(
+        kernel,
+        prog,
+        reason=explanation.reason,
+        message=explanation.message,
+        insn_idx=explanation.insn_idx,
+        sanitize=sanitize,
+    )
     if args.json:
-        print(json.dumps(explanation.to_dict(), indent=2, sort_keys=True))
+        payload = explanation.to_dict()
+        payload["repair"] = repair.to_dict() if repair else None
+        print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(explanation.render())
+        print()
+        if repair is not None:
+            print(repair.render())
+        else:
+            print("suggested repair: no verified repair found")
+    return 0
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    from repro.analysis.repair import render_program, synthesize_repair
+    from repro.obs.explain import (
+        build_selftest,
+        explain_program,
+        replay_iteration,
+    )
+
+    if args.program.isdigit():
+        config = CampaignConfig(
+            tool=args.tool,
+            kernel_version=args.kernel,
+            budget=0,
+            seed=args.seed,
+            sanitize=args.sanitize,
+        )
+        _, kernel, _, prog = replay_iteration(config, int(args.program))
+        sanitize = config.sanitize and kernel.config.sanitizer_available
+        subject = (f"iteration {args.program} "
+                   f"(tool={args.tool} seed={args.seed})")
+    else:
+        kernel = Kernel(PROFILES[args.kernel]())
+        try:
+            prog = build_selftest(args.program, kernel)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 1
+        sanitize = args.sanitize
+        subject = f"selftest {args.program!r}"
+
+    explanation = explain_program(kernel, prog, sanitize=sanitize)
+    if explanation is None:
+        print(f"{subject} accepted on {args.kernel} — nothing to repair")
+        return 1
+
+    repair = synthesize_repair(
+        kernel,
+        prog,
+        reason=explanation.reason,
+        message=explanation.message,
+        insn_idx=explanation.insn_idx,
+        sanitize=sanitize,
+    )
+    if repair is None:
+        print(f"{subject} rejected ({explanation.reason}) but no "
+              "candidate patch verified as accepted")
+        return 1
+
+    if args.json:
+        payload = repair.to_dict()
+        payload["subject"] = subject
+        payload["kernel"] = args.kernel
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    print(f"{subject} rejected on {args.kernel}: {explanation.message}")
+    print()
+    print(repair.render())
+    print()
+    print("patched program (verified accept):")
+    print("\n".join(render_program(repair.patched)))
     return 0
 
 
@@ -338,6 +426,10 @@ def _add_flight_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--profile", action="store_true",
                         help="run the hierarchical verifier profiler "
                              "(`repro profile` renders the artifact)")
+    parser.add_argument("--repair-feedback", action="store_true",
+                        help="attempt a verified minimal repair for every "
+                             "rejection and feed accepted repairs back "
+                             "into the mutation corpus")
     parser.add_argument("--plateau-window", type=int,
                         default=DEFAULT_PLATEAU_WINDOW, metavar="N",
                         help="iterations without new coverage before a "
@@ -454,6 +546,29 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--json", action="store_true",
                          help="emit the explanation as JSON")
     explain.set_defaults(func=_cmd_explain)
+
+    repair = sub.add_parser(
+        "repair", help="synthesize and verify a minimal patch that flips "
+                       "a rejected program to accepted"
+    )
+    repair.add_argument(
+        "program",
+        help="a selftest name, or a campaign iteration number "
+             "(replayed deterministically from --tool/--seed)",
+    )
+    repair.add_argument("--kernel", default="patched",
+                        choices=list(PROFILES))
+    repair.add_argument("--tool", default="bvf",
+                        choices=["bvf", "bvf-nostructure", "syzkaller",
+                                 "buzzer"],
+                        help="generator for iteration replay")
+    repair.add_argument("--seed", type=int, default=0,
+                        help="campaign seed for iteration replay")
+    repair.add_argument("--sanitize", action="store_true",
+                        help="apply BVF's sanitation before verifying")
+    repair.add_argument("--json", action="store_true",
+                        help="emit the repair as JSON")
+    repair.set_defaults(func=_cmd_repair)
 
     watch = sub.add_parser(
         "watch", help="live view of a campaign's heartbeat directory"

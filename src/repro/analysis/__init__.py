@@ -1,9 +1,18 @@
-"""Reporting and statistics for the evaluation harness.
+"""Reporting, statistics, and static analysis for the harness.
 
 - :mod:`repro.analysis.reports` — Table-2-style bug tables and triage
   records,
 - :mod:`repro.analysis.stats` — coverage-curve handling, acceptance
-  aggregation, and the sanitation-overhead calculations of RQ3.
+  aggregation, and the sanitation-overhead calculations of RQ3,
+- :mod:`repro.analysis.cfg` — basic-block CFG over slot-form programs,
+- :mod:`repro.analysis.dataflow` — reaching definitions, liveness, and
+  bound provenance on the CFG,
+- :mod:`repro.analysis.repair` — verified minimal patches for rejected
+  programs (reason-indexed templates, re-verified before reporting).
+
+The static-analysis modules are imported lazily by their consumers and
+deliberately not re-exported here: they pull in the kernel model, which
+the reporting-only import path should not pay for.
 """
 
 from repro.analysis.reports import BugRow, render_bug_table

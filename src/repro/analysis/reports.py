@@ -175,6 +175,35 @@ def render_dashboard(artifact: dict) -> str:
             if check:
                 lines.append(f"  {'':<26} check: {check}")
 
+    # Verified rejection repairs (artifact schema v3+; older artifacts
+    # carry no repair section and skip the table).
+    repair = artifact.get("repair") or {}
+    if repair.get("enabled") or repair.get("attempted"):
+        lines += [
+            "",
+            f"verified rejection repairs: {repair.get('verified', 0)}"
+            f"/{repair.get('attempted', 0)} "
+            f"({repair.get('verified_rate', 0.0):.1%} of rejects flip "
+            "to accept)",
+        ]
+        by_reason = repair.get("by_reason", {})
+        if by_reason:
+            lines.append(
+                f"  {'reason':<26} {'verified':>8}/{'attempted':<9} "
+                f"{'rate':>6}  template"
+            )
+            for reason in sorted(by_reason):
+                entry = by_reason[reason]
+                example = entry.get("example") or {}
+                template = example.get("template", "-")
+                lines.append(
+                    f"  {reason:<26} {entry.get('verified', 0):>8}"
+                    f"/{entry.get('attempted', 0):<9} "
+                    f"{entry.get('verified_rate', 0.0):>6.1%}  {template}"
+                )
+        else:
+            lines.append("  (no rejections to repair)")
+
     frames = taxonomy.get("frames", {})
     if frames.get("generated"):
         lines += ["", "acceptance by frame kind:"]

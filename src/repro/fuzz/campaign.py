@@ -84,6 +84,13 @@ class CampaignConfig:
     #: (:mod:`repro.obs.events`) and attach a rejection explanation per
     #: taxonomy reason (:mod:`repro.obs.explain`); off = zero-cost
     flight: bool = False
+    #: attempt a verified minimal repair for every rejection
+    #: (:mod:`repro.analysis.repair`) and feed accepted repairs back
+    #: into the mutation corpus; implies the flight recorder (the
+    #: failing-instruction attribution comes from the decision ring)
+    #: and disables the verdict cache like every introspection mode.
+    #: Off = zero-cost hot path.
+    repair_feedback: bool = False
     #: run the hierarchical verifier profiler
     #: (:mod:`repro.obs.profile`); off = zero-cost hot path
     profile: bool = False
@@ -116,6 +123,15 @@ class CampaignResult:
     #: (:meth:`repro.obs.explain.Explanation.to_dict` plus the global
     #: ``iteration``); populated only when ``config.flight`` is on
     reject_explanations: dict[str, dict] = field(default_factory=dict)
+    #: taxonomy reason code -> rejections a repair was attempted for
+    #: (every rejection, when ``config.repair_feedback`` is on)
+    repairs_attempted: Counter = field(default_factory=Counter)
+    #: taxonomy reason code -> verified reject→accept flips
+    repairs_verified: Counter = field(default_factory=Counter)
+    #: taxonomy reason code -> first verified repair
+    #: (:meth:`repro.analysis.repair.Repair.to_dict` plus the global
+    #: ``iteration``); deterministic, merged by earliest iteration
+    repair_examples: dict[str, dict] = field(default_factory=dict)
     #: frame kind -> programs generated containing that kind
     frame_generated: Counter = field(default_factory=Counter)
     #: frame kind -> programs accepted containing that kind
@@ -228,6 +244,7 @@ class Campaign:
             and not config.trace_path
             and not config.flight
             and not config.profile
+            and not config.repair_feedback
             else None
         )
         # Replaced by run() with a clock wired to that run's metrics
@@ -257,7 +274,11 @@ class Campaign:
             if self.config.trace_path
             else obs.NULL_RECORDER
         )
-        flight = obs.FlightRecorder() if self.config.flight else obs.NULL_FLIGHT
+        flight = (
+            obs.FlightRecorder()
+            if self.config.flight or self.config.repair_feedback
+            else obs.NULL_FLIGHT
+        )
         self._flight = flight
         profiler = obs.VerifierProfiler() if self.config.profile else None
         self._profiler = profiler
@@ -398,7 +419,7 @@ class Campaign:
             except InvariantViolation as violation:
                 # Not a verdict: the verifier's own abstract state broke.
                 self._reject(result, _errno.EFAULT, str(violation),
-                             gp, iteration)
+                             gp, iteration, kernel, prog)
                 self._record(
                     result,
                     self.oracle.classify_invariant(violation, gp),
@@ -407,10 +428,10 @@ class Campaign:
             except VerifierReject as reject:
                 self._reject(result, reject.errno,
                              final_message(reject.log) or reject.message,
-                             gp, iteration)
+                             gp, iteration, kernel, prog)
             except BpfError as error:
                 self._reject(result, error.errno, error.message,
-                             gp, iteration)
+                             gp, iteration, kernel, prog)
 
         # Frontier attribution covers every verdict: coverage.collect()
         # publishes ``last_new`` from its finally block, so rejected
@@ -454,6 +475,8 @@ class Campaign:
         message: str,
         gp: GeneratedProgram | None = None,
         iteration: int = -1,
+        kernel: Kernel | None = None,
+        prog: BpfProgram | None = None,
     ) -> None:
         result.reject_errnos[errno] += 1
         reason = classify(message)
@@ -466,6 +489,13 @@ class Campaign:
         if self._flight.enabled:
             self._explain_reject(result, errno, message, reason,
                                  gp, iteration)
+        if (
+            self.config.repair_feedback
+            and kernel is not None
+            and prog is not None
+        ):
+            self._attempt_repair(result, reason, message, gp,
+                                 iteration, kernel, prog)
 
     def _explain_reject(
         self,
@@ -499,6 +529,69 @@ class Campaign:
         entry = explanation.to_dict()
         entry["iteration"] = iteration
         result.reject_explanations[reason] = entry
+
+    def _attempt_repair(
+        self,
+        result: CampaignResult,
+        reason: str,
+        message: str,
+        gp: GeneratedProgram | None,
+        iteration: int,
+        kernel: Kernel,
+        prog: BpfProgram,
+    ) -> None:
+        """Synthesize + verify a minimal patch for one rejection.
+
+        Verified repairs count toward the per-reason repair rate, keep
+        one example per reason (earliest iteration, like the
+        explanations), and re-enter the mutation corpus as
+        ``bvf-repair`` seeds — the rejected half of the budget becomes
+        mutation fodder that is *known* to verify.
+        """
+        # Imported lazily: analysis.stats imports CampaignResult from
+        # this module, so a top-level import would be circular.
+        from repro.analysis.repair import synthesize_repair
+
+        result.repairs_attempted[reason] += 1
+        obs.metrics().counter("campaign.repair.attempted")
+        insn_idx = 0
+        for event in reversed(self._flight.snapshot()):
+            if (
+                event.get("kind") == "verdict"
+                and event.get("verdict") != "accept"
+            ):
+                insn_idx = max(event.get("insn", 0), 0)
+                break
+        sanitize = self.config.sanitize and kernel.config.sanitizer_available
+        repair = synthesize_repair(
+            kernel, prog,
+            reason=reason, message=message, insn_idx=insn_idx,
+            sanitize=sanitize,
+        )
+        if repair is None:
+            return
+        result.repairs_verified[reason] += 1
+        obs.metrics().counter("campaign.repair.verified")
+        rec = obs.recorder()
+        if rec.enabled:
+            rec.event("campaign.repair", reason=reason,
+                      template=repair.template,
+                      edit_distance=repair.edit_distance)
+        if reason not in result.repair_examples:
+            entry = repair.to_dict()
+            entry["iteration"] = iteration
+            result.repair_examples[reason] = entry
+        if gp is not None:
+            self.corpus.add(
+                GeneratedProgram(
+                    insns=list(repair.patched),
+                    prog_type=gp.prog_type,
+                    maps=gp.maps,
+                    plan=gp.plan,
+                    origin="bvf-repair",
+                ),
+                1,
+            )
 
     def _record_divergence(
         self, result: CampaignResult, div, iteration: int

@@ -116,6 +116,13 @@ class ShardResult:
     #: taxonomy reason -> first flight-recorder explanation, iteration
     #: already remapped to global (empty unless ``config.flight``)
     reject_explanations: dict[str, dict] = field(default_factory=dict)
+    #: taxonomy reason -> repair attempts / verified flips (empty
+    #: unless ``config.repair_feedback``)
+    repairs_attempted: Counter = field(default_factory=Counter)
+    repairs_verified: Counter = field(default_factory=Counter)
+    #: taxonomy reason -> first verified repair, iteration already
+    #: remapped to global
+    repair_examples: dict[str, dict] = field(default_factory=dict)
     #: the shard's profiler snapshot (empty unless ``config.profile``)
     profile: dict = field(default_factory=dict)
     #: the shard's frontier snapshot, iterations already remapped to
@@ -216,6 +223,13 @@ def _run_shard(payload) -> ShardResult:
             entry["iteration"] += start_iteration
         explanations[reason] = entry
 
+    repair_examples = {}
+    for reason, entry in result.repair_examples.items():
+        entry = dict(entry)
+        if entry.get("iteration", -1) >= 0:
+            entry["iteration"] += start_iteration
+        repair_examples[reason] = entry
+
     metrics = result.metrics
     if metrics:
         sums = metrics.setdefault("wall", {}).setdefault("sums", {})
@@ -239,6 +253,9 @@ def _run_shard(payload) -> ShardResult:
         edge_samples=result.edge_samples,
         insn_classes=result.insn_classes,
         reject_explanations=explanations,
+        repairs_attempted=result.repairs_attempted,
+        repairs_verified=result.repairs_verified,
+        repair_examples=repair_examples,
         profile=result.profile,
         frontier=shift_frontier(result.frontier, start_iteration),
         corpus_size=result.corpus_size,
@@ -298,6 +315,17 @@ def merge_shards(
                 "iteration", 0
             ):
                 merged.reject_explanations[reason] = entry
+
+        # Repair counters sum; the per-reason example keeps the
+        # earliest global iteration, mirroring the explanations.
+        merged.repairs_attempted.update(shard.repairs_attempted)
+        merged.repairs_verified.update(shard.repairs_verified)
+        for reason, entry in shard.repair_examples.items():
+            kept = merged.repair_examples.get(reason)
+            if kept is None or entry.get("iteration", 0) < kept.get(
+                "iteration", 0
+            ):
+                merged.repair_examples[reason] = entry
 
     merged.divergences = merge_divergences(
         [shard.divergences for shard in ordered]

@@ -26,9 +26,11 @@ from repro.obs.profile import strip_profile_wall
 __all__ = ["SCHEMA", "build_artifact", "strip_wall", "write_artifact"]
 
 #: v2 added the ``profile`` (hierarchical profiler) and ``frontier``
-#: (coverage-frontier attribution) sections; consumers accept any
+#: (coverage-frontier attribution) sections; v3 added the ``repair``
+#: section (verified rejection repairs per taxonomy reason, from
+#: ``--repair-feedback`` campaigns); consumers accept any
 #: ``repro-metrics-v*`` and render missing sections as "n/a".
-SCHEMA = "repro-metrics-v2"
+SCHEMA = "repro-metrics-v3"
 
 
 def _frame_breakdown(result) -> dict:
@@ -99,6 +101,22 @@ def build_artifact(result) -> dict:
         cls = div.get("classification", "unexplained")
         by_classification[cls] = by_classification.get(cls, 0) + 1
 
+    repairs_attempted = getattr(result, "repairs_attempted", None) or {}
+    repairs_verified = getattr(result, "repairs_verified", None) or {}
+    repair_examples = getattr(result, "repair_examples", None) or {}
+    repair_by_reason = {}
+    for reason in sorted(repairs_attempted):
+        attempted = repairs_attempted[reason]
+        verified = repairs_verified.get(reason, 0)
+        repair_by_reason[reason] = {
+            "attempted": attempted,
+            "verified": verified,
+            "verified_rate": verified / attempted if attempted else 0.0,
+            "example": repair_examples.get(reason),
+        }
+    total_attempted = sum(repairs_attempted.values())
+    total_verified = sum(repairs_verified.values())
+
     return {
         "schema": SCHEMA,
         "config": {
@@ -111,6 +129,7 @@ def build_artifact(result) -> dict:
             "check_invariants": getattr(config, "check_invariants", False),
             "flight": getattr(config, "flight", False),
             "profile": getattr(config, "profile", False),
+            "repair_feedback": getattr(config, "repair_feedback", False),
             "shards": getattr(result, "shards", 1),
             "workers": getattr(result, "workers", 1),
         },
@@ -141,6 +160,19 @@ def build_artifact(result) -> dict:
             "explanations": dict(
                 sorted(getattr(result, "reject_explanations", {}).items())
             ),
+        },
+        # Verified rejection repairs (v3).  Repairs are pure functions
+        # of the deterministic rejection stream, so the whole section
+        # is part of the worker-count-invariance contract (no wall
+        # sub-section needed).
+        "repair": {
+            "enabled": getattr(config, "repair_feedback", False),
+            "attempted": total_attempted,
+            "verified": total_verified,
+            "verified_rate": (
+                total_verified / total_attempted if total_attempted else 0.0
+            ),
+            "by_reason": repair_by_reason,
         },
         "metrics": result.metrics or empty_snapshot(),
         # Profiler snapshot: exact counts are deterministic, the

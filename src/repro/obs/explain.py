@@ -114,6 +114,12 @@ class Explanation:
     registers: dict[str, str] = field(default_factory=dict)
     #: the last decision events before the verdict, oldest first
     trail: list[dict] = field(default_factory=list)
+    #: root-cause definition site from the bound-provenance pass
+    #: (:func:`repro.analysis.dataflow.bound_provenance`): the
+    #: instruction that *produced* the offending value, which is
+    #: usually earlier than the failing instruction the verifier
+    #: reports.  ``None`` when no register could be attributed.
+    root_cause: dict | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -126,6 +132,7 @@ class Explanation:
             "check": self.check,
             "registers": dict(self.registers),
             "trail": [dict(event) for event in self.trail],
+            "root_cause": dict(self.root_cause) if self.root_cause else None,
         }
 
     def render(self) -> str:
@@ -139,6 +146,18 @@ class Explanation:
             f"  at insn {self.insn_idx}"
             + (f": {self.insn_text}" if self.insn_text else ""),
         ]
+        if self.root_cause:
+            root_idx = self.root_cause.get("insn_idx", -1)
+            reg = self.root_cause.get("reg")
+            where = (
+                "frame entry (register never written)"
+                if root_idx < 0
+                else f"insn {root_idx}: "
+                     f"{self.root_cause.get('insn_text', '?')}"
+            )
+            lines.append(
+                f"  root cause (r{reg} provenance): {where}"
+            )
         if self.registers:
             lines.append("  registers at the failing instruction:")
             for name, value in self.registers.items():
@@ -232,6 +251,10 @@ def explain_events(
             insn_text = (f"(undecodable: opcode=0x{insn.opcode:02x} "
                          f"dst={insn.dst} src={insn.src})")
 
+    root_cause = None
+    if insns is not None and 0 <= insn_idx < len(insns):
+        root_cause = _root_cause(insns, insn_idx, message)
+
     return Explanation(
         program=program,
         errno=errno,
@@ -242,7 +265,60 @@ def explain_events(
         check=check_for_reason(reason),
         registers=registers,
         trail=[dict(event) for event in events[-trail:]],
+        root_cause=root_cause,
     )
+
+
+def _root_cause(insns, insn_idx: int, message: str) -> dict | None:
+    """Backfill the failing instruction with its root-cause def site.
+
+    The verifier reports where it *noticed* the problem; the
+    bound-provenance pass (:mod:`repro.analysis.dataflow`) walks the
+    offending register's reaching definitions back to the instruction
+    that produced the value.  Imported lazily: the analysis package
+    pulls in campaign modules, and this module must stay importable
+    from them.  Pure function of the program text — deterministic, so
+    merged ``taxonomy.explanations`` stay worker-count invariant.
+    """
+    import re
+
+    from repro.analysis.dataflow import ENTRY_DEF, bound_provenance, insn_uses
+
+    # Which register is the complaint about?  The message names it for
+    # the register-discipline family ("R3 !read_ok"); otherwise fall
+    # back to the first register the failing instruction reads.
+    reg = None
+    match = re.search(r"\bR(\d+)\b", message)
+    if match and 0 <= int(match.group(1)) <= 10:
+        reg = int(match.group(1))
+    if reg is None:
+        uses = insn_uses(insns[insn_idx])
+        if not uses:
+            return None
+        reg = uses[0]
+
+    try:
+        prov = bound_provenance(insns, insn_idx, reg)
+    except (IndexError, ValueError):  # pragma: no cover - defensive
+        return None
+    if prov.root_idx == insn_idx:
+        return None  # the failing instruction IS the producer
+
+    insn_text = None
+    if prov.root_idx != ENTRY_DEF:
+        from repro.ebpf.disasm import format_insn
+
+        try:
+            insn_text = format_insn(insns[prov.root_idx])
+        except (KeyError, ValueError):
+            insn_text = (f"(undecodable: opcode="
+                         f"0x{insns[prov.root_idx].opcode:02x})")
+    return {
+        "insn_idx": prov.root_idx,
+        "reg": reg,
+        "insn_text": insn_text,
+        "chain": [list(link) for link in prov.chain],
+    }
 
 
 def explain_program(

@@ -1,0 +1,175 @@
+"""CFG well-formedness properties over the whole selftest corpus.
+
+The repair layer analyzes exactly the programs the verifier rejects,
+so :func:`repro.analysis.cfg.build_cfg` must be *total*: every
+selftest — accepted or rejected, well-formed or deliberately broken —
+must produce a CFG where
+
+- there is a single entry block starting at slot 0;
+- every slot belongs to exactly one block (blocks partition the
+  program);
+- block-internal slots fall straight through (no leader in the
+  middle of a block);
+- every recorded edge matches the interpreter's successor semantics,
+  derived independently from the dispatch metadata the interpreter
+  executes from.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.cfg import (
+    EDGE_CALL,
+    EDGE_FALL,
+    build_cfg,
+    insn_successors,
+)
+from repro.kernel.config import PROFILES
+from repro.kernel.syscall import Kernel
+from repro.runtime.interpreter import (
+    _K_CALL_PSEUDO,
+    _K_COND_JMP,
+    _K_EXIT,
+    _K_FILLER,
+    _K_JA,
+    _K_LD_IMM64,
+    _build_exec_meta,
+)
+from repro.testsuite import all_selftests_extended
+
+
+def _selftest_programs():
+    """(name, insns) for every selftest whose program builds."""
+    programs = []
+    for selftest in all_selftests_extended():
+        kernel = Kernel(PROFILES["patched"]())
+        try:
+            prog = selftest.build(kernel)
+        except Exception:
+            continue
+        programs.append((selftest.name, list(prog.insns)))
+    return programs
+
+
+_PROGRAMS = _selftest_programs()
+
+
+def _interp_successors(insns, idx) -> set[int]:
+    """Successor slots per the interpreter's dispatch metadata.
+
+    Independent of the CFG module: derived from the same
+    ``_build_exec_meta`` table ``Interpreter._run_loop`` switches on,
+    so agreement here means the static CFG and the dynamic execution
+    engine share one notion of control flow.  The pseudo-call return
+    edge (``idx + 1`` via the frame stack) is included because the
+    CFG models returning calls with a fall-through edge.
+    """
+    meta = _build_exec_meta(insns)
+    kind, a, _ = meta[idx]
+    if kind == _K_EXIT:
+        return set()
+    if kind == _K_JA:
+        return {idx + a}
+    if kind == _K_COND_JMP:
+        return {idx + 1, idx + insns[idx].off + 1}
+    if kind == _K_LD_IMM64:
+        return {idx + 2}
+    if kind == _K_CALL_PSEUDO:
+        return {idx + a + 1, idx + 1}
+    # ALU / load / store / atomic / filler / helper-style calls.
+    return {idx + 1}
+
+
+def test_corpus_is_nontrivial():
+    assert len(_PROGRAMS) > 100
+
+
+@pytest.mark.parametrize(
+    "name,insns", _PROGRAMS, ids=[name for name, _ in _PROGRAMS]
+)
+def test_cfg_well_formed(name, insns):
+    cfg = build_cfg(insns)
+
+    if not insns:
+        # The deliberately-empty selftest: no blocks, but still a CFG.
+        assert cfg.blocks == []
+        return
+
+    # Single entry at slot 0.
+    assert cfg.entry.start == 0
+    assert cfg.blocks[0] is cfg.entry
+
+    # Blocks partition the slot range [start, end), in order, no gaps.
+    covered = []
+    for block in cfg.blocks:
+        assert block.start < block.end
+        covered.extend(block.slots())
+    assert covered == list(range(len(insns)))
+
+    # block_of is the inverse of the partition.
+    for block in cfg.blocks:
+        for slot in block.slots():
+            assert cfg.block_of(slot) is block
+
+    # No slot strictly inside a block starts another block.
+    starts = {block.start for block in cfg.blocks}
+    for block in cfg.blocks:
+        for slot in range(block.start + 1, block.end):
+            assert slot not in starts
+
+
+@pytest.mark.parametrize(
+    "name,insns", _PROGRAMS, ids=[name for name, _ in _PROGRAMS]
+)
+def test_cfg_edges_match_interpreter_semantics(name, insns):
+    cfg = build_cfg(insns)
+    invalid = {(src, dst) for src, dst, _ in cfg.invalid_edges}
+
+    for block in cfg.blocks:
+        term = block.end - 1
+        while term > block.start and insns[term].is_filler():
+            # A block ending in a filler is the tail of an LD_IMM64;
+            # its semantics live at the first half.
+            term -= 1
+        insn = insns[term]
+        if insn.is_filler():
+            continue  # all-filler block: dead, no edges to check
+        expected = _interp_successors(insns, term)
+        # The CFG records only in-range targets; out-of-range or
+        # into-filler targets land in invalid_edges instead.
+        valid_expected = {
+            target for target in expected
+            if 0 <= target < len(insns) and not insns[target].is_filler()
+        }
+        got = {target for target, _ in cfg.successors(term)}
+        assert got == valid_expected, (
+            f"{name}: slot {term} CFG successors {sorted(got)} != "
+            f"interpreter successors {sorted(valid_expected)}"
+        )
+        for target in expected - valid_expected:
+            assert (term, target) in invalid, (
+                f"{name}: invalid target {target} of slot {term} "
+                f"not recorded in invalid_edges"
+            )
+
+    # Block-level succ/pred lists must mirror each other.
+    for block in cfg.blocks:
+        for succ_index, _kind in block.succ:
+            assert block.index in cfg.blocks[succ_index].pred
+        for pred_index in block.pred:
+            pred = cfg.blocks[pred_index]
+            assert any(s == block.index for s, _ in pred.succ)
+
+
+def test_insn_successors_reports_invalid_targets():
+    """Raw successor enumeration includes out-of-range targets."""
+    from repro.ebpf.asm import exit_insn, ja, mov64_imm
+    from repro.ebpf.opcodes import Reg
+
+    insns = [mov64_imm(Reg.R0, 0), ja(5), exit_insn()]
+    succ = insn_successors(insns, 1)
+    assert (7, "jump") in [(t, k) for t, k in succ]
+    cfg = build_cfg(insns)
+    assert any(src == 1 and dst == 7 for src, dst, _ in cfg.invalid_edges)
+    assert cfg.successors(1) == []

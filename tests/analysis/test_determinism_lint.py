@@ -1,0 +1,120 @@
+"""The determinism lint: catches what it must, passes the real tree."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+import check_determinism_lint as lint  # noqa: E402
+
+
+def _write_module(tmp_path: Path, body: str) -> Path:
+    root = tmp_path / "pkg"
+    for directory in lint.LINTED_DIRS:
+        (root / directory).mkdir(parents=True, exist_ok=True)
+    module = root / "fuzz" / "mod.py"
+    module.write_text(body)
+    return root
+
+
+def test_real_tree_is_clean():
+    violations = lint.lint_tree(REPO_ROOT / "src" / "repro")
+    assert violations == [], [str(v) for v in violations]
+    assert lint.check_allowlist(REPO_ROOT / "src" / "repro") == []
+
+
+def test_catches_time_time(tmp_path):
+    root = _write_module(tmp_path, "import time\nx = time.time()\n")
+    rules = {v.rule for v in lint.lint_tree(root)}
+    assert rules == {"time.time"}
+
+
+def test_perf_counter_is_allowed(tmp_path):
+    root = _write_module(
+        tmp_path, "import time\nx = time.perf_counter()\n")
+    assert lint.lint_tree(root) == []
+
+
+def test_catches_unseeded_random(tmp_path):
+    root = _write_module(
+        tmp_path, "import random\nx = random.randint(0, 9)\n")
+    rules = {v.rule for v in lint.lint_tree(root)}
+    assert rules == {"unseeded-random"}
+
+
+def test_seeded_random_constructor_is_allowed(tmp_path):
+    root = _write_module(
+        tmp_path, "import random\nrng = random.Random(42)\n")
+    assert lint.lint_tree(root) == []
+
+
+def test_catches_datetime_now_and_urandom(tmp_path):
+    root = _write_module(
+        tmp_path,
+        "import datetime, os\n"
+        "a = datetime.datetime.now()\n"
+        "b = os.urandom(8)\n",
+    )
+    rules = {v.rule for v in lint.lint_tree(root)}
+    assert rules == {"datetime.now", "os.urandom"}
+
+
+def test_catches_set_iteration(tmp_path):
+    root = _write_module(
+        tmp_path,
+        "items = [3, 1, 2]\n"
+        "for x in set(items):\n"
+        "    print(x)\n"
+        "ys = [y for y in {1, 2, 3}]\n",
+    )
+    violations = lint.lint_tree(root)
+    assert len(violations) == 2
+    assert {v.rule for v in violations} == {"set-iteration"}
+
+
+def test_sorted_set_iteration_is_allowed(tmp_path):
+    root = _write_module(
+        tmp_path,
+        "items = [3, 1, 2]\n"
+        "for x in sorted(set(items)):\n"
+        "    print(x)\n",
+    )
+    assert lint.lint_tree(root) == []
+
+
+def test_allowlisted_site_is_skipped(tmp_path):
+    root = _write_module(tmp_path, "import time\nx = time.time()\n")
+    lint.ALLOWLIST[("fuzz/mod.py", "time.time")] = "test entry"
+    try:
+        assert lint.lint_tree(root) == []
+    finally:
+        del lint.ALLOWLIST[("fuzz/mod.py", "time.time")]
+
+
+def test_stale_allowlist_entry_is_reported(tmp_path):
+    root = _write_module(tmp_path, "x = 1\n")
+    lint.ALLOWLIST[("fuzz/gone.py", "time.time")] = "stale entry"
+    try:
+        stale = lint.check_allowlist(root)
+        assert any("gone.py" in s for s in stale)
+    finally:
+        del lint.ALLOWLIST[("fuzz/gone.py", "time.time")]
+
+
+def test_cli_exit_codes(tmp_path, monkeypatch):
+    # The real allowlist names repo files that a synthetic tree lacks;
+    # empty it so the exit codes reflect only the synthetic violations.
+    monkeypatch.setattr(lint, "ALLOWLIST", {})
+    clean = _write_module(tmp_path / "clean", "x = 1\n")
+    assert lint.main(["--root", str(clean)]) == 0
+    dirty = _write_module(tmp_path / "dirty",
+                          "import time\nx = time.time()\n")
+    assert lint.main(["--root", str(dirty)]) == 1
+    assert lint.main(["--root", str(tmp_path / "missing")]) == 2
+
+
+def test_cli_real_tree_passes():
+    assert lint.main(["--root", str(REPO_ROOT / "src" / "repro")]) == 0

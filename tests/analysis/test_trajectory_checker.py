@@ -22,7 +22,9 @@ def checker():
 
 def write_bench(path: Path, programs_per_sec: float,
                 flight_overhead: float | None = None,
-                profile_overhead: float | None = None) -> str:
+                profile_overhead: float | None = None,
+                repair_overhead: float | None = None,
+                repair_rate: float | None = None) -> str:
     payload = {
         "parallel": {"programs_per_sec": programs_per_sec},
         "serial": {"programs_per_sec": programs_per_sec / 2},
@@ -37,6 +39,14 @@ def write_bench(path: Path, programs_per_sec: float,
             "disabled_overhead": profile_overhead,
             "disabled_overhead_budget": 0.05,
         }
+    if repair_overhead is not None or repair_rate is not None:
+        payload["repair_feedback"] = {
+            "disabled_overhead_budget": 0.05,
+        }
+        if repair_overhead is not None:
+            payload["repair_feedback"]["disabled_overhead"] = repair_overhead
+        if repair_rate is not None:
+            payload["repair_feedback"]["verified_rate"] = repair_rate
     path.write_text(json.dumps(payload))
     return str(path)
 
@@ -131,3 +141,57 @@ def test_profile_overhead_custom_budget(checker, tmp_path):
     cur = write_bench(tmp_path / "cur.json", 100.0, profile_overhead=0.08)
     assert checker.main(["--previous", prev, "--current", cur,
                          "--max-profile-overhead", "0.10"]) == 0
+
+
+def test_repair_overhead_over_budget_fails(checker, tmp_path):
+    # Absolute gate, needs no previous artifact.
+    missing = str(tmp_path / "nope.json")
+    cur = write_bench(tmp_path / "cur.json", 100.0, repair_overhead=0.08)
+    assert checker.main(["--previous", missing, "--current", cur]) == 1
+
+
+def test_repair_overhead_within_budget_passes(checker, tmp_path):
+    prev = write_bench(tmp_path / "prev.json", 100.0)
+    cur = write_bench(tmp_path / "cur.json", 100.0, repair_overhead=0.03)
+    assert checker.main(["--previous", prev, "--current", cur]) == 0
+
+
+def test_repair_rate_small_drop_passes(checker, tmp_path):
+    # 0.90 -> 0.80 is an 11% relative drop, inside the 20% default.
+    prev = write_bench(tmp_path / "prev.json", 100.0,
+                       repair_overhead=0.0, repair_rate=0.90)
+    cur = write_bench(tmp_path / "cur.json", 100.0,
+                      repair_overhead=0.0, repair_rate=0.80)
+    assert checker.main(["--previous", prev, "--current", cur]) == 0
+
+
+def test_repair_rate_large_drop_fails(checker, tmp_path):
+    # 0.90 -> 0.50 is a 44% relative drop.
+    prev = write_bench(tmp_path / "prev.json", 100.0,
+                       repair_overhead=0.0, repair_rate=0.90)
+    cur = write_bench(tmp_path / "cur.json", 100.0,
+                      repair_overhead=0.0, repair_rate=0.50)
+    assert checker.main(["--previous", prev, "--current", cur]) == 1
+
+
+def test_repair_rate_missing_skips(checker, tmp_path):
+    prev = write_bench(tmp_path / "prev.json", 100.0)
+    cur = write_bench(tmp_path / "cur.json", 100.0)
+    assert checker.main(["--previous", prev, "--current", cur]) == 0
+
+
+def test_repair_rate_custom_threshold(checker, tmp_path):
+    prev = write_bench(tmp_path / "prev.json", 100.0,
+                       repair_overhead=0.0, repair_rate=0.90)
+    cur = write_bench(tmp_path / "cur.json", 100.0,
+                      repair_overhead=0.0, repair_rate=0.50)
+    assert checker.main(["--previous", prev, "--current", cur,
+                         "--max-repair-rate-drop", "0.50"]) == 0
+
+
+def test_repair_rate_zero_previous_skips(checker, tmp_path):
+    prev = write_bench(tmp_path / "prev.json", 100.0,
+                       repair_overhead=0.0, repair_rate=0.0)
+    cur = write_bench(tmp_path / "cur.json", 100.0,
+                      repair_overhead=0.0, repair_rate=0.0)
+    assert checker.main(["--previous", prev, "--current", cur]) == 0
